@@ -1,0 +1,208 @@
+//! Criterion benches: one group per paper figure.
+//!
+//! These track representative points of every figure for regression
+//! purposes; the full sweeps (the actual figure data) come from the
+//! `experiments` binary, which handles timeouts and medians the way the
+//! paper reports them. Parameters here are scaled so a bench iteration
+//! stays in the milliseconds even for the weak methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use ppr_bench::harness::run_method;
+use ppr_core::methods::Method;
+use ppr_relalg::Budget;
+use ppr_workload::{InstanceSpec, QueryShape};
+
+fn bench_methods(
+    c: &mut Criterion,
+    group_name: &str,
+    points: &[(&str, QueryShape, f64)],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let budget = Budget::tuples(50_000_000);
+    for &(label, shape, free) in points {
+        let spec = InstanceSpec {
+            shape,
+            seed: 7,
+            free_fraction: free,
+        };
+        let (q, db) = spec.build();
+        for method in Method::paper_lineup() {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), label),
+                &method,
+                |b, &method| {
+                    b.iter(|| run_method(method, &q, &db, &budget, 7));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 2: planner compile time, naive (DP / GEQO) vs straightforward
+/// (fixed order).
+fn fig2_compile(c: &mut Criterion) {
+    use ppr_costplanner::{compile, geqo::PoolPolicy, Planner};
+    let mut group = c.benchmark_group("fig2_compile");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for density in [2u32, 3, 4] {
+        let spec = InstanceSpec {
+            shape: QueryShape::Sat {
+                order: 5,
+                density: density as f64,
+                k: 3,
+            },
+            seed: 1,
+            free_fraction: 0.0,
+        };
+        let (q, db) = spec.build();
+        group.bench_with_input(
+            BenchmarkId::new("naive_dp", density),
+            &density,
+            |b, _| b.iter(|| compile(Planner::ExhaustiveDp, &q, &db, 1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_geqo", density),
+            &density,
+            |b, _| {
+                b.iter(|| {
+                    compile(
+                        Planner::Geqo(PoolPolicy::Pg72 { cap: 1 << 12 }),
+                        &q,
+                        &db,
+                        1,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("straightforward_fixed", density),
+            &density,
+            |b, _| b.iter(|| compile(Planner::FixedOrder, &q, &db, 1)),
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 3: density scaling (order 14 to keep the weak methods in bench
+/// range).
+fn fig3_density(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig3_density",
+        &[
+            ("d2", QueryShape::Random { order: 14, density: 2.0 }, 0.0),
+            ("d4", QueryShape::Random { order: 14, density: 4.0 }, 0.0),
+            ("d6", QueryShape::Random { order: 14, density: 6.0 }, 0.0),
+            ("d4_free20", QueryShape::Random { order: 14, density: 4.0 }, 0.2),
+        ],
+    );
+}
+
+/// Fig. 4: order scaling at density 3.0.
+fn fig4_order_d3(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig4_order_d3",
+        &[
+            ("n10", QueryShape::Random { order: 10, density: 3.0 }, 0.0),
+            ("n14", QueryShape::Random { order: 14, density: 3.0 }, 0.0),
+        ],
+    );
+}
+
+/// Fig. 5: order scaling at density 6.0.
+fn fig5_order_d6(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig5_order_d6",
+        &[
+            // Density 6 needs ≥ 13 vertices for 6n distinct edges.
+            ("n14", QueryShape::Random { order: 14, density: 6.0 }, 0.0),
+            ("n16", QueryShape::Random { order: 16, density: 6.0 }, 0.0),
+        ],
+    );
+}
+
+/// Fig. 6: augmented paths.
+fn fig6_augpath(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig6_augpath",
+        &[
+            ("n10", QueryShape::AugmentedPath { order: 10 }, 0.0),
+            ("n20", QueryShape::AugmentedPath { order: 20 }, 0.0),
+            ("n20_free20", QueryShape::AugmentedPath { order: 20 }, 0.2),
+        ],
+    );
+}
+
+/// Fig. 7: ladders.
+fn fig7_ladder(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig7_ladder",
+        &[
+            ("n6", QueryShape::Ladder { order: 6 }, 0.0),
+            ("n10", QueryShape::Ladder { order: 10 }, 0.0),
+        ],
+    );
+}
+
+/// Fig. 8: augmented ladders.
+fn fig8_augladder(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig8_augladder",
+        &[
+            ("n4", QueryShape::AugmentedLadder { order: 4 }, 0.0),
+            ("n6", QueryShape::AugmentedLadder { order: 6 }, 0.0),
+        ],
+    );
+}
+
+/// Fig. 9: augmented circular ladders.
+fn fig9_augcircladder(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "fig9_augcircladder",
+        &[
+            ("n4", QueryShape::AugmentedCircularLadder { order: 4 }, 0.0),
+            ("n6", QueryShape::AugmentedCircularLadder { order: 6 }, 0.0),
+        ],
+    );
+}
+
+/// §7: SAT workloads.
+fn sat_scaling(c: &mut Criterion) {
+    bench_methods(
+        c,
+        "sat_scaling",
+        &[
+            ("3sat_n10_d4.3", QueryShape::Sat { order: 10, density: 4.3, k: 3 }, 0.0),
+            ("2sat_n14_d1.5", QueryShape::Sat { order: 14, density: 1.5, k: 2 }, 0.0),
+        ],
+    );
+}
+
+criterion_group!(
+    figures,
+    fig2_compile,
+    fig3_density,
+    fig4_order_d3,
+    fig5_order_d6,
+    fig6_augpath,
+    fig7_ladder,
+    fig8_augladder,
+    fig9_augcircladder,
+    sat_scaling
+);
+criterion_main!(figures);

@@ -1,0 +1,16 @@
+//! Renders harness TSV (stdin) as an ASCII log-scale chart (stdout).
+//!
+//! ```sh
+//! target/release/experiments fig4 --free 0 | target/release/tsvplot
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .expect("read stdin");
+    let points = ppr_bench::plot::parse_tsv(&text);
+    print!("{}", ppr_bench::plot::render(&points, 16));
+}

@@ -1,0 +1,188 @@
+//! ASCII log-scale plots of experiment TSV, for EXPERIMENTS.md and
+//! terminal inspection.
+//!
+//! The paper's figures are logscale time-vs-parameter line charts; this
+//! module renders the same shape in text: x positions are the sweep's
+//! parameter values (categorical, in file order), y is `log10(median_ms)`,
+//! one mark per method. Timeout-saturated cells render as the method's
+//! mark at the budget ceiling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed series point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Sweep x label (density/order), kept as text.
+    pub x: String,
+    /// Method name.
+    pub method: String,
+    /// Median milliseconds.
+    pub median_ms: f64,
+}
+
+/// Parses the harness TSV (`x method median_ms …`), skipping headers and
+/// comment lines.
+pub fn parse_tsv(text: &str) -> Vec<Point> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("x\t") {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 3 {
+            continue;
+        }
+        let Ok(median_ms) = cols[2].parse::<f64>() else {
+            continue;
+        };
+        out.push(Point {
+            x: cols[0].to_string(),
+            method: cols[1].to_string(),
+            median_ms,
+        });
+    }
+    out
+}
+
+/// Renders a log-scale chart (`height` rows tall). Methods get marks
+/// `a, b, c, …` in first-appearance order; a legend follows the chart.
+pub fn render(points: &[Point], height: usize) -> String {
+    if points.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    // Preserve x order of first appearance.
+    let mut xs: Vec<String> = Vec::new();
+    for p in points {
+        if !xs.contains(&p.x) {
+            xs.push(p.x.clone());
+        }
+    }
+    let mut methods: Vec<String> = Vec::new();
+    for p in points {
+        if !methods.contains(&p.method) {
+            methods.push(p.method.clone());
+        }
+    }
+    let mark = |m: &str| -> char {
+        let i = methods.iter().position(|x| x == m).expect("known method");
+        (b'a' + (i as u8 % 26)) as char
+    };
+    // log10 range.
+    let logs: Vec<f64> = points
+        .iter()
+        .map(|p| p.median_ms.max(1e-3).log10())
+        .collect();
+    let lo = logs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let height = height.max(4);
+    let col_width = 3usize;
+
+    // grid[row][col] = set of marks (stacked marks print the last one and
+    // a `*` when methods collide).
+    let mut grid: Vec<Vec<Vec<char>>> = vec![vec![Vec::new(); xs.len()]; height];
+    let mut lookup: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for p in points {
+        lookup.insert((p.x.clone(), p.method.clone()), p.median_ms);
+    }
+    for (xi, x) in xs.iter().enumerate() {
+        for m in &methods {
+            if let Some(&ms) = lookup.get(&(x.clone(), m.clone())) {
+                let l = ms.max(1e-3).log10();
+                let row = ((hi - l) / span * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][xi].push(mark(m));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (ri, row) in grid.iter().enumerate() {
+        // y-axis label: the ms value at this row.
+        let l = hi - (ri as f64 / (height - 1) as f64) * span;
+        let _ = write!(out, "{:>9.2}ms |", 10f64.powf(l));
+        for cell in row {
+            match cell.len() {
+                0 => out.push_str(&" ".repeat(col_width)),
+                1 => {
+                    let _ = write!(out, "{:>width$}", cell[0], width = col_width);
+                }
+                _ => {
+                    let _ = write!(out, "{:>width$}", "*", width = col_width);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    // x axis.
+    let _ = write!(out, "{:>11} +", "");
+    out.push_str(&"-".repeat(xs.len() * col_width));
+    out.push('\n');
+    let _ = write!(out, "{:>13}", "");
+    for x in &xs {
+        let short: String = x.chars().take(col_width - 1).collect();
+        let _ = write!(out, "{short:>col_width$}");
+    }
+    out.push('\n');
+    // Legend.
+    for m in &methods {
+        let _ = writeln!(out, "  {} = {m}", mark(m));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+x\tmethod\tmedian_ms\ttimeouts\truns\tmedian_tuples\tmax_arity
+1\tstraightforward\t10.0\t0\t3\t100\t4
+1\tbucket-mcs\t1.0\t0\t3\t10\t3
+2\tstraightforward\t100.0\t0\t3\t1000\t5
+2\tbucket-mcs\t2.0\t0\t3\t20\t3
+";
+
+    #[test]
+    fn parses_rows_skipping_header() {
+        let pts = parse_tsv(SAMPLE);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].method, "straightforward");
+        assert_eq!(pts[3].median_ms, 2.0);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_garbage() {
+        let pts = parse_tsv("# comment\nbad line\nx\tmethod\tmedian_ms\n3\tm\tnot_a_number\t\n");
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn render_places_marks_and_legend() {
+        let pts = parse_tsv(SAMPLE);
+        let chart = render(&pts, 8);
+        assert!(chart.contains("a = straightforward"));
+        assert!(chart.contains("b = bucket-mcs"));
+        // The slow method's mark appears above the fast one: the first
+        // grid row containing 'a' precedes the first containing 'b'.
+        let first_a = chart.lines().position(|l| l.contains('a') && l.contains("ms |"));
+        let first_b = chart.lines().position(|l| l.contains('b') && l.contains("ms |"));
+        assert!(first_a < first_b, "{chart}");
+    }
+
+    #[test]
+    fn render_handles_empty() {
+        assert_eq!(render(&[], 8), "(no data)\n");
+    }
+
+    #[test]
+    fn collisions_render_star() {
+        let pts = vec![
+            Point { x: "1".into(), method: "m1".into(), median_ms: 5.0 },
+            Point { x: "1".into(), method: "m2".into(), median_ms: 5.0 },
+        ];
+        let chart = render(&pts, 5);
+        assert!(chart.contains('*'), "{chart}");
+    }
+}

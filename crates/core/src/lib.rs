@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The core of the *Projection Pushing Revisited* reproduction: structural
+//! optimization of project-join queries.
+//!
+//! * [`jet`] — join-expression trees (paper §5): evaluation orders for a
+//!   project-join query with projection applied as early as possible;
+//!   their *width* is the quantity Theorem 1 characterizes.
+//! * [`convert`] — Algorithms 1–3: the constructive conversions between
+//!   join-expression trees and tree decompositions of the join graph that
+//!   prove Theorem 1 (`join width = treewidth + 1`).
+//! * [`methods`] — the five evaluation methods of the experimental study
+//!   as plan constructors and SQL emitters: naive, straightforward, early
+//!   projection (§4), greedy reordering (§4), and bucket elimination (§5,
+//!   with the MCS order as in the paper, or min-degree / min-fill for the
+//!   ablations).
+//! * [`width`] — join width / induced width APIs surfacing Theorems 1–2 as
+//!   checkable properties.
+//! * [`sqlgen`] — a generic plan → Appendix-A-style SQL emitter.
+//! * [`minibucket`] — the mini-bucket approximation (Dechter), listed by
+//!   the paper as a direction worth exploring (§7).
+//! * [`minimize`] — join minimization via containment tests over canonical
+//!   databases (§7's third direction), powered by bucket elimination.
+//! * [`reduce`] — general semijoin (Wong–Youssefi style) pre-reduction;
+//!   the paper explains why it is useless on its 3-COLOR workloads, and
+//!   the `semijoin_usefulness` experiment shows both that and the 2-COLOR
+//!   counterpoint.
+//! * [`yannakakis`] — GYO acyclicity test and Yannakakis semijoin
+//!   evaluation, the classical acyclic special case (§1, [35]).
+
+pub mod convert;
+pub mod jet;
+pub mod methods;
+pub mod minibucket;
+pub mod minimize;
+pub mod reduce;
+pub mod sqlgen;
+pub mod width;
+pub mod yannakakis;
+
+pub use jet::Jet;
+pub use methods::{build_plan, emit_sql, Method, OrderHeuristic};

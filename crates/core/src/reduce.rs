@@ -1,0 +1,183 @@
+//! Semijoin pre-reduction (Wong–Youssefi [34]).
+//!
+//! The paper's §2 observes that on its 3-COLOR workloads "projecting out a
+//! column from our relation yields a relation with all possible tuples.
+//! Thus, in our setting, semijoins … are useless." This module makes that
+//! observation executable for *any* workload: it materializes each atom,
+//! runs semijoin passes between atoms sharing variables until fixpoint,
+//! and reports how many tuples were eliminated. For 2-COLOR queries (edge
+//! relation of 2 tuples) or selective relations, the reduction bites; for
+//! the paper's 6-tuple 3-COLOR relation it provably removes nothing on
+//! first pass.
+
+use ppr_query::{ConjunctiveQuery, Database};
+use ppr_relalg::{ops, Relation};
+
+/// Outcome of a semijoin reduction pass.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Per-atom reduced relations (columns bound to query variables).
+    pub relations: Vec<Relation>,
+    /// Total tuples across atoms before reduction.
+    pub tuples_before: usize,
+    /// Total tuples after.
+    pub tuples_after: usize,
+    /// Number of semijoin applications executed.
+    pub passes: usize,
+    /// True when some relation became empty — the query is empty.
+    pub proven_empty: bool,
+}
+
+impl Reduction {
+    /// Fraction of tuples removed (0.0 when nothing changed — the paper's
+    /// 3-COLOR situation).
+    pub fn shrinkage(&self) -> f64 {
+        if self.tuples_before == 0 {
+            return 0.0;
+        }
+        1.0 - self.tuples_after as f64 / self.tuples_before as f64
+    }
+}
+
+/// Runs pairwise semijoins between atoms sharing variables until fixpoint
+/// (bounded by `max_rounds` full sweeps).
+pub fn semijoin_reduce(query: &ConjunctiveQuery, db: &Database, max_rounds: usize) -> Reduction {
+    let mut rels: Vec<Relation> = query
+        .atoms
+        .iter()
+        .map(|a| ops::bind(&db.expect(&a.relation), &a.args))
+        .collect();
+    let tuples_before: usize = rels.iter().map(|r| r.len()).sum();
+    let m = rels.len();
+    let mut passes = 0usize;
+    let mut proven_empty = rels.iter().any(|r| r.is_empty());
+    'rounds: for _ in 0..max_rounds {
+        let mut changed = false;
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                let shared = query.atoms[i].shared_vars(&query.atoms[j]);
+                if shared.is_empty() {
+                    continue;
+                }
+                let before = rels[i].len();
+                let reduced = ops::semijoin(&rels[i], &rels[j]);
+                passes += 1;
+                if reduced.len() < before {
+                    changed = true;
+                    rels[i] = reduced;
+                    if rels[i].is_empty() {
+                        proven_empty = true;
+                        break 'rounds;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let tuples_after: usize = rels.iter().map(|r| r.len()).sum();
+    Reduction {
+        relations: rels,
+        tuples_before,
+        tuples_after,
+        passes,
+        proven_empty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_query::{Atom, Vars};
+    use ppr_workload::edge_relation;
+
+    fn color_path(colors: u32, n: usize) -> (ConjunctiveQuery, Database) {
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", n);
+        let atoms = (1..n)
+            .map(|i| Atom::new("edge", vec![v[i - 1], v[i]]))
+            .collect();
+        let q = ConjunctiveQuery::new(atoms, vec![v[0]], vars, true);
+        let mut db = Database::new();
+        db.add(edge_relation(colors));
+        (q, db)
+    }
+
+    #[test]
+    fn three_color_semijoins_are_useless() {
+        // The paper's observation: π of the 6-tuple edge relation is the
+        // full domain, so semijoins remove nothing.
+        let (q, db) = color_path(3, 6);
+        let r = semijoin_reduce(&q, &db, 5);
+        assert_eq!(r.tuples_before, r.tuples_after);
+        assert_eq!(r.shrinkage(), 0.0);
+        assert!(!r.proven_empty);
+    }
+
+    #[test]
+    fn two_color_semijoins_also_full() {
+        // 2 colors: the edge relation is {(1,2),(2,1)} — projections are
+        // still the full domain, so a path stays unreduced.
+        let (q, db) = color_path(2, 4);
+        let r = semijoin_reduce(&q, &db, 5);
+        assert_eq!(r.shrinkage(), 0.0);
+    }
+
+    #[test]
+    fn selective_relations_do_reduce() {
+        // A custom asymmetric relation: succ = {(1,2),(2,3)} over a chain
+        // of 4 atoms; the last atom forces values forward, so semijoins
+        // prune, and a chain of length 3 is proven empty (no 4-step
+        // succession exists in a 3-element chain).
+        use ppr_relalg::{AttrId, Schema};
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("x", 5);
+        let atoms = (1..5)
+            .map(|i| Atom::new("succ", vec![v[i - 1], v[i]]))
+            .collect();
+        let q = ConjunctiveQuery::new(atoms, vec![v[0]], vars, true);
+        let mut db = Database::new();
+        let schema = Schema::new(vec![AttrId(7_000_000), AttrId(7_000_001)]);
+        db.add(ppr_relalg::Relation::from_distinct_rows(
+            "succ",
+            schema,
+            vec![
+                vec![1u32, 2].into_boxed_slice(),
+                vec![2u32, 3].into_boxed_slice(),
+            ],
+        ));
+        let r = semijoin_reduce(&q, &db, 10);
+        assert!(r.proven_empty, "no 4-edge path exists in succ");
+        assert!(r.shrinkage() > 0.0);
+    }
+
+    #[test]
+    fn reduction_preserves_nonemptiness() {
+        use ppr_relalg::{AttrId, Schema};
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("x", 3);
+        let atoms = (1..3)
+            .map(|i| Atom::new("succ", vec![v[i - 1], v[i]]))
+            .collect();
+        let q = ConjunctiveQuery::new(atoms, vec![v[0]], vars, true);
+        let mut db = Database::new();
+        let schema = Schema::new(vec![AttrId(7_000_000), AttrId(7_000_001)]);
+        db.add(ppr_relalg::Relation::from_distinct_rows(
+            "succ",
+            schema,
+            vec![
+                vec![1u32, 2].into_boxed_slice(),
+                vec![2u32, 3].into_boxed_slice(),
+            ],
+        ));
+        let r = semijoin_reduce(&q, &db, 10);
+        assert!(!r.proven_empty); // 1→2→3 exists
+        // First atom reduced to (1,2): only value whose successor has a
+        // successor.
+        assert_eq!(r.relations[0].len(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Generic plan → SQL emission.
+//!
+//! Every method in this crate produces a [`Plan`] whose shape mirrors the
+//! paper's generated SQL: pipelines of joins bounded by `SELECT DISTINCT`
+//! subqueries. This module renders any such plan as an Appendix-A style
+//! [`SelectStmt`]: the paper nests the `FROM` clause so the *first* input
+//! of each pipeline is innermost (`FROM e_m JOIN ( … (e_2 JOIN e_1 ON …) …
+//! )`), with each `ON` equating the newly joined item's variables to their
+//! first occurrence among the already-joined items.
+//!
+//! Aliases are assigned depth-first (`e1, e2, …` for base tables, `t1,
+//! t2, …` for subqueries); the paper numbers aliases by atom position,
+//! which is equivalent up to renaming.
+
+use ppr_query::Vars;
+use ppr_relalg::{AttrId, Plan};
+use ppr_sql::{ColRef, Condition, FromExpr, FromItem, SelectStmt};
+
+/// Renders a plan as SQL. The plan root must be a
+/// [`Plan::ProjectDistinct`] (every method's plan is — its keep list is
+/// the SELECT clause). `vars` supplies variable names.
+pub fn plan_to_sql(plan: &Plan, vars: &Vars) -> SelectStmt {
+    let mut counters = Counters::default();
+    match plan {
+        Plan::ProjectDistinct { .. } => emit_select(plan, vars, &mut counters),
+        _ => panic!("plan root must be a projection (SELECT)"),
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    tables: usize,
+    subqueries: usize,
+}
+
+/// One prepared pipeline input.
+struct Prepared {
+    item: FromItem,
+    /// (variable, column name) pairs this item exposes.
+    columns: Vec<(AttrId, String)>,
+    /// Intra-item equalities (repeated variables in one atom).
+    self_conditions: Vec<Condition>,
+}
+
+fn emit_select(plan: &Plan, vars: &Vars, counters: &mut Counters) -> SelectStmt {
+    let (input, keep) = match plan {
+        Plan::ProjectDistinct { input, keep } => (input.as_ref(), keep),
+        _ => unreachable!("callers pass projections"),
+    };
+    let chain = flatten(input);
+    let prepared: Vec<Prepared> = chain
+        .into_iter()
+        .map(|node| prepare(node, vars, counters))
+        .collect();
+
+    // First-occurrence column reference for each variable.
+    let colref = |var: AttrId, upto: usize| -> Option<ColRef> {
+        prepared[..upto].iter().find_map(|p| {
+            p.columns
+                .iter()
+                .find(|(v, _)| *v == var)
+                .map(|(_, col)| ColRef::new(p.item.alias(), col.clone()))
+        })
+    };
+
+    // Build the nested FROM: item 0 innermost. Each join of item j emits
+    // equalities between item j's variables and their first occurrence in
+    // items 0..j, plus item j's own repeated-variable equalities.
+    let mut from = FromExpr::item(prepared[0].item.clone());
+    let where_clause = prepared[0].self_conditions.clone();
+    for (j, item) in prepared.iter().enumerate().skip(1) {
+        let mut on: Vec<Condition> = Vec::new();
+        let mut seen_in_item: Vec<AttrId> = Vec::new();
+        for (var, col) in &item.columns {
+            if seen_in_item.contains(var) {
+                continue;
+            }
+            seen_in_item.push(*var);
+            if let Some(earlier) = colref(*var, j) {
+                on.push(Condition::eq(
+                    ColRef::new(item.item.alias(), col.clone()),
+                    earlier,
+                ));
+            }
+        }
+        on.extend(item.self_conditions.iter().cloned());
+        // The paper writes the new item on the left of JOIN and the
+        // accumulated nest on the right.
+        from = FromExpr::item(item.item.clone()).join(from, on);
+    }
+
+    let select: Vec<ColRef> = keep
+        .iter()
+        .map(|&var| {
+            colref(var, prepared.len())
+                .unwrap_or_else(|| panic!("projected variable {var} not produced by pipeline"))
+        })
+        .collect();
+
+    SelectStmt {
+        distinct: true,
+        select,
+        from: vec![from],
+        where_clause,
+    }
+}
+
+/// Flattens a join tree into pipeline inputs (both spines — bushy plans
+/// linearize, which preserves semantics since the chain natural-joins its
+/// items in sequence).
+fn flatten(plan: &Plan) -> Vec<&Plan> {
+    match plan {
+        Plan::Join { left, right } => {
+            let mut chain = flatten(left);
+            chain.extend(flatten(right));
+            chain
+        }
+        other => vec![other],
+    }
+}
+
+fn prepare(node: &Plan, vars: &Vars, counters: &mut Counters) -> Prepared {
+    match node {
+        Plan::Scan { base, binding } => {
+            counters.tables += 1;
+            let alias = format!("e{}", counters.tables);
+            let mut columns: Vec<(AttrId, String)> = Vec::with_capacity(binding.len());
+            let mut self_conditions = Vec::new();
+            for &var in binding.iter() {
+                let name = vars.name(var);
+                let dup_count = columns.iter().filter(|(v, _)| *v == var).count();
+                let col = if dup_count == 0 {
+                    name
+                } else {
+                    // SQL column names must be unique per table alias; a
+                    // repeated variable becomes an extra column plus an
+                    // equality.
+                    let renamed = format!("{name}_{}", dup_count + 1);
+                    self_conditions.push(Condition::eq(
+                        ColRef::new(alias.clone(), renamed.clone()),
+                        ColRef::new(alias.clone(), columns
+                            .iter()
+                            .find(|(v, _)| *v == var)
+                            .map(|(_, c)| c.clone())
+                            .expect("first occurrence exists")),
+                    ));
+                    renamed
+                };
+                columns.push((var, col));
+            }
+            Prepared {
+                item: FromItem::Table {
+                    name: base.name().to_string(),
+                    alias,
+                    columns: columns.iter().map(|(_, c)| c.clone()).collect(),
+                },
+                columns,
+                self_conditions,
+            }
+        }
+        Plan::ProjectDistinct { keep, .. } => {
+            let stmt = emit_select(node, vars, counters);
+            counters.subqueries += 1;
+            let alias = format!("t{}", counters.subqueries);
+            let columns: Vec<(AttrId, String)> =
+                keep.iter().map(|&v| (v, vars.name(v))).collect();
+            Prepared {
+                item: FromItem::Subquery {
+                    query: Box::new(stmt),
+                    alias,
+                },
+                columns,
+                self_conditions: Vec::new(),
+            }
+        }
+        Plan::Join { .. } => unreachable!("flatten removes joins"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_relalg::{Relation, Schema, Value};
+    use ppr_sql::emit::render;
+    use std::sync::Arc;
+
+    fn edge() -> Arc<Relation> {
+        let schema = Schema::new(vec![AttrId(2_000_000), AttrId(2_000_001)]);
+        let mut rows = Vec::new();
+        for a in 1..=3u32 {
+            for b in 1..=3u32 {
+                if a != b {
+                    rows.push(vec![a as Value, b as Value].into_boxed_slice());
+                }
+            }
+        }
+        Relation::from_distinct_rows("edge", schema, rows).into_shared()
+    }
+
+    fn named_vars(n: usize) -> (Vars, Vec<AttrId>) {
+        let mut vars = Vars::new();
+        let ids = vars.intern_numbered("v", n);
+        (vars, ids)
+    }
+
+    #[test]
+    fn single_scan_select() {
+        let (vars, v) = named_vars(2);
+        let plan = Plan::scan(edge(), vec![v[0], v[1]]).project(vec![v[0]]);
+        let sql = render(&plan_to_sql(&plan, &vars));
+        assert!(sql.contains("SELECT DISTINCT e1.v0"));
+        assert!(sql.contains("FROM edge e1 (v0, v1)"));
+    }
+
+    #[test]
+    fn chain_nests_first_item_innermost() {
+        let (vars, v) = named_vars(3);
+        let plan = Plan::scan(edge(), vec![v[0], v[1]])
+            .join(Plan::scan(edge(), vec![v[1], v[2]]))
+            .project(vec![v[0]]);
+        let sql = render(&plan_to_sql(&plan, &vars));
+        // e2 (the second pipeline input) is printed first, joined to e1.
+        assert!(sql.contains("edge e2 (v1, v2) JOIN edge e1 (v0, v1)"), "{sql}");
+        assert!(sql.contains("ON (e2.v1 = e1.v1)"), "{sql}");
+    }
+
+    #[test]
+    fn subquery_boundary_renders_as_nested_select() {
+        let (vars, v) = named_vars(3);
+        let sub = Plan::scan(edge(), vec![v[0], v[1]]).project(vec![v[1]]);
+        let plan = sub
+            .join(Plan::scan(edge(), vec![v[1], v[2]]))
+            .project(vec![v[2]]);
+        let sql = render(&plan_to_sql(&plan, &vars));
+        assert!(sql.contains("AS t1"), "{sql}");
+        assert!(sql.contains("SELECT DISTINCT e1.v1"), "{sql}");
+        assert!(sql.contains("ON (e2.v1 = t1.v1)"), "{sql}");
+    }
+
+    #[test]
+    fn cross_join_renders_on_true() {
+        let (vars, v) = named_vars(4);
+        let plan = Plan::scan(edge(), vec![v[0], v[1]])
+            .join(Plan::scan(edge(), vec![v[2], v[3]]))
+            .project(vec![v[0]]);
+        let sql = render(&plan_to_sql(&plan, &vars));
+        assert!(sql.contains("ON (TRUE)"), "{sql}");
+    }
+
+    #[test]
+    fn repeated_variable_gets_renamed_column() {
+        let (vars, v) = named_vars(2);
+        let plan = Plan::scan(edge(), vec![v[0], v[0]]).project(vec![v[0]]);
+        let sql = render(&plan_to_sql(&plan, &vars));
+        assert!(sql.contains("edge e1 (v0, v0_2)"), "{sql}");
+        assert!(sql.contains("WHERE e1.v0_2 = e1.v0"), "{sql}");
+    }
+
+    #[test]
+    #[should_panic(expected = "projection")]
+    fn bare_join_rejected() {
+        let (vars, v) = named_vars(3);
+        let plan = Plan::scan(edge(), vec![v[0], v[1]])
+            .join(Plan::scan(edge(), vec![v[1], v[2]]));
+        plan_to_sql(&plan, &vars);
+    }
+}

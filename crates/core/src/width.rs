@@ -1,0 +1,132 @@
+//! Width measures and the paper's two theorems as checkable APIs.
+//!
+//! * **Theorem 1**: the *join width* of a project-join query (minimum width
+//!   over join-expression trees) equals the treewidth of its join graph
+//!   plus one.
+//! * **Theorem 2**: the *induced width* of the query (minimum over variable
+//!   orders of the bucket-elimination induced width) equals the treewidth.
+//!
+//! Exact computations go through `ppr-graph`'s branch-and-bound and are
+//! meant for test-scale queries; the heuristic counterparts (MCS and
+//! friends) are what the practical methods use.
+
+use rand::Rng;
+
+use ppr_graph::ordering::{induced_width as graph_induced_width, EliminationOrder};
+use ppr_graph::treewidth;
+use ppr_graph::TreeDecomposition;
+use ppr_query::{ConjunctiveQuery, JoinGraph};
+use ppr_relalg::AttrId;
+
+use crate::convert::tree_decomposition_to_jet;
+use crate::jet::Jet;
+
+/// Treewidth of the query's join graph (exact; test-scale only).
+pub fn join_graph_treewidth(query: &ConjunctiveQuery) -> usize {
+    let jg = JoinGraph::of(query);
+    treewidth::treewidth_exact(&jg.graph)
+}
+
+/// The exact join width (Theorem 1: `treewidth + 1`), together with a
+/// join-expression tree achieving it, built by Algorithm 3 from an optimal
+/// tree decomposition.
+pub fn join_width_exact(query: &ConjunctiveQuery) -> (usize, Jet) {
+    let jg = JoinGraph::of(query);
+    let (_, order) = treewidth::optimal_order(&jg.graph);
+    let td = TreeDecomposition::from_elimination_order(&jg.graph, &order);
+    let jet = tree_decomposition_to_jet(query, &jg, &td);
+    (jet.width(), jet)
+}
+
+/// The induced width of bucket elimination under an explicit attribute
+/// order (positions as in [`crate::methods::bucket::plan_with_order`]).
+pub fn induced_width_of(query: &ConjunctiveQuery, order: &[AttrId]) -> usize {
+    let jg = JoinGraph::of(query);
+    let vertex_order: Vec<usize> = order.iter().map(|&a| jg.vertex(a)).collect();
+    graph_induced_width(&jg.graph, &EliminationOrder::new(vertex_order))
+}
+
+/// The exact induced width of the query (Theorem 2: the treewidth),
+/// together with an optimal attribute order. The order places the target
+/// schema first (eliminated last), as bucket elimination requires — the
+/// target schema is a clique in the join graph, so the constraint costs
+/// nothing. Test-scale only.
+pub fn induced_width_exact(query: &ConjunctiveQuery) -> (usize, Vec<AttrId>) {
+    let jg = JoinGraph::of(query);
+    let free_vertices: Vec<usize> = query.free.iter().map(|&f| jg.vertex(f)).collect();
+    let (iw, order) = treewidth::optimal_order_with_suffix(&jg.graph, &free_vertices);
+    let attrs: Vec<AttrId> = order.order().iter().map(|&v| jg.attr(v)).collect();
+    (iw, attrs)
+}
+
+/// The width achieved by a heuristic order (what the practical bucket
+/// method will see).
+pub fn heuristic_induced_width<R: Rng + ?Sized>(
+    query: &ConjunctiveQuery,
+    heuristic: crate::methods::OrderHeuristic,
+    rng: &mut R,
+) -> usize {
+    let order = crate::methods::bucket::bucket_order(query, heuristic, rng);
+    induced_width_of(query, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::{pentagon, triangle_free_pair};
+    use crate::methods::OrderHeuristic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem1_on_pentagon() {
+        let (q, _) = pentagon();
+        let tw = join_graph_treewidth(&q);
+        assert_eq!(tw, 2);
+        let (jw, jet) = join_width_exact(&q);
+        assert_eq!(jw, tw + 1);
+        assert_eq!(jet.width(), jw);
+    }
+
+    #[test]
+    fn theorem2_on_pentagon() {
+        let (q, _) = pentagon();
+        let (iw, order) = induced_width_exact(&q);
+        assert_eq!(iw, join_graph_treewidth(&q));
+        assert_eq!(induced_width_of(&q, &order), iw);
+    }
+
+    #[test]
+    fn heuristic_orders_bound_below_by_exact() {
+        let (q, _) = triangle_free_pair();
+        let exact = induced_width_exact(&q).0;
+        let mut rng = StdRng::seed_from_u64(3);
+        for h in [
+            OrderHeuristic::Mcs,
+            OrderHeuristic::MinDegree,
+            OrderHeuristic::MinFill,
+        ] {
+            assert!(heuristic_induced_width(&q, h, &mut rng) >= exact);
+        }
+    }
+
+    #[test]
+    fn free_variables_affect_the_join_graph() {
+        // Two free endpoints of a path add a clique edge, raising
+        // treewidth from 1 to... still small but > path alone.
+        use ppr_query::{Atom, Vars};
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", 3);
+        let free_ends = ConjunctiveQuery::new(
+            vec![
+                Atom::new("edge", vec![v[0], v[1]]),
+                Atom::new("edge", vec![v[1], v[2]]),
+            ],
+            vec![v[0], v[2]],
+            vars.clone(),
+            false,
+        );
+        // Path of 3 vertices plus the chord (v0, v2) = triangle → tw 2.
+        assert_eq!(join_graph_treewidth(&free_ends), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Acyclic queries: GYO reduction and Yannakakis evaluation.
+//!
+//! The paper's structural program began with acyclic joins ([35]): for an
+//! acyclic query a project-join order exists whose intermediate results
+//! stay linear in the database size. The classic algorithm is Yannakakis':
+//! build a join tree by GYO reduction, make the relations pairwise
+//! consistent with two semijoin sweeps (a *full reducer*), then join
+//! bottom-up, projecting early. The paper sidelines semijoins because its
+//! 3-COLOR `edge` relation projects to the full domain; this module
+//! implements them anyway — they are exactly the "further idea worth
+//! exploring" of §7.
+
+use rustc_hash::FxHashSet;
+
+use ppr_query::{ConjunctiveQuery, Database};
+use ppr_relalg::{ops, AttrId, Relation};
+
+/// A join tree over the query's atoms: `parent[j]` is the parent atom of
+/// atom `j` (`None` for the root).
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// Parent atom index per atom.
+    pub parent: Vec<Option<usize>>,
+    /// Root atom index.
+    pub root: usize,
+}
+
+/// GYO reduction. Returns the join tree when the query('s hypergraph) is
+/// acyclic, `None` otherwise.
+///
+/// An *ear* is an atom whose variables are either private to it or all
+/// contained in a single other atom (its *witness*). Repeatedly removing
+/// ears reduces an acyclic hypergraph to a single edge.
+pub fn gyo_join_tree(query: &ConjunctiveQuery) -> Option<JoinTree> {
+    let m = query.num_atoms();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut parent: Vec<Option<usize>> = vec![None; m];
+    let mut removed = 0usize;
+    loop {
+        if removed == m - 1 {
+            let root = (0..m).find(|&j| alive[j]).expect("one atom remains");
+            return Some(JoinTree { parent, root });
+        }
+        let mut progress = false;
+        'ears: for e in 0..m {
+            if !alive[e] {
+                continue;
+            }
+            // Variables of e shared with other alive atoms.
+            let shared: Vec<AttrId> = query.atoms[e]
+                .vars()
+                .into_iter()
+                .filter(|&v| {
+                    (0..m).any(|f| f != e && alive[f] && query.atoms[f].mentions(v))
+                })
+                .collect();
+            for f in 0..m {
+                if f == e || !alive[f] {
+                    continue;
+                }
+                if shared.iter().all(|&v| query.atoms[f].mentions(v)) {
+                    alive[e] = false;
+                    parent[e] = Some(f);
+                    removed += 1;
+                    progress = true;
+                    break 'ears;
+                }
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+}
+
+/// Whether the query's hypergraph is acyclic (GYO-reducible).
+pub fn is_acyclic(query: &ConjunctiveQuery) -> bool {
+    gyo_join_tree(query).is_some()
+}
+
+/// Evaluates an acyclic query with Yannakakis' algorithm: full reducer
+/// (leaf-to-root and root-to-leaf semijoins), then a bottom-up join with
+/// early projection onto `free ∪ connecting variables`. Returns `None` for
+/// cyclic queries.
+pub fn yannakakis(query: &ConjunctiveQuery, db: &Database) -> Option<Relation> {
+    let tree = gyo_join_tree(query)?;
+    let m = query.num_atoms();
+    // Materialize each atom (bind base columns to variables).
+    let mut rels: Vec<Relation> = query
+        .atoms
+        .iter()
+        .map(|a| ops::bind(&db.expect(&a.relation), &a.args))
+        .collect();
+
+    // Children lists and a bottom-up order (children before parents).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (j, p) in tree.parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(j);
+        }
+    }
+    let mut order = Vec::with_capacity(m);
+    let mut stack = vec![tree.root];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &c in &children[v] {
+            stack.push(c);
+        }
+    }
+    order.reverse(); // children first
+
+    // Upward semijoin sweep: parent ⋉ child.
+    for &j in &order {
+        if let Some(p) = tree.parent[j] {
+            rels[p] = ops::semijoin(&rels[p], &rels[j]);
+        }
+    }
+    // Downward sweep: child ⋉ parent (root-to-leaf order).
+    for &j in order.iter().rev() {
+        if let Some(p) = tree.parent[j] {
+            rels[j] = ops::semijoin(&rels[j], &rels[p]);
+        }
+    }
+
+    // Bottom-up join with early projection: each node joins its children's
+    // results and keeps free variables plus variables shared with the
+    // remainder of the tree.
+    let free: FxHashSet<AttrId> = query.free.iter().copied().collect();
+    // Subtree variable sets.
+    let mut sub_vars: Vec<FxHashSet<AttrId>> = vec![FxHashSet::default(); m];
+    for &j in &order {
+        let mut s: FxHashSet<AttrId> = query.atoms[j].vars().into_iter().collect();
+        for &c in &children[j] {
+            let child = sub_vars[c].clone();
+            s.extend(child);
+        }
+        sub_vars[j] = s;
+    }
+    let mut results: Vec<Option<Relation>> = rels.into_iter().map(Some).collect();
+    for &j in &order {
+        let mut acc = results[j].take().expect("present");
+        for &c in &children[j] {
+            let child = results[c].take().expect("children processed first");
+            acc = ops::natural_join(&acc, &child);
+        }
+        // Keep: free vars in the subtree + vars occurring outside it.
+        let keep: Vec<AttrId> = acc
+            .schema()
+            .attrs()
+            .iter()
+            .copied()
+            .filter(|&v| {
+                free.contains(&v)
+                    || (0..m).any(|f| {
+                        tree_outside(&sub_vars, &tree, j, f)
+                            && query.atoms[f].mentions(v)
+                    })
+            })
+            .collect();
+        acc = ops::project_distinct(&acc, &keep);
+        results[j] = Some(acc);
+    }
+    let root_rel = results[tree.root].take().expect("root computed");
+    Some(ops::project_distinct(&root_rel, &query.free))
+}
+
+/// Whether atom `f` lies outside the subtree rooted at `j`.
+fn tree_outside(_sub: &[FxHashSet<AttrId>], tree: &JoinTree, j: usize, f: usize) -> bool {
+    // Walk up from f; if we hit j the atom is inside j's subtree.
+    let mut cur = f;
+    loop {
+        if cur == j {
+            return false;
+        }
+        match tree.parent[cur] {
+            Some(p) => cur = p,
+            None => return true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::straightforward;
+    use crate::methods::test_support::{pentagon, triangle_free_pair};
+    use ppr_query::{Atom, Vars};
+    use ppr_relalg::{exec, Budget};
+    use ppr_workload::edge_relation;
+
+    fn path_query(n: usize) -> (ConjunctiveQuery, Database) {
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", n);
+        let atoms = (1..n)
+            .map(|i| Atom::new("edge", vec![v[i - 1], v[i]]))
+            .collect();
+        let q = ConjunctiveQuery::new(atoms, vec![v[0]], vars, true);
+        let mut db = Database::new();
+        db.add(edge_relation(3));
+        (q, db)
+    }
+
+    #[test]
+    fn paths_are_acyclic() {
+        let (q, _) = path_query(6);
+        assert!(is_acyclic(&q));
+    }
+
+    #[test]
+    fn cycles_are_cyclic() {
+        let (q, _) = pentagon();
+        assert!(!is_acyclic(&q));
+        assert!(yannakakis(&q, &Database::new()).is_none());
+    }
+
+    #[test]
+    fn triangle_is_cyclic_as_graph_query() {
+        let (q, _) = triangle_free_pair();
+        // Three binary atoms forming a triangle: GYO cannot reduce.
+        assert!(!is_acyclic(&q));
+    }
+
+    #[test]
+    fn join_tree_covers_all_atoms() {
+        let (q, _) = path_query(5);
+        let tree = gyo_join_tree(&q).unwrap();
+        assert_eq!(tree.parent.iter().filter(|p| p.is_none()).count(), 1);
+        assert_eq!(tree.parent.len(), 4);
+    }
+
+    #[test]
+    fn yannakakis_matches_straightforward_on_paths() {
+        let (q, db) = path_query(7);
+        let yk = yannakakis(&q, &db).unwrap();
+        let (sf, _) = exec::execute(&straightforward::plan(&q, &db), &Budget::unlimited()).unwrap();
+        assert!(yk.set_eq(&sf));
+    }
+
+    #[test]
+    fn yannakakis_on_star_with_free_center() {
+        let mut vars = Vars::new();
+        let c = vars.intern("c");
+        let leaves: Vec<_> = (0..4).map(|i| vars.intern(&format!("l{i}"))).collect();
+        let atoms = leaves
+            .iter()
+            .map(|&l| Atom::new("edge", vec![c, l]))
+            .collect();
+        let q = ConjunctiveQuery::new(atoms, vec![c], vars, false);
+        let mut db = Database::new();
+        db.add(edge_relation(3));
+        let yk = yannakakis(&q, &db).unwrap();
+        assert_eq!(yk.len(), 3);
+    }
+
+    #[test]
+    fn semijoin_reduction_prunes_dangling_tuples() {
+        // 2-coloring a path: edge relation over 2 colors. With semijoins,
+        // every intermediate stays within the reduced relations.
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", 3);
+        let q = ConjunctiveQuery::new(
+            vec![
+                Atom::new("edge", vec![v[0], v[1]]),
+                Atom::new("edge", vec![v[1], v[2]]),
+            ],
+            vec![v[0]],
+            vars,
+            true,
+        );
+        let mut db = Database::new();
+        db.add(edge_relation(2));
+        let yk = yannakakis(&q, &db).unwrap();
+        assert_eq!(yk.len(), 2); // both colors possible for v0
+    }
+}

@@ -1,0 +1,132 @@
+//! Chordality testing (Tarjan & Yannakakis [31]).
+//!
+//! A graph is chordal iff it has a *perfect elimination order* — one whose
+//! elimination adds no fill edges — and MCS run on a chordal graph always
+//! produces one (eliminating in reverse MCS order). Chordal graphs are
+//! exactly the graphs whose treewidth is witnessed without fill, which
+//! makes this a useful oracle in the theorem tests.
+
+use rustc_hash::FxHashSet;
+
+use crate::graph::Graph;
+use crate::ordering::{mcs_order, EliminationOrder};
+
+/// Whether `order` is a perfect elimination order: each vertex's live
+/// neighborhood at elimination time is already a clique.
+pub fn is_perfect_elimination_order(graph: &Graph, order: &EliminationOrder) -> bool {
+    let mut eliminated = vec![false; graph.order()];
+    for v in order.elimination_sequence() {
+        let live: Vec<usize> = graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| !eliminated[w])
+            .collect();
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if !graph.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        eliminated[v] = true;
+    }
+    true
+}
+
+/// Chordality via MCS: run MCS (deterministic tie-breaking) and check the
+/// resulting order is perfect. Correct by Tarjan–Yannakakis regardless of
+/// tie-breaking.
+pub fn is_chordal(graph: &Graph) -> bool {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    let order = mcs_order(graph, &[], &mut rng);
+    is_perfect_elimination_order(graph, &order)
+}
+
+/// The fill edges added when eliminating along `order` (empty iff the
+/// order is perfect).
+pub fn fill_edges(graph: &Graph, order: &EliminationOrder) -> Vec<(usize, usize)> {
+    let mut adj: Vec<FxHashSet<usize>> = (0..graph.order())
+        .map(|v| graph.neighbors(v).clone())
+        .collect();
+    let mut eliminated = vec![false; graph.order()];
+    let mut fill = Vec::new();
+    for v in order.elimination_sequence() {
+        let live: Vec<usize> = adj[v].iter().copied().filter(|&w| !eliminated[w]).collect();
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if !adj[a].contains(&b) {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                    fill.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        eliminated[v] = true;
+    }
+    fill
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn trees_are_chordal() {
+        assert!(is_chordal(&families::path(6)));
+        assert!(is_chordal(&families::star(4)));
+        assert!(is_chordal(&families::augmented_path(4)));
+    }
+
+    #[test]
+    fn complete_graphs_are_chordal() {
+        assert!(is_chordal(&families::complete(5)));
+    }
+
+    #[test]
+    fn long_cycles_are_not_chordal() {
+        assert!(!is_chordal(&families::cycle(4)));
+        assert!(!is_chordal(&families::cycle(6)));
+    }
+
+    #[test]
+    fn triangle_is_chordal() {
+        assert!(is_chordal(&families::cycle(3)));
+    }
+
+    #[test]
+    fn ladders_are_not_chordal() {
+        assert!(!is_chordal(&families::ladder(3)));
+    }
+
+    #[test]
+    fn perfect_order_on_path() {
+        let g = families::path(4);
+        let o = EliminationOrder::new(vec![0, 1, 2, 3]);
+        assert!(is_perfect_elimination_order(&g, &o));
+        assert!(fill_edges(&g, &o).is_empty());
+    }
+
+    #[test]
+    fn imperfect_order_has_fill() {
+        let g = families::path(3);
+        let o = EliminationOrder::new(vec![0, 2, 1]); // middle first
+        assert!(!is_perfect_elimination_order(&g, &o));
+        assert_eq!(fill_edges(&g, &o), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn fill_makes_graph_chordal() {
+        let g = families::cycle(6);
+        let o = EliminationOrder::new((0..6).collect());
+        let fill = fill_edges(&g, &o);
+        let mut filled = g.clone();
+        for (u, v) in fill {
+            filled.add_edge(u, v);
+        }
+        assert!(is_chordal(&filled));
+    }
+}

@@ -1,0 +1,318 @@
+//! Tree decompositions.
+//!
+//! A tree decomposition of `G = (V, E)` is a tree whose nodes carry bags
+//! `X_i ⊆ V` such that (1) every vertex appears in some bag, (2) every edge
+//! is contained in some bag, and (3) the bags containing any fixed vertex
+//! form a connected subtree. Width = max bag size − 1; treewidth = minimum
+//! width over decompositions (paper §5).
+
+use rustc_hash::FxHashSet;
+
+use crate::graph::Graph;
+use crate::ordering::EliminationOrder;
+
+/// A tree decomposition: bags plus tree edges over bag indices.
+#[derive(Debug, Clone)]
+pub struct TreeDecomposition {
+    bags: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from bags and tree edges; bags are sorted and
+    /// de-duplicated internally. Panics if the edges do not form a tree
+    /// over `bags.len()` nodes (a single bag with no edges is a tree).
+    pub fn new(mut bags: Vec<Vec<usize>>, edges: Vec<(usize, usize)>) -> Self {
+        for bag in &mut bags {
+            bag.sort_unstable();
+            bag.dedup();
+        }
+        let td = TreeDecomposition { bags, edges };
+        assert!(td.is_tree(), "decomposition edges must form a tree");
+        td
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[Vec<usize>] {
+        &self.bags
+    }
+
+    /// Tree edges over bag indices.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Width: `max |X_i| − 1`. An empty decomposition has width 0 by
+    /// convention (it only decomposes the empty graph).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    fn is_tree(&self) -> bool {
+        let n = self.bags.len();
+        if n == 0 {
+            return self.edges.is_empty();
+        }
+        if self.edges.len() != n - 1 {
+            return false;
+        }
+        // Connectivity check via DFS.
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                return false;
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Checks the three tree-decomposition properties against `graph`.
+    /// Returns a description of the first violation, or `Ok(())`.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        // (1) vertex coverage.
+        let mut covered = vec![false; graph.order()];
+        for bag in &self.bags {
+            for &v in bag {
+                if v >= graph.order() {
+                    return Err(format!("bag vertex {v} out of range"));
+                }
+                covered[v] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            if graph.order() > 0 {
+                return Err(format!("vertex {v} appears in no bag"));
+            }
+        }
+        // (2) edge coverage.
+        for &(u, v) in graph.edges() {
+            let ok = self
+                .bags
+                .iter()
+                .any(|bag| bag.binary_search(&u).is_ok() && bag.binary_search(&v).is_ok());
+            if !ok {
+                return Err(format!("edge ({u}, {v}) contained in no bag"));
+            }
+        }
+        // (3) connectedness of each vertex's occurrence set.
+        let n = self.bags.len();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for v in 0..graph.order() {
+            let holds: Vec<usize> = (0..n)
+                .filter(|&i| self.bags[i].binary_search(&v).is_ok())
+                .collect();
+            if holds.is_empty() {
+                continue;
+            }
+            let hold_set: FxHashSet<usize> = holds.iter().copied().collect();
+            let mut seen = FxHashSet::default();
+            let mut stack = vec![holds[0]];
+            seen.insert(holds[0]);
+            while let Some(i) = stack.pop() {
+                for &j in &adj[i] {
+                    if hold_set.contains(&j) && seen.insert(j) {
+                        stack.push(j);
+                    }
+                }
+            }
+            if seen.len() != holds.len() {
+                return Err(format!("bags containing vertex {v} are not connected"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a tree decomposition from an elimination order (the standard
+    /// fill-in construction): eliminating `v` creates the bag `{v} ∪
+    /// live-neighbors(v)`, connected to the bag of the first live neighbor
+    /// eliminated later. The width of the result equals the induced width
+    /// of the order.
+    pub fn from_elimination_order(graph: &Graph, order: &EliminationOrder) -> TreeDecomposition {
+        let n = graph.order();
+        assert_eq!(order.len(), n);
+        if n == 0 {
+            return TreeDecomposition::new(vec![], vec![]);
+        }
+        let pos = order.positions();
+        let mut adj: Vec<FxHashSet<usize>> = (0..n).map(|v| graph.neighbors(v).clone()).collect();
+        let mut eliminated = vec![false; n];
+        // bag_of[v]: index of the bag created when v was eliminated.
+        let mut bag_of = vec![usize::MAX; n];
+        let mut bags: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for v in order.elimination_sequence() {
+            let live: Vec<usize> = adj[v].iter().copied().filter(|&w| !eliminated[w]).collect();
+            let mut bag = live.clone();
+            bag.push(v);
+            let idx = bags.len();
+            bag_of[v] = idx;
+            bags.push(bag);
+            // Connect to the bag of the live neighbor that is eliminated
+            // soonest (largest position). Its bag does not exist yet, so
+            // record a pending edge keyed by that neighbor.
+            if let Some(&parent) = live.iter().max_by_key(|&&w| pos[w]) {
+                edges.push((idx, parent)); // second component patched below
+                let _ = parent;
+            }
+            for (i, &a) in live.iter().enumerate() {
+                for &b in &live[i + 1..] {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+            eliminated[v] = true;
+        }
+        // Patch pending edges: (bag, neighbor-vertex) → (bag, neighbor's bag).
+        let mut edges = edges
+            .into_iter()
+            .map(|(i, v)| (i, bag_of[v]))
+            .collect::<Vec<_>>();
+        // A disconnected graph yields one subtree per component; chain the
+        // component roots together. Bags of different components share no
+        // vertices, so the extra edges cannot break the connectedness
+        // property.
+        let mut adj = vec![Vec::new(); bags.len()];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; bags.len()];
+        let mut roots = Vec::new();
+        for start in 0..bags.len() {
+            if seen[start] {
+                continue;
+            }
+            roots.push(start);
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        for pair in roots.windows(2) {
+            edges.push((pair[0], pair[1]));
+        }
+        TreeDecomposition::new(bags, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::ordering::{induced_width, mcs_order};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_decomposition_from_order() {
+        let g = families::path(5);
+        let o = EliminationOrder::new((0..5).collect());
+        let td = TreeDecomposition::from_elimination_order(&g, &o);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+        assert_eq!(td.width(), induced_width(&g, &o));
+    }
+
+    #[test]
+    fn complete_graph_decomposition() {
+        let g = families::complete(4);
+        let o = EliminationOrder::new((0..4).collect());
+        let td = TreeDecomposition::from_elimination_order(&g, &o);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 3);
+    }
+
+    #[test]
+    fn cycle_decomposition_width_two() {
+        let g = families::cycle(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let o = mcs_order(&g, &[], &mut rng);
+        let td = TreeDecomposition::from_elimination_order(&g, &o);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn width_matches_induced_width_on_random_orders() {
+        let g = families::grid(3, 3);
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let o = mcs_order(&g, &[], &mut rng);
+            let td = TreeDecomposition::from_elimination_order(&g, &o);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), induced_width(&g, &o));
+        }
+    }
+
+    #[test]
+    fn validate_catches_missing_edge() {
+        let g = families::path(3); // edges (0,1), (1,2)
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![2]], vec![(0, 1)]);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("edge"));
+    }
+
+    #[test]
+    fn validate_catches_missing_vertex() {
+        let g = families::path(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1]], vec![]);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("vertex 2"));
+    }
+
+    #[test]
+    fn validate_catches_disconnected_occurrence() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        // Vertex 0 appears in bags 0 and 2, which are joined only through
+        // bag 1 that lacks it.
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![(0, 1), (1, 2)],
+        );
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("not connected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tree")]
+    fn non_tree_edges_rejected() {
+        TreeDecomposition::new(vec![vec![0], vec![1], vec![2]], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_graph_empty_decomposition() {
+        let g = Graph::new(0);
+        let td = TreeDecomposition::new(vec![], vec![]);
+        td.validate(&g).unwrap();
+    }
+}

@@ -1,0 +1,237 @@
+//! The structured graph families of Figure 1, plus standard graphs used in
+//! tests.
+//!
+//! All family constructors take the paper's *order* parameter `n` (path
+//! length / number of rungs) and lay vertices out deterministically, so the
+//! "straightforward" method sees the natural listing order the paper
+//! describes as working well for augmented paths.
+
+use crate::graph::Graph;
+
+/// A path with `n` vertices (`n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A cycle with `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The complete graph on `n` vertices. `complete(4)` is the smallest
+/// non-3-colorable instance and appears throughout the tests.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A star: vertex 0 joined to `n` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n + 1);
+    for leaf in 1..=n {
+        g.add_edge(0, leaf);
+    }
+    g
+}
+
+/// An `r × c` grid graph (treewidth `min(r, c)`).
+pub fn grid(r: usize, c: usize) -> Graph {
+    let mut g = Graph::new(r * c);
+    let id = |i: usize, j: usize| i * c + j;
+    for i in 0..r {
+        for j in 0..c {
+            if j + 1 < c {
+                g.add_edge(id(i, j), id(i, j + 1));
+            }
+            if i + 1 < r {
+                g.add_edge(id(i, j), id(i + 1, j));
+            }
+        }
+    }
+    g
+}
+
+/// Figure 1a: an **augmented path** — a path on `n` vertices where each
+/// path vertex has a dangling (pendant) edge. Vertices `0..n` form the
+/// path; vertex `n + i` dangles from path vertex `i`. Order `2n`, size
+/// `2n − 1`. Treewidth 1 (it is a tree).
+///
+/// ```
+/// let g = ppr_graph::families::augmented_path(4);
+/// assert_eq!(g.order(), 8);
+/// assert_eq!(g.size(), 7);
+/// assert_eq!(ppr_graph::treewidth::treewidth_exact(&g), 1);
+/// ```
+pub fn augmented_path(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(2 * n);
+    // Interleave pendants with path edges: this is the "natural order" of
+    // the instance (paper §6: early projection is competitive on
+    // augmented paths *because* the listing order works well — each path
+    // vertex's pendant arrives before the walk moves on, so the vertex
+    // dies immediately).
+    g.add_edge(0, n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+        g.add_edge(i, n + i);
+    }
+    g
+}
+
+/// Figure 1b: a **ladder** with `n` rungs. Vertices `2i` / `2i + 1` are the
+/// left/right endpoints of rung `i`; rails connect consecutive rungs. Order
+/// `2n`, size `3n − 2`. Treewidth 2 for `n ≥ 2`.
+pub fn ladder(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(2 * n);
+    for i in 0..n {
+        g.add_edge(2 * i, 2 * i + 1);
+        if i + 1 < n {
+            g.add_edge(2 * i, 2 * (i + 1));
+            g.add_edge(2 * i + 1, 2 * (i + 1) + 1);
+        }
+    }
+    g
+}
+
+/// Figure 1c: an **augmented ladder** — a ladder where every vertex gains a
+/// dangling edge. Ladder vertices are `0..2n` as in [`ladder`]; vertex
+/// `2n + v` dangles from ladder vertex `v`. Order `4n`, size `5n − 2`.
+pub fn augmented_ladder(n: usize) -> Graph {
+    let mut g = Graph::new(4 * n);
+    // Natural listing order: per rung, the rung edge, both pendants, then
+    // the rails onward — so a rung's vertices die as soon as the next
+    // rung is connected.
+    for i in 0..n {
+        g.add_edge(2 * i, 2 * i + 1);
+        g.add_edge(2 * i, 2 * n + 2 * i);
+        g.add_edge(2 * i + 1, 2 * n + 2 * i + 1);
+        if i + 1 < n {
+            g.add_edge(2 * i, 2 * (i + 1));
+            g.add_edge(2 * i + 1, 2 * (i + 1) + 1);
+        }
+    }
+    g
+}
+
+/// Figure 1d: an **augmented circular ladder** — an augmented ladder whose
+/// first and last rungs are joined rail-to-rail, closing the ladder into a
+/// cylinder. Order `4n`, size `5n` for `n ≥ 3`.
+pub fn augmented_circular_ladder(n: usize) -> Graph {
+    assert!(n >= 3, "a circular ladder needs at least 3 rungs");
+    let mut g = augmented_ladder(n);
+    g.add_edge(0, 2 * (n - 1));
+    g.add_edge(1, 2 * (n - 1) + 1);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.order(), 4);
+        assert_eq!(g.size(), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.size(), 5);
+        assert!(g.edges().iter().all(|&(u, v)| u != v));
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.size(), 6);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.order(), 6);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.order(), 12);
+        assert_eq!(g.size(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn augmented_path_shape() {
+        let g = augmented_path(5);
+        assert_eq!(g.order(), 10);
+        assert_eq!(g.size(), 9);
+        assert!(g.is_connected());
+        // Pendants have degree 1.
+        for i in 5..10 {
+            assert_eq!(g.degree(i), 1);
+        }
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let g = ladder(4);
+        assert_eq!(g.order(), 8);
+        assert_eq!(g.size(), 10); // 3n - 2
+        assert!(g.is_connected());
+        // Corner vertices have degree 2, inner rung endpoints 3.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn augmented_ladder_shape() {
+        let g = augmented_ladder(4);
+        assert_eq!(g.order(), 16);
+        assert_eq!(g.size(), 18); // 5n - 2
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn augmented_circular_ladder_shape() {
+        let g = augmented_circular_ladder(4);
+        assert_eq!(g.order(), 16);
+        assert_eq!(g.size(), 20); // 5n
+        assert!(g.is_connected());
+        // Every ladder vertex now has degree 4 (two rails or rail+wrap, one
+        // rung, one pendant).
+        for v in 0..8 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn single_rung_ladder() {
+        let g = ladder(1);
+        assert_eq!(g.order(), 2);
+        assert_eq!(g.size(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Simple undirected graphs.
+
+use std::fmt;
+
+use rustc_hash::FxHashSet;
+
+/// A simple undirected graph over vertices `0..n`.
+///
+/// Vertices are dense indices so they double as variable numbers in the
+/// query encodings; adjacency is kept both as an edge list (generation
+/// order matters to the paper's "straightforward" method, which joins atoms
+/// in listing order) and as per-vertex sets (for the orderings and
+/// decompositions).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<FxHashSet<usize>>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![FxHashSet::default(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices (the paper's *order*).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge/vertex ratio (the paper's *density*).
+    pub fn density(&self) -> f64 {
+        self.size() as f64 / self.order() as f64
+    }
+
+    /// Adds edge `(u, v)`. Returns `false` (and changes nothing) for loops
+    /// and already-present edges, keeping the graph simple.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(
+            u < self.order() && v < self.order(),
+            "vertex out of range: ({u}, {v}) in graph of order {}",
+            self.order()
+        );
+        if u == v || self.adj[u].contains(&v) {
+            return false;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        self.edges.push((u, v));
+        true
+    }
+
+    /// Whether `(u, v)` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// The neighbor set of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &FxHashSet<usize> {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Builds a graph from an edge list; the order is the largest endpoint
+    /// plus one, or `min_order` if larger.
+    pub fn from_edges(min_order: usize, edges: &[(usize, usize)]) -> Self {
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_order);
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Connected components as sorted vertex lists.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.order();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &w in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        comp.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// True when the graph has one component (or no vertices).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Maximum number of edges of a simple graph of this order.
+    pub fn max_size(order: usize) -> usize {
+        order * order.saturating_sub(1) / 2
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(order={}, size={}, edges={:?})",
+            self.order(),
+            self.size(),
+            self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_rejects_loops_and_duplicates() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0)); // same edge, other direction
+        assert!(!g.add_edge(2, 2)); // loop
+        assert_eq!(g.size(), 1);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = Graph::from_edges(0, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.neighbors(1).contains(&2));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn density() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert!((g.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2, 3]);
+        assert_eq!(comps[2], vec![4]);
+        assert!(!g.is_connected());
+        let h = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn from_edges_sizes_order() {
+        let g = Graph::from_edges(0, &[(0, 5)]);
+        assert_eq!(g.order(), 6);
+        let g = Graph::from_edges(10, &[(0, 5)]);
+        assert_eq!(g.order(), 10);
+    }
+
+    #[test]
+    fn max_size() {
+        assert_eq!(Graph::max_size(5), 10);
+        assert_eq!(Graph::max_size(0), 0);
+        assert_eq!(Graph::max_size(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_checks_range() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+}

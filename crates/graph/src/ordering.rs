@@ -1,0 +1,326 @@
+//! Elimination orderings and induced width.
+//!
+//! Bucket elimination (paper §5) is driven by a *variable order*
+//! `x_1, …, x_n`: buckets are processed from `x_n` down to `x_1`, so the
+//! vertex in the **last** position is eliminated first. The *induced width*
+//! of an order is the maximum, over eliminated vertices, of the number of
+//! not-yet-eliminated neighbors at elimination time (eliminating a vertex
+//! connects those neighbors into a clique). Theorem 2: the minimum induced
+//! width over all orders is the treewidth.
+//!
+//! Finding the optimal order is NP-hard, so the paper uses the
+//! maximum-cardinality search (MCS) order of Tarjan & Yannakakis with the
+//! target-schema variables placed first (eliminated last, never projected
+//! out). Min-degree and min-fill are provided for the ablation benches.
+
+use rand::Rng;
+use rustc_hash::FxHashSet;
+
+use crate::graph::Graph;
+
+/// A variable order `x_1, …, x_n`: `order()[i]` is vertex `x_{i+1}`.
+/// Vertices are eliminated from the last position backwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationOrder(Vec<usize>);
+
+impl EliminationOrder {
+    /// Wraps an explicit order; panics unless it is a permutation of
+    /// `0..n` for some `n`.
+    pub fn new(order: Vec<usize>) -> Self {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &v in &order {
+            assert!(v < n && !seen[v], "not a permutation of 0..{n}: {order:?}");
+            seen[v] = true;
+        }
+        EliminationOrder(order)
+    }
+
+    /// The order as a slice (`[x_1, …, x_n]`).
+    pub fn order(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty order.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Position (1-based bucket number) of each vertex: `positions()[v] =
+    /// i` iff `order()[i] = v`.
+    pub fn positions(&self) -> Vec<usize> {
+        let mut pos = vec![0; self.0.len()];
+        for (i, &v) in self.0.iter().enumerate() {
+            pos[v] = i;
+        }
+        pos
+    }
+
+    /// Vertices in elimination sequence (last position first).
+    pub fn elimination_sequence(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().rev().copied()
+    }
+
+    /// Reverses the order.
+    pub fn reversed(&self) -> EliminationOrder {
+        EliminationOrder(self.0.iter().rev().copied().collect())
+    }
+}
+
+/// The induced width of `order` on `graph`: simulates elimination from the
+/// last position backwards, adding fill edges, and returns the maximum
+/// number of remaining neighbors any vertex had when eliminated.
+///
+/// ```
+/// use ppr_graph::{families, ordering};
+/// let g = families::cycle(5);
+/// let natural = ordering::EliminationOrder::new((0..5).collect());
+/// assert_eq!(ordering::induced_width(&g, &natural), 2); // cycle treewidth
+/// ```
+pub fn induced_width(graph: &Graph, order: &EliminationOrder) -> usize {
+    assert_eq!(order.len(), graph.order());
+    let mut adj: Vec<FxHashSet<usize>> = (0..graph.order())
+        .map(|v| graph.neighbors(v).clone())
+        .collect();
+    let mut eliminated = vec![false; graph.order()];
+    let mut width = 0;
+    for v in order.elimination_sequence() {
+        let live: Vec<usize> = adj[v].iter().copied().filter(|&w| !eliminated[w]).collect();
+        width = width.max(live.len());
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        eliminated[v] = true;
+    }
+    width
+}
+
+/// Maximum-cardinality search order (Tarjan–Yannakakis), as the paper uses
+/// it: the vertices in `initial` are numbered first (in the given
+/// sequence), then each subsequent vertex maximizes the number of edges to
+/// already-numbered vertices, ties broken uniformly at random.
+pub fn mcs_order<R: Rng + ?Sized>(graph: &Graph, initial: &[usize], rng: &mut R) -> EliminationOrder {
+    let n = graph.order();
+    let mut numbered = vec![false; n];
+    let mut weight = vec![0usize; n]; // edges to numbered vertices
+    let mut order = Vec::with_capacity(n);
+    for &v in initial {
+        assert!(v < n && !numbered[v], "bad initial vertex {v}");
+        numbered[v] = true;
+        order.push(v);
+        for &w in graph.neighbors(v) {
+            weight[w] += 1;
+        }
+    }
+    while order.len() < n {
+        let best = (0..n)
+            .filter(|&v| !numbered[v])
+            .map(|v| weight[v])
+            .max()
+            .expect("vertices remain");
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&v| !numbered[v] && weight[v] == best)
+            .collect();
+        let v = candidates[rng.random_range(0..candidates.len())];
+        numbered[v] = true;
+        order.push(v);
+        for &w in graph.neighbors(v) {
+            weight[w] += 1;
+        }
+    }
+    EliminationOrder(order)
+}
+
+/// Greedy min-degree order: repeatedly eliminates a minimum-degree vertex
+/// of the (fill-updated) graph. `keep_last` vertices (the target schema)
+/// are only eliminated after everything else, which places them at the
+/// *front* of the returned variable order.
+pub fn min_degree_order<R: Rng + ?Sized>(
+    graph: &Graph,
+    keep_last: &[usize],
+    rng: &mut R,
+) -> EliminationOrder {
+    greedy_elimination(graph, keep_last, rng, |adj, eliminated, v| {
+        adj[v].iter().filter(|&&w| !eliminated[w]).count()
+    })
+}
+
+/// Greedy min-fill order: repeatedly eliminates the vertex whose
+/// elimination adds the fewest fill edges. `keep_last` as in
+/// [`min_degree_order`].
+pub fn min_fill_order<R: Rng + ?Sized>(
+    graph: &Graph,
+    keep_last: &[usize],
+    rng: &mut R,
+) -> EliminationOrder {
+    greedy_elimination(graph, keep_last, rng, |adj, eliminated, v| {
+        let live: Vec<usize> = adj[v].iter().copied().filter(|&w| !eliminated[w]).collect();
+        let mut fill = 0usize;
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if !adj[a].contains(&b) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    })
+}
+
+/// Shared greedy-elimination scaffold: eliminates the vertex minimizing
+/// `score`, updating fill edges, deferring `keep_last` vertices to the end
+/// of the elimination (front of the order).
+fn greedy_elimination<R: Rng + ?Sized>(
+    graph: &Graph,
+    keep_last: &[usize],
+    rng: &mut R,
+    score: impl Fn(&[FxHashSet<usize>], &[bool], usize) -> usize,
+) -> EliminationOrder {
+    let n = graph.order();
+    let deferred: FxHashSet<usize> = keep_last.iter().copied().collect();
+    let mut adj: Vec<FxHashSet<usize>> = (0..n).map(|v| graph.neighbors(v).clone()).collect();
+    let mut eliminated = vec![false; n];
+    let mut rev_order = Vec::with_capacity(n);
+    for round in 0..n {
+        let defer_phase = round < n - deferred.len();
+        let pool: Vec<usize> = (0..n)
+            .filter(|&v| !eliminated[v] && (!defer_phase || !deferred.contains(&v)))
+            .collect();
+        let best = pool
+            .iter()
+            .map(|&v| score(&adj, &eliminated, v))
+            .min()
+            .expect("pool nonempty");
+        let candidates: Vec<usize> = pool
+            .into_iter()
+            .filter(|&v| score(&adj, &eliminated, v) == best)
+            .collect();
+        let v = candidates[rng.random_range(0..candidates.len())];
+        // Connect live neighbors (fill) before removing v.
+        let live: Vec<usize> = adj[v].iter().copied().filter(|&w| !eliminated[w]).collect();
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        eliminated[v] = true;
+        rev_order.push(v);
+    }
+    rev_order.reverse();
+    EliminationOrder(rev_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn order_validation() {
+        EliminationOrder::new(vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn order_rejects_duplicates() {
+        EliminationOrder::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let o = EliminationOrder::new(vec![2, 0, 1]);
+        assert_eq!(o.positions(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn induced_width_of_path_is_one() {
+        let g = families::path(6);
+        // Natural order: eliminating from the end always sees one live
+        // neighbor.
+        let o = EliminationOrder::new((0..6).collect());
+        assert_eq!(induced_width(&g, &o), 1);
+    }
+
+    #[test]
+    fn induced_width_of_bad_path_order() {
+        let g = families::path(3); // 0 - 1 - 2
+        // Eliminate the middle vertex first: sees 2 live neighbors.
+        let o = EliminationOrder::new(vec![0, 2, 1]);
+        assert_eq!(induced_width(&g, &o), 2);
+    }
+
+    #[test]
+    fn induced_width_of_complete_graph() {
+        let g = families::complete(5);
+        let o = EliminationOrder::new((0..5).collect());
+        assert_eq!(induced_width(&g, &o), 4); // any order gives n-1
+    }
+
+    #[test]
+    fn induced_width_of_cycle_is_two() {
+        let g = families::cycle(7);
+        let o = mcs_order(&g, &[], &mut rng());
+        assert_eq!(induced_width(&g, &o), 2);
+    }
+
+    #[test]
+    fn mcs_respects_initial_vertices() {
+        let g = families::path(5);
+        let o = mcs_order(&g, &[3, 1], &mut rng());
+        assert_eq!(&o.order()[..2], &[3, 1]);
+    }
+
+    #[test]
+    fn mcs_on_ladder_gives_width_two() {
+        let g = families::ladder(6);
+        let o = mcs_order(&g, &[], &mut rng());
+        assert_eq!(induced_width(&g, &o), 2);
+    }
+
+    #[test]
+    fn min_degree_on_tree_gives_width_one() {
+        let g = families::augmented_path(6);
+        let o = min_degree_order(&g, &[], &mut rng());
+        assert_eq!(induced_width(&g, &o), 1);
+    }
+
+    #[test]
+    fn min_fill_on_ladder_gives_width_two() {
+        let g = families::ladder(6);
+        let o = min_fill_order(&g, &[], &mut rng());
+        assert_eq!(induced_width(&g, &o), 2);
+    }
+
+    #[test]
+    fn keep_last_vertices_front_of_order() {
+        let g = families::ladder(4);
+        let keep = [5, 2];
+        let o = min_degree_order(&g, &keep, &mut rng());
+        let front: FxHashSet<usize> = o.order()[..2].iter().copied().collect();
+        assert_eq!(front, keep.iter().copied().collect::<FxHashSet<_>>());
+        let o = min_fill_order(&g, &keep, &mut rng());
+        let front: FxHashSet<usize> = o.order()[..2].iter().copied().collect();
+        assert_eq!(front, keep.iter().copied().collect::<FxHashSet<_>>());
+    }
+
+    #[test]
+    fn reversed_roundtrip() {
+        let o = EliminationOrder::new(vec![2, 0, 1]);
+        assert_eq!(o.reversed().reversed(), o);
+    }
+}

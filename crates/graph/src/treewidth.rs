@@ -1,0 +1,411 @@
+//! Treewidth computation.
+//!
+//! Finding treewidth is NP-hard (Arnborg–Corneil–Proskurowski), which is
+//! exactly why the paper falls back to the MCS heuristic. For *validating*
+//! Theorems 1 and 2 on small instances, this module provides an exact
+//! branch-and-bound over elimination orders with subset memoization
+//! (practical to ~20 vertices), alongside cheap lower/upper bounds.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::graph::Graph;
+use crate::ordering::{induced_width, min_degree_order, min_fill_order, EliminationOrder};
+
+/// Exact treewidth by branch-and-bound over elimination orders.
+///
+/// Panics if the graph has more than 64 vertices (states are bitmask-coded;
+/// the exact algorithm is for test-scale graphs only — use
+/// [`upper_bound`] for larger inputs).
+pub fn treewidth_exact(graph: &Graph) -> usize {
+    let n = graph.order();
+    assert!(n <= 64, "exact treewidth supports at most 64 vertices");
+    if n == 0 {
+        return 0;
+    }
+    let ub = upper_bound(graph);
+    let lb = lower_bound(graph);
+    if ub == lb {
+        return ub;
+    }
+    let adj = bitmask_adjacency(graph);
+    let mut memo: FxHashMap<u64, usize> = FxHashMap::default();
+    solve(0, &adj, n, &mut memo)
+}
+
+fn bitmask_adjacency(graph: &Graph) -> Vec<u64> {
+    (0..graph.order())
+        .map(|v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .fold(0u64, |acc, &w| acc | (1 << w))
+        })
+        .collect()
+}
+
+/// Minimal achievable max-degree over elimination orders of the vertices
+/// *not* in `eliminated` (the elimination-order formulation of treewidth:
+/// `tw(G) = solve(∅)`). Memoized on the eliminated set, so entries are
+/// exact and context-free.
+fn solve(eliminated: u64, base_adj: &[u64], n: usize, memo: &mut FxHashMap<u64, usize>) -> usize {
+    if eliminated.count_ones() as usize == n {
+        return 0;
+    }
+    if let Some(&w) = memo.get(&eliminated) {
+        return w;
+    }
+    let mut best = usize::MAX;
+    for v in 0..n {
+        if eliminated & (1 << v) != 0 {
+            continue;
+        }
+        let deg = live_degree(v, eliminated, base_adj);
+        // Eliminating v cannot lead to a width below deg; skip if it cannot
+        // improve on what we already have.
+        if deg >= best {
+            continue;
+        }
+        let sub = solve(eliminated | (1 << v), base_adj, n, memo);
+        best = best.min(deg.max(sub));
+    }
+    memo.insert(eliminated, best);
+    best
+}
+
+/// Degree of `v` in the elimination-closed graph: reachable live vertices
+/// through eliminated-only paths (equivalent to counting live neighbors
+/// after all fill edges from eliminating `eliminated`).
+fn live_degree(v: usize, eliminated: u64, base_adj: &[u64]) -> usize {
+    let mut visited = 1u64 << v;
+    let mut frontier = base_adj[v];
+    let mut live = 0u64;
+    while frontier != 0 {
+        let w = frontier.trailing_zeros() as usize;
+        frontier &= frontier - 1;
+        if visited & (1 << w) != 0 {
+            continue;
+        }
+        visited |= 1 << w;
+        if eliminated & (1 << w) != 0 {
+            frontier |= base_adj[w] & !visited;
+        } else {
+            live |= 1 << w;
+        }
+    }
+    live.count_ones() as usize
+}
+
+/// Heuristic upper bound: the best of min-fill and min-degree induced
+/// widths (deterministic tie-breaking via a fixed-seed RNG).
+pub fn upper_bound(graph: &Graph) -> usize {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mf = induced_width(graph, &min_fill_order(graph, &[], &mut rng));
+    let md = induced_width(graph, &min_degree_order(graph, &[], &mut rng));
+    mf.min(md)
+}
+
+/// The MMD+ (maximum minimum degree) lower bound: repeatedly remove a
+/// minimum-degree vertex; the maximum of those minimum degrees is a lower
+/// bound on treewidth.
+pub fn lower_bound(graph: &Graph) -> usize {
+    let n = graph.order();
+    let mut adj: Vec<FxHashSet<usize>> = (0..n).map(|v| graph.neighbors(v).clone()).collect();
+    let mut removed = vec![false; n];
+    let mut bound = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| adj[v].iter().filter(|&&w| !removed[w]).count())
+            .expect("vertices remain");
+        let deg = adj[v].iter().filter(|&&w| !removed[w]).count();
+        bound = bound.max(deg);
+        removed[v] = true;
+        adj[v].clear();
+    }
+    bound
+}
+
+/// Exact minimum induced width over elimination orders that eliminate the
+/// vertices of `last` **after** everything else (equivalently: `last` sits
+/// at the *front* of the returned variable order — the paper's convention
+/// for target-schema variables in bucket elimination), together with an
+/// order achieving it. For test-size graphs only.
+///
+/// When `last` is empty this is the treewidth; with a nonempty `last` the
+/// optimum is still the treewidth whenever `last` forms a clique (as the
+/// target schema does in the join graph), because some bag of an optimal
+/// decomposition contains the whole clique and can serve as the root.
+pub fn optimal_order_with_suffix(graph: &Graph, last: &[usize]) -> (usize, EliminationOrder) {
+    let n = graph.order();
+    assert!(n <= 64, "exact search supports at most 64 vertices");
+    let mut deferred: u64 = 0;
+    for &v in last {
+        assert!(v < n);
+        deferred |= 1 << v;
+    }
+    let adj = bitmask_adjacency(graph);
+    let mut memo: FxHashMap<u64, usize> = FxHashMap::default();
+    let width = solve_deferred(0, deferred, &adj, n, &mut memo);
+    // Greedy reconstruction along the memoized optimum.
+    let mut rev: Vec<usize> = Vec::with_capacity(n);
+    let mut eliminated: u64 = 0;
+    let mut current = 0usize;
+    while rev.len() < n {
+        let nondeferred_left = (!eliminated) & !deferred & mask(n);
+        let pool = if nondeferred_left != 0 {
+            nondeferred_left
+        } else {
+            (!eliminated) & deferred & mask(n)
+        };
+        let mut chosen = None;
+        let mut bits = pool;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let deg = live_degree(v, eliminated, &adj);
+            let rest = solve_deferred(eliminated | (1 << v), deferred, &adj, n, &mut memo);
+            if current.max(deg).max(rest) <= width {
+                chosen = Some((v, deg));
+                break;
+            }
+        }
+        let (v, deg) = chosen.expect("an optimal continuation exists");
+        current = current.max(deg);
+        eliminated |= 1 << v;
+        rev.push(v);
+    }
+    rev.reverse();
+    let order = EliminationOrder::new(rev);
+    debug_assert_eq!(induced_width(graph, &order), width);
+    (width, order)
+}
+
+fn mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Like [`solve`], but vertices in `deferred` may only be eliminated once
+/// every other vertex is gone. The phase is derivable from the eliminated
+/// set, so memoization stays sound.
+fn solve_deferred(
+    eliminated: u64,
+    deferred: u64,
+    base_adj: &[u64],
+    n: usize,
+    memo: &mut FxHashMap<u64, usize>,
+) -> usize {
+    if eliminated.count_ones() as usize == n {
+        return 0;
+    }
+    if let Some(&w) = memo.get(&eliminated) {
+        return w;
+    }
+    let nondeferred_left = (!eliminated) & !deferred & mask(n);
+    let pool = if nondeferred_left != 0 {
+        nondeferred_left
+    } else {
+        (!eliminated) & deferred & mask(n)
+    };
+    let mut best = usize::MAX;
+    let mut bits = pool;
+    while bits != 0 {
+        let v = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let deg = live_degree(v, eliminated, base_adj);
+        if deg >= best {
+            continue;
+        }
+        let sub = solve_deferred(eliminated | (1u64 << v), deferred, base_adj, n, memo);
+        best = best.min(deg.max(sub));
+    }
+    memo.insert(eliminated, best);
+    best
+}
+
+/// Exact treewidth together with an optimal elimination order, obtained by
+/// re-running the search greedily along the memoized optimum. For test-size
+/// graphs only.
+pub fn optimal_order(graph: &Graph) -> (usize, EliminationOrder) {
+    let tw = treewidth_exact(graph);
+    let n = graph.order();
+    // Greedy reconstruction: repeatedly pick a vertex whose elimination
+    // keeps the remainder solvable within tw.
+    let mut rev = Vec::with_capacity(n);
+    let mut eliminated_vertices: Vec<usize> = Vec::new();
+    'outer: while rev.len() < n {
+        for v in 0..n {
+            if eliminated_vertices.contains(&v) {
+                continue;
+            }
+            let mut trial = eliminated_vertices.clone();
+            trial.push(v);
+            if remainder_width(graph, &trial) <= tw {
+                eliminated_vertices.push(v);
+                rev.push(v);
+                continue 'outer;
+            }
+        }
+        unreachable!("an optimal continuation must exist");
+    }
+    rev.reverse();
+    let order = EliminationOrder::new(rev);
+    debug_assert_eq!(induced_width(graph, &order), tw);
+    (tw, order)
+}
+
+/// Width of the best completion after eliminating `prefix` (in sequence):
+/// the widths incurred by the prefix, maxed with an exact search over the
+/// remainder.
+fn remainder_width(graph: &Graph, prefix: &[usize]) -> usize {
+    let n = graph.order();
+    let adj = bitmask_adjacency(graph);
+    let mut eliminated = 0u64;
+    let mut current = 0usize;
+    for &v in prefix {
+        current = current.max(live_degree(v, eliminated, &adj));
+        eliminated |= 1 << v;
+    }
+    let mut memo = FxHashMap::default();
+    current.max(solve(eliminated, &adj, n, &mut memo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::generate::random_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_has_treewidth_one() {
+        assert_eq!(treewidth_exact(&families::path(7)), 1);
+        assert_eq!(treewidth_exact(&families::star(5)), 1);
+        assert_eq!(treewidth_exact(&families::augmented_path(5)), 1);
+    }
+
+    #[test]
+    fn cycle_has_treewidth_two() {
+        assert_eq!(treewidth_exact(&families::cycle(8)), 2);
+    }
+
+    #[test]
+    fn complete_graph_treewidth() {
+        assert_eq!(treewidth_exact(&families::complete(5)), 4);
+    }
+
+    #[test]
+    fn ladder_has_treewidth_two() {
+        assert_eq!(treewidth_exact(&families::ladder(5)), 2);
+        assert_eq!(treewidth_exact(&families::augmented_ladder(4)), 2);
+    }
+
+    #[test]
+    fn circular_ladder_has_treewidth_three() {
+        assert_eq!(treewidth_exact(&families::augmented_circular_ladder(4)), 3);
+    }
+
+    #[test]
+    fn grid_treewidth_is_min_dimension() {
+        assert_eq!(treewidth_exact(&families::grid(2, 5)), 2);
+        assert_eq!(treewidth_exact(&families::grid(3, 3)), 3);
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(treewidth_exact(&Graph::new(0)), 0);
+        assert_eq!(treewidth_exact(&Graph::new(3)), 0);
+        assert_eq!(treewidth_exact(&families::path(2)), 1);
+    }
+
+    #[test]
+    fn bounds_bracket_exact() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_graph(10, 15, &mut rng);
+            let tw = treewidth_exact(&g);
+            assert!(lower_bound(&g) <= tw, "lb violated on seed {seed}");
+            assert!(upper_bound(&g) >= tw, "ub violated on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimal_order_achieves_treewidth() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let g = random_graph(8, 12, &mut rng);
+            let (tw, order) = optimal_order(&g);
+            assert_eq!(induced_width(&g, &order), tw);
+            assert_eq!(tw, treewidth_exact(&g));
+        }
+    }
+
+    #[test]
+    fn suffix_constrained_order_places_suffix_first() {
+        let g = families::cycle(6);
+        let last = [2usize, 4];
+        let (w, order) = optimal_order_with_suffix(&g, &last);
+        assert_eq!(w, 2);
+        // Deferred vertices occupy the first positions (eliminated last).
+        let front: Vec<usize> = order.order()[..2].to_vec();
+        let mut sorted = front.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 4]);
+        assert_eq!(induced_width(&g, &order), w);
+    }
+
+    #[test]
+    fn suffix_constraint_with_clique_suffix_costs_nothing() {
+        // If the deferred set is a clique, the constrained optimum equals
+        // the treewidth (root a decomposition at the clique's bag).
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(400 + seed);
+            let mut g = random_graph(8, 12, &mut rng);
+            // Force {0,1} to be a clique (an edge).
+            g.add_edge(0, 1);
+            let tw = treewidth_exact(&g);
+            let (w, _) = optimal_order_with_suffix(&g, &[0, 1]);
+            assert_eq!(w, tw, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_suffix_matches_treewidth() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let g = random_graph(9, 13, &mut rng);
+            let (w, order) = optimal_order_with_suffix(&g, &[]);
+            assert_eq!(w, treewidth_exact(&g));
+            assert_eq!(induced_width(&g, &order), w);
+        }
+    }
+
+    #[test]
+    fn non_clique_suffix_can_cost_extra() {
+        // Deferring the two endpoints of a path to the end forces them to
+        // stay connected through fill: path 0-1-2-3-4, defer {0, 4}.
+        let g = families::path(5);
+        let (w, _) = optimal_order_with_suffix(&g, &[0, 4]);
+        assert!(w >= 1);
+        // Still bounded by the unconstrained width + |suffix|.
+        assert!(w <= treewidth_exact(&g) + 2);
+    }
+
+    #[test]
+    fn mcs_is_within_exact_on_small_random_graphs() {
+        use crate::ordering::mcs_order;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_graph(9, 14, &mut rng);
+            let tw = treewidth_exact(&g);
+            let o = mcs_order(&g, &[], &mut rng);
+            assert!(induced_width(&g, &o) >= tw);
+        }
+    }
+}

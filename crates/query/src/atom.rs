@@ -1,0 +1,77 @@
+//! Relational atoms.
+
+use ppr_relalg::AttrId;
+
+/// One atom `relation(args…)` of a conjunctive query. Repeated variables
+/// are allowed (`edge(x, x)`) and behave as an equality selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Name of the base relation this atom refers to.
+    pub relation: String,
+    /// Argument variables, in the base relation's column order.
+    pub args: Vec<AttrId>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(relation: impl Into<String>, args: Vec<AttrId>) -> Self {
+        Atom {
+            relation: relation.into(),
+            args,
+        }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<AttrId> {
+        let mut out = Vec::with_capacity(self.args.len());
+        for &a in &self.args {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Whether the atom mentions `var`.
+    pub fn mentions(&self, var: AttrId) -> bool {
+        self.args.contains(&var)
+    }
+
+    /// Variables shared with another atom.
+    pub fn shared_vars(&self, other: &Atom) -> Vec<AttrId> {
+        self.vars()
+            .into_iter()
+            .filter(|&v| other.mentions(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn vars_dedup_in_order() {
+        let atom = Atom::new("r", vec![a(2), a(1), a(2)]);
+        assert_eq!(atom.vars(), vec![a(2), a(1)]);
+        assert_eq!(atom.arity(), 3);
+    }
+
+    #[test]
+    fn mentions_and_shared() {
+        let r = Atom::new("r", vec![a(1), a(2)]);
+        let s = Atom::new("s", vec![a(2), a(3)]);
+        assert!(r.mentions(a(1)));
+        assert!(!r.mentions(a(3)));
+        assert_eq!(r.shared_vars(&s), vec![a(2)]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Canonical databases (Chandra–Merlin).
+//!
+//! The canonical database `D_Q` of a conjunctive query treats each variable
+//! as a fresh constant and each atom as a tuple. `Q' ⊆ Q` (containment)
+//! holds iff `Q'` returns a nonempty result on `D_Q` — which is why the
+//! paper points at query containment and join minimization as natural
+//! sources of "large query over tiny database" workloads (§7, third
+//! remark).
+
+use rustc_hash::FxHashMap;
+
+use ppr_relalg::{Relation, Schema, AttrId, Value};
+
+use crate::cq::{ConjunctiveQuery, Database};
+
+/// Builds the canonical database of `query`: each variable becomes the
+/// constant equal to its `AttrId`, each atom a tuple of its relation.
+/// Column attribute ids of the stored relations are synthesized (they are
+/// positional, disjoint from the query's variables).
+pub fn canonical_database(query: &ConjunctiveQuery) -> Database {
+    // Group atoms by relation name, checking consistent arity.
+    let mut arity: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut rows: FxHashMap<&str, Vec<Box<[Value]>>> = FxHashMap::default();
+    for atom in &query.atoms {
+        let prev = arity.insert(atom.relation.as_str(), atom.arity());
+        if let Some(p) = prev {
+            assert_eq!(
+                p,
+                atom.arity(),
+                "relation {} used with inconsistent arity",
+                atom.relation
+            );
+        }
+        rows.entry(atom.relation.as_str()).or_default().push(
+            atom.args
+                .iter()
+                .map(|a| a.0 as Value)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        );
+    }
+    // Synthesize column attributes well away from variable ids.
+    let base = 1_000_000u32;
+    let mut next = base;
+    let mut db = Database::new();
+    let mut names: Vec<&str> = rows.keys().copied().collect();
+    names.sort_unstable();
+    for name in names {
+        let k = arity[name];
+        let attrs: Vec<AttrId> = (0..k)
+            .map(|_| {
+                let id = AttrId(next);
+                next += 1;
+                id
+            })
+            .collect();
+        db.add(Relation::from_distinct_rows(
+            name,
+            Schema::new(attrs),
+            rows.remove(name).expect("present"),
+        ));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::vars::Vars;
+
+    #[test]
+    fn canonical_db_has_one_tuple_per_distinct_atom() {
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", 3);
+        let q = ConjunctiveQuery::new(
+            vec![
+                Atom::new("edge", vec![v[0], v[1]]),
+                Atom::new("edge", vec![v[1], v[2]]),
+                Atom::new("edge", vec![v[0], v[1]]), // duplicate atom
+            ],
+            vec![v[0]],
+            vars,
+            true,
+        );
+        let db = canonical_database(&q);
+        assert_eq!(db.expect("edge").len(), 2);
+        assert_eq!(db.expect("edge").arity(), 2);
+    }
+
+    #[test]
+    fn canonical_db_separates_relations() {
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", 2);
+        let q = ConjunctiveQuery::new(
+            vec![
+                Atom::new("r", vec![v[0], v[1]]),
+                Atom::new("s", vec![v[1]]),
+            ],
+            vec![v[0]],
+            vars,
+            true,
+        );
+        let db = canonical_database(&q);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.expect("s").arity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent arity")]
+    fn inconsistent_arity_rejected() {
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", 2);
+        let q = ConjunctiveQuery::new(
+            vec![
+                Atom::new("r", vec![v[0], v[1]]),
+                Atom::new("r", vec![v[1]]),
+            ],
+            vec![v[0]],
+            vars,
+            true,
+        );
+        canonical_database(&q);
+    }
+
+    #[test]
+    fn values_are_variable_ids() {
+        let mut vars = Vars::new();
+        let v = vars.intern_numbered("v", 2);
+        let q = ConjunctiveQuery::new(
+            vec![Atom::new("edge", vec![v[0], v[1]])],
+            vec![v[0]],
+            vars,
+            true,
+        );
+        let db = canonical_database(&q);
+        let rel = db.expect("edge");
+        assert_eq!(&*rel.tuples()[0], &[v[0].0 as Value, v[1].0 as Value]);
+    }
+}

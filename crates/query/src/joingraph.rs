@@ -1,0 +1,143 @@
+//! The join graph of a query (paper §5).
+//!
+//! Nodes are the query's attributes; each atom contributes a clique over
+//! its variables, and the target schema contributes one more clique (free
+//! variables must all be alive simultaneously in the final result, so they
+//! behave like an extra relation — this is what extends the Boolean
+//! characterization to general project-join queries in Theorem 1).
+
+use rustc_hash::FxHashMap;
+
+use ppr_graph::Graph;
+use ppr_relalg::AttrId;
+
+use crate::cq::ConjunctiveQuery;
+
+/// A query's join graph, with the attribute ↔ dense-vertex mapping.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// The graph over dense vertex ids `0..num_vars`.
+    pub graph: Graph,
+    /// `vertex_of[attr] = vertex`.
+    vertex_of: FxHashMap<AttrId, usize>,
+    /// `attr_of[vertex] = attr`.
+    attr_of: Vec<AttrId>,
+}
+
+impl JoinGraph {
+    /// Builds the join graph of `query`.
+    pub fn of(query: &ConjunctiveQuery) -> Self {
+        let vars = query.all_vars();
+        let mut vertex_of = FxHashMap::default();
+        for (i, &v) in vars.iter().enumerate() {
+            vertex_of.insert(v, i);
+        }
+        let mut graph = Graph::new(vars.len());
+        let add_clique = |graph: &mut Graph, members: &[AttrId]| {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    graph.add_edge(vertex_of[&a], vertex_of[&b]);
+                }
+            }
+        };
+        for atom in &query.atoms {
+            add_clique(&mut graph, &atom.vars());
+        }
+        add_clique(&mut graph, &query.free);
+        JoinGraph {
+            graph,
+            vertex_of,
+            attr_of: vars,
+        }
+    }
+
+    /// Dense vertex of an attribute.
+    pub fn vertex(&self, attr: AttrId) -> usize {
+        self.vertex_of[&attr]
+    }
+
+    /// Attribute of a dense vertex.
+    pub fn attr(&self, vertex: usize) -> AttrId {
+        self.attr_of[vertex]
+    }
+
+    /// All attributes, indexed by vertex.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attr_of
+    }
+
+    /// Number of attributes.
+    pub fn num_vars(&self) -> usize {
+        self.attr_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::vars::Vars;
+
+    /// Pentagon query from the paper's appendix.
+    fn pentagon() -> ConjunctiveQuery {
+        let mut vars = Vars::new();
+        let v: Vec<AttrId> = (1..=5).map(|i| vars.intern(&format!("v{i}"))).collect();
+        let e = |a: usize, b: usize| Atom::new("edge", vec![v[a - 1], v[b - 1]]);
+        ConjunctiveQuery::new(
+            vec![e(1, 2), e(1, 5), e(4, 5), e(3, 4), e(2, 3)],
+            vec![v[0]],
+            vars,
+            true,
+        )
+    }
+
+    #[test]
+    fn pentagon_join_graph_is_c5() {
+        let jg = JoinGraph::of(&pentagon());
+        assert_eq!(jg.num_vars(), 5);
+        assert_eq!(jg.graph.size(), 5);
+        for v in 0..5 {
+            assert_eq!(jg.graph.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn vertex_attr_roundtrip() {
+        let jg = JoinGraph::of(&pentagon());
+        for v in 0..jg.num_vars() {
+            assert_eq!(jg.vertex(jg.attr(v)), v);
+        }
+    }
+
+    #[test]
+    fn free_vars_form_clique() {
+        let mut vars = Vars::new();
+        let ids = vars.intern_numbered("v", 4);
+        // Two disjoint atoms, but v0 and v3 both free → edge between them.
+        let q = ConjunctiveQuery::new(
+            vec![
+                Atom::new("edge", vec![ids[0], ids[1]]),
+                Atom::new("edge", vec![ids[2], ids[3]]),
+            ],
+            vec![ids[0], ids[3]],
+            vars,
+            false,
+        );
+        let jg = JoinGraph::of(&q);
+        assert!(jg.graph.has_edge(jg.vertex(ids[0]), jg.vertex(ids[3])));
+    }
+
+    #[test]
+    fn higher_arity_atom_is_clique() {
+        let mut vars = Vars::new();
+        let ids = vars.intern_numbered("x", 3);
+        let q = ConjunctiveQuery::new(
+            vec![Atom::new("r", vec![ids[0], ids[1], ids[2]])],
+            vec![ids[0]],
+            vars,
+            true,
+        );
+        let jg = JoinGraph::of(&q);
+        assert_eq!(jg.graph.size(), 3); // triangle
+    }
+}

@@ -1,0 +1,307 @@
+//! A small textual format for conjunctive queries and relations.
+//!
+//! Queries use Datalog-ish rule syntax:
+//!
+//! ```text
+//! q(x) :- e(x, y), e(y, z), e(z, x).
+//! ```
+//!
+//! The head lists the free variables (an empty head `q() :- …` is a
+//! Boolean query — internally emulated, as in the paper, by projecting the
+//! first body variable). Relations use a braces-of-tuples syntax:
+//!
+//! ```text
+//! e = { (1, 2), (2, 3), (3, 1) }
+//! ```
+
+use ppr_relalg::{AttrId, Relation, Schema, Value};
+
+use crate::atom::Atom;
+use crate::cq::ConjunctiveQuery;
+use crate::vars::Vars;
+
+/// Parse errors with a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parses a rule like `q(x, y) :- e(x, z), e(z, y).` into a query.
+/// The trailing period is optional.
+///
+/// ```
+/// let q = ppr_query::parse_query("q(x) :- e(x, y), e(y, x).").unwrap();
+/// assert_eq!(q.num_atoms(), 2);
+/// assert_eq!(q.vars.name(q.free[0]), "x");
+/// ```
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let input = input.trim().trim_end_matches('.').trim();
+    let Some((head, body)) = input.split_once(":-") else {
+        return err("expected `head :- body`");
+    };
+    let (head_name, head_vars) = parse_atom_text(head.trim())?;
+    if head_name.is_empty() {
+        return err("head needs a name");
+    }
+    let body_atoms = split_atoms(body.trim())?;
+    if body_atoms.is_empty() {
+        return err("body needs at least one atom");
+    }
+    let mut vars = Vars::new();
+    let mut atoms = Vec::with_capacity(body_atoms.len());
+    for (name, args) in &body_atoms {
+        if args.is_empty() {
+            return err(format!("atom {name} has no arguments"));
+        }
+        let ids = args.iter().map(|a| vars.intern(a)).collect();
+        atoms.push(Atom::new(name.clone(), ids));
+    }
+    let boolean = head_vars.is_empty();
+    let free: Vec<AttrId> = if boolean {
+        // Boolean emulation: project the first body variable (paper §2).
+        vec![atoms[0].args[0]]
+    } else {
+        let mut out = Vec::with_capacity(head_vars.len());
+        for v in &head_vars {
+            match vars.get(v) {
+                Some(id) => out.push(id),
+                None => return err(format!("head variable {v} not used in body")),
+            }
+        }
+        out
+    };
+    Ok(ConjunctiveQuery::new(atoms, free, vars, boolean))
+}
+
+/// Parses `name = { (v, v, …), … }` into a relation. Column attribute ids
+/// are synthesized starting at `base_col`.
+pub fn parse_relation(input: &str, base_col: u32) -> Result<Relation, ParseError> {
+    let Some((name, body)) = input.split_once('=') else {
+        return err("expected `name = { … }`");
+    };
+    let name = name.trim();
+    if name.is_empty() {
+        return err("relation needs a name");
+    }
+    let body = body.trim();
+    if !body.starts_with('{') || !body.ends_with('}') {
+        return err("expected braces around tuples");
+    }
+    let inner = &body[1..body.len() - 1];
+    let mut rows: Vec<Box<[Value]>> = Vec::new();
+    let mut arity: Option<usize> = None;
+    for tup in split_parenthesized(inner)? {
+        let values: Result<Vec<Value>, _> = tup
+            .split(',')
+            .map(|v| v.trim().parse::<Value>())
+            .collect();
+        let values = match values {
+            Ok(v) => v,
+            Err(e) => return err(format!("bad value in ({tup}): {e}")),
+        };
+        match arity {
+            None => arity = Some(values.len()),
+            Some(k) if k != values.len() => {
+                return err(format!("tuple ({tup}) has arity {} ≠ {k}", values.len()))
+            }
+            _ => {}
+        }
+        rows.push(values.into_boxed_slice());
+    }
+    let k = arity.ok_or_else(|| ParseError("relation needs at least one tuple".into()))?;
+    let attrs: Vec<AttrId> = (0..k as u32).map(|i| AttrId(base_col + i)).collect();
+    Ok(Relation::from_distinct_rows(
+        name,
+        Schema::new(attrs),
+        rows,
+    ))
+}
+
+/// Splits `e(x, y), f(y, z)` into named atoms.
+fn split_atoms(body: &str) -> Result<Vec<(String, Vec<String>)>, ParseError> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let bytes = body.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                if depth == 0 {
+                    return err("unbalanced parentheses");
+                }
+                depth -= 1;
+            }
+            b',' if depth == 0 => {
+                out.push(parse_atom_text(body[start..i].trim())?);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return err("unbalanced parentheses");
+    }
+    let last = body[start..].trim();
+    if !last.is_empty() {
+        out.push(parse_atom_text(last)?);
+    }
+    Ok(out)
+}
+
+/// Parses `name(a, b, c)`; `name()` yields an empty argument list.
+fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), ParseError> {
+    let Some(open) = text.find('(') else {
+        return err(format!("expected `name(args)` in `{text}`"));
+    };
+    if !text.ends_with(')') {
+        return err(format!("missing `)` in `{text}`"));
+    }
+    let name = text[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return err(format!("bad relation name `{name}`"));
+    }
+    let inner = text[open + 1..text.len() - 1].trim();
+    let args = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|a| {
+                let a = a.trim();
+                if a.is_empty() || !a.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    err(format!("bad variable `{a}`"))
+                } else {
+                    Ok(a.to_string())
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok((name.to_string(), args))
+}
+
+/// Splits `(1,2), (3,4)` into the inner texts `1,2` and `3,4`.
+fn split_parenthesized(inner: &str) -> Result<Vec<String>, ParseError> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for c in inner.chars() {
+        match c {
+            '(' => {
+                if current.is_some() {
+                    return err("nested parentheses in tuple list");
+                }
+                current = Some(String::new());
+            }
+            ')' => match current.take() {
+                Some(s) => out.push(s),
+                None => return err("stray `)` in tuple list"),
+            },
+            ',' | ' ' | '\n' | '\t' if current.is_none() => {}
+            _ => match &mut current {
+                Some(s) => s.push(c),
+                None => return err(format!("unexpected `{c}` between tuples")),
+            },
+        }
+    }
+    if current.is_some() {
+        return err("unterminated tuple");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_query() {
+        let q = parse_query("q(x) :- e(x, y), e(y, z).").unwrap();
+        assert_eq!(q.num_atoms(), 2);
+        assert!(!q.is_boolean());
+        assert_eq!(q.free.len(), 1);
+        assert_eq!(q.vars.name(q.free[0]), "x");
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_query("q() :- e(x, y)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.vars.name(q.free[0]), "x"); // emulation variable
+    }
+
+    #[test]
+    fn parses_multi_head() {
+        let q = parse_query("q(x, z) :- e(x, y), e(y, z)").unwrap();
+        assert_eq!(q.free.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unused_head_variable() {
+        let e = parse_query("q(w) :- e(x, y)").unwrap_err();
+        assert!(e.0.contains("head variable w"));
+    }
+
+    #[test]
+    fn rejects_missing_turnstile() {
+        assert!(parse_query("q(x) e(x, y)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_atoms() {
+        assert!(parse_query("q(x) :- e(x, y").is_err());
+        assert!(parse_query("q(x) :- (x, y)").is_err());
+        assert!(parse_query("q(x) :- e()").is_err());
+    }
+
+    #[test]
+    fn repeated_variables_allowed() {
+        let q = parse_query("q(x) :- e(x, x)").unwrap();
+        assert_eq!(q.atoms[0].args[0], q.atoms[0].args[1]);
+    }
+
+    #[test]
+    fn parses_relation() {
+        let r = parse_relation("e = { (1, 2), (2, 1) }", 100).unwrap();
+        assert_eq!(r.name(), "e");
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn relation_rejects_mixed_arity() {
+        let e = parse_relation("e = { (1, 2), (3) }", 100).unwrap_err();
+        assert!(e.0.contains("arity"));
+    }
+
+    #[test]
+    fn relation_rejects_bad_values() {
+        assert!(parse_relation("e = { (a, b) }", 100).is_err());
+        assert!(parse_relation("e = (1, 2)", 100).is_err());
+        assert!(parse_relation("= { (1) }", 100).is_err());
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        use crate::cq::Database;
+        use ppr_relalg::{exec, Budget, Plan};
+        let q = parse_query("q(x) :- e(x, y), e(y, x)").unwrap();
+        let mut db = Database::new();
+        db.add(parse_relation("e = { (1, 2), (2, 1), (1, 3) }", 100).unwrap());
+        // Straight join plan by hand (core's methods live a crate above).
+        let mut plan = Plan::scan(db.expect("e"), q.atoms[0].args.clone());
+        plan = plan.join(Plan::scan(db.expect("e"), q.atoms[1].args.clone()));
+        let plan = plan.project(q.free.clone());
+        let (rel, _) = exec::execute(&plan, &Budget::unlimited()).unwrap();
+        assert_eq!(rel.len(), 2); // x ∈ {1, 2}
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution budgets.
+//!
+//! The paper's hardest configurations make the weaker methods run for hours
+//! or "time out"; a reproduction must bound those runs without distorting
+//! the measurements of runs that finish. A [`Budget`] caps (a) the number of
+//! tuples that flow through join stages, (b) the size of any single
+//! materialized intermediate, and (c) wall-clock time. Checks are counter
+//! comparisons on the per-tuple path and a coarse-grained clock check, so
+//! budgets add no measurable overhead.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which budget dimension was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Total tuples flowed through join stages.
+    Tuples,
+    /// Rows in a single materialized intermediate relation.
+    Materialized,
+    /// Wall-clock deadline.
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Tuples => write!(f, "tuple budget"),
+            BudgetKind::Materialized => write!(f, "materialization budget"),
+            BudgetKind::WallClock => write!(f, "wall-clock budget"),
+        }
+    }
+}
+
+/// Limits applied to a single plan execution.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Maximum tuples flowed through all join stages combined.
+    pub max_tuples_flowed: u64,
+    /// Maximum rows in any single materialized intermediate.
+    pub max_materialized: u64,
+    /// Wall-clock limit.
+    pub timeout: Option<Duration>,
+}
+
+impl Budget {
+    /// Effectively unlimited (used by unit tests on small inputs).
+    pub fn unlimited() -> Self {
+        Budget {
+            max_tuples_flowed: u64::MAX,
+            max_materialized: u64::MAX,
+            timeout: None,
+        }
+    }
+
+    /// Budget with only a tuple-flow cap.
+    pub fn tuples(max: u64) -> Self {
+        Budget {
+            max_tuples_flowed: max,
+            ..Budget::unlimited()
+        }
+    }
+
+    /// Budget with only a wall-clock cap.
+    pub fn timeout(limit: Duration) -> Self {
+        Budget {
+            timeout: Some(limit),
+            ..Budget::unlimited()
+        }
+    }
+
+    /// Adds a wall-clock cap to an existing budget.
+    pub fn with_timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(limit);
+        self
+    }
+
+    /// Starts a metering session for one execution.
+    pub(crate) fn start(&self) -> Meter {
+        Meter {
+            budget: self.clone(),
+            started: Instant::now(),
+            tuples_flowed: 0,
+            clock_check_stride: 1 << 16,
+            until_clock_check: 1 << 16,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+/// Per-execution metering state. The wall clock is polled every
+/// `clock_check_stride` tuples to keep `Instant::now` off the hot path.
+pub(crate) struct Meter {
+    budget: Budget,
+    started: Instant,
+    pub(crate) tuples_flowed: u64,
+    clock_check_stride: u32,
+    until_clock_check: u32,
+}
+
+impl Meter {
+    /// Accounts one tuple flowing through a join stage. Returns the violated
+    /// budget kind, if any.
+    #[inline]
+    pub(crate) fn on_tuple(&mut self) -> Option<BudgetKind> {
+        self.tuples_flowed += 1;
+        if self.tuples_flowed > self.budget.max_tuples_flowed {
+            return Some(BudgetKind::Tuples);
+        }
+        self.until_clock_check -= 1;
+        if self.until_clock_check == 0 {
+            self.until_clock_check = self.clock_check_stride;
+            if let Some(limit) = self.budget.timeout {
+                if self.started.elapsed() > limit {
+                    return Some(BudgetKind::WallClock);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks a materialized intermediate's size.
+    #[inline]
+    pub(crate) fn on_materialized_rows(&self, rows: u64) -> Option<BudgetKind> {
+        (rows > self.budget.max_materialized).then_some(BudgetKind::Materialized)
+    }
+
+    /// Time elapsed since execution started.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_budget_trips() {
+        let b = Budget::tuples(3);
+        let mut m = b.start();
+        assert_eq!(m.on_tuple(), None);
+        assert_eq!(m.on_tuple(), None);
+        assert_eq!(m.on_tuple(), None);
+        assert_eq!(m.on_tuple(), Some(BudgetKind::Tuples));
+    }
+
+    #[test]
+    fn materialization_budget_trips() {
+        let b = Budget {
+            max_materialized: 10,
+            ..Budget::unlimited()
+        };
+        let m = b.start();
+        assert_eq!(m.on_materialized_rows(10), None);
+        assert_eq!(m.on_materialized_rows(11), Some(BudgetKind::Materialized));
+    }
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut m = Budget::unlimited().start();
+        for _ in 0..100_000 {
+            assert_eq!(m.on_tuple(), None);
+        }
+    }
+
+    #[test]
+    fn timeout_trips_after_deadline() {
+        let b = Budget::timeout(Duration::from_millis(0));
+        let mut m = b.start();
+        std::thread::sleep(Duration::from_millis(2));
+        // Force enough tuples to reach a clock check.
+        let mut tripped = None;
+        for _ in 0..(1 << 17) {
+            if let Some(k) = m.on_tuple() {
+                tripped = Some(k);
+                break;
+            }
+        }
+        assert_eq!(tripped, Some(BudgetKind::WallClock));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for plan construction and execution.
+
+use std::fmt;
+
+use crate::budget::BudgetKind;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelalgError {
+    /// A budget (tuple count, materialized size, or wall clock) was
+    /// exhausted mid-execution. The experiment harness reports these runs as
+    /// timeouts, matching the paper's treatment of runs that did not finish.
+    BudgetExceeded {
+        /// Which budget tripped.
+        kind: BudgetKind,
+        /// Tuples that had flowed through join stages when the run aborted.
+        tuples_flowed: u64,
+    },
+    /// A plan referenced an attribute missing from its input schema.
+    MissingAttr(String),
+    /// A plan was structurally invalid (e.g. a scan binding with the wrong
+    /// number of attributes).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::BudgetExceeded {
+                kind,
+                tuples_flowed,
+            } => write!(
+                f,
+                "budget exceeded ({kind}) after {tuples_flowed} tuples flowed"
+            ),
+            RelalgError::MissingAttr(m) => write!(f, "missing attribute: {m}"),
+            RelalgError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RelalgError::BudgetExceeded {
+            kind: BudgetKind::Tuples,
+            tuples_flowed: 42,
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(RelalgError::MissingAttr("a1".into())
+            .to_string()
+            .contains("a1"));
+        assert!(RelalgError::InvalidPlan("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! In-memory relational algebra substrate for the *Projection Pushing
+//! Revisited* reproduction.
+//!
+//! This crate plays the role PostgreSQL played in the paper's experiments:
+//! it stores small relations in memory and evaluates project-join plans with
+//! hash joins. Two evaluation styles are provided, mirroring how PostgreSQL
+//! executes the paper's generated SQL:
+//!
+//! * [`exec::execute`] — a **pipelined** executor. Chains of joins stream
+//!   tuples without materializing them (like PostgreSQL's hash-join
+//!   pipeline), while [`plan::Plan::ProjectDistinct`] nodes (the `SELECT
+//!   DISTINCT` subquery boundaries of the paper) materialize and
+//!   de-duplicate their input.
+//! * [`ops`] — fully materialized operators (natural join, projection,
+//!   selection, semijoin, union, difference, rename) used for testing,
+//!   ablations, and as general building blocks.
+//!
+//! Execution is instrumented ([`stats::ExecStats`]) and budgeted
+//! ([`budget::Budget`]): runs that would exceed a tuple or wall-clock budget
+//! abort with [`error::RelalgError::BudgetExceeded`], which the experiment
+//! harness reports as a timeout — exactly how the paper reports methods that
+//! "time out" on hard instances.
+
+pub mod budget;
+pub mod csv;
+pub mod error;
+pub mod exec;
+pub mod ops;
+pub mod plan;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use budget::Budget;
+pub use error::RelalgError;
+pub use plan::Plan;
+pub use relation::Relation;
+pub use schema::{AttrId, Schema};
+pub use stats::ExecStats;
+pub use value::Value;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelalgError>;

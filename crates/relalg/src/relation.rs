@@ -1,0 +1,266 @@
+//! Materialized relations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rustc_hash::FxHashSet;
+
+use crate::schema::{AttrId, Schema};
+use crate::value::{Tuple, Value};
+
+/// A named, materialized relation: a schema plus a bag of tuples.
+///
+/// Relations produced by `SELECT DISTINCT` boundaries are sets; the engine
+/// tracks set-ness in [`Relation::is_deduped`] so repeated de-duplication is
+/// skipped. Base relations in the paper's workloads (the six-tuple `edge`
+/// relation, SAT clause relations) are always sets.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    deduped: bool,
+}
+
+impl Relation {
+    /// Creates a relation from rows, verifying each row's width. Does not
+    /// de-duplicate; use [`Relation::dedup`] or construct via
+    /// [`Relation::from_distinct_rows`].
+    pub fn new(name: impl Into<String>, schema: Schema, tuples: Vec<Tuple>) -> Self {
+        for t in &tuples {
+            assert_eq!(
+                t.len(),
+                schema.arity(),
+                "tuple width {} does not match schema arity {}",
+                t.len(),
+                schema.arity()
+            );
+        }
+        Relation {
+            name: name.into(),
+            schema,
+            tuples,
+            deduped: false,
+        }
+    }
+
+    /// Creates a relation and de-duplicates its rows.
+    pub fn from_distinct_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+    ) -> Self {
+        let mut r = Relation::new(name, schema, tuples);
+        r.dedup();
+        r
+    }
+
+    /// An empty relation over `schema`.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+            deduped: true,
+        }
+    }
+
+    /// The relation name (used by SQL emission and Display only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples (bag cardinality).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples. A Boolean project-join query
+    /// is *false* iff its result relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Whether the rows are known to be distinct.
+    pub fn is_deduped(&self) -> bool {
+        self.deduped
+    }
+
+    /// Appends a row; clears the dedup mark.
+    pub fn push(&mut self, t: Tuple) {
+        assert_eq!(t.len(), self.schema.arity());
+        self.tuples.push(t);
+        self.deduped = false;
+    }
+
+    /// Consumes the relation, yielding its rows.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Marks rows as distinct without scanning. Callers must guarantee it.
+    pub(crate) fn assume_deduped(&mut self) {
+        debug_assert!({
+            let set: FxHashSet<&Tuple> = self.tuples.iter().collect();
+            set.len() == self.tuples.len()
+        });
+        self.deduped = true;
+    }
+
+    /// Removes duplicate rows in place (hash-based, preserves first
+    /// occurrence order).
+    pub fn dedup(&mut self) {
+        if self.deduped {
+            return;
+        }
+        let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+        seen.reserve(self.tuples.len());
+        self.tuples.retain(|t| seen.insert(t.clone()));
+        self.deduped = true;
+    }
+
+    /// The column of values for `attr`; panics if absent.
+    pub fn column(&self, attr: AttrId) -> Vec<Value> {
+        let pos = self
+            .schema
+            .position(attr)
+            .unwrap_or_else(|| panic!("attribute {attr} not in {}", self.schema));
+        self.tuples.iter().map(|t| t[pos]).collect()
+    }
+
+    /// Renames the relation (schema unchanged).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Wraps the relation for cheap sharing between plans.
+    pub fn into_shared(self) -> Arc<Relation> {
+        Arc::new(self)
+    }
+
+    /// Set-semantics equality: same schema (same attribute order) and same
+    /// set of rows.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        if self.schema != other.schema {
+            return false;
+        }
+        let a: FxHashSet<&Tuple> = self.tuples.iter().collect();
+        let b: FxHashSet<&Tuple> = other.tuples.iter().collect();
+        a == b
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}{} [{} rows]", self.name, self.schema, self.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t:?}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::tuple;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![AttrId(0), AttrId(1)])
+    }
+
+    #[test]
+    fn new_checks_width() {
+        let r = Relation::new("r", schema2(), vec![tuple(&[1, 2])]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple width")]
+    fn new_rejects_bad_width() {
+        Relation::new("r", schema2(), vec![tuple(&[1])]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_keeps_order() {
+        let mut r = Relation::new(
+            "r",
+            schema2(),
+            vec![tuple(&[1, 2]), tuple(&[3, 4]), tuple(&[1, 2])],
+        );
+        assert!(!r.is_deduped());
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0], tuple(&[1, 2]));
+        assert_eq!(r.tuples()[1], tuple(&[3, 4]));
+        assert!(r.is_deduped());
+    }
+
+    #[test]
+    fn push_clears_dedup_mark() {
+        let mut r = Relation::empty("r", schema2());
+        assert!(r.is_deduped());
+        r.push(tuple(&[1, 1]));
+        assert!(!r.is_deduped());
+    }
+
+    #[test]
+    fn set_eq_ignores_row_order_and_duplicates() {
+        let a = Relation::new("a", schema2(), vec![tuple(&[1, 2]), tuple(&[3, 4])]);
+        let b = Relation::new(
+            "b",
+            schema2(),
+            vec![tuple(&[3, 4]), tuple(&[1, 2]), tuple(&[1, 2])],
+        );
+        assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn set_eq_requires_same_schema() {
+        let a = Relation::new("a", schema2(), vec![tuple(&[1, 2])]);
+        let b = Relation::new(
+            "b",
+            Schema::new(vec![AttrId(1), AttrId(0)]),
+            vec![tuple(&[1, 2])],
+        );
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let r = Relation::new("r", schema2(), vec![tuple(&[1, 2]), tuple(&[3, 4])]);
+        assert_eq!(r.column(AttrId(1)), vec![2, 4]);
+    }
+
+    #[test]
+    fn empty_is_deduped_and_empty() {
+        let r = Relation::empty("r", schema2());
+        assert!(r.is_empty());
+        assert!(r.is_deduped());
+    }
+}

@@ -1,0 +1,79 @@
+//! Execution statistics.
+//!
+//! The paper measures wall-clock time on one specific machine; the
+//! *engine-independent* quantities that drive those times are the number of
+//! tuples that flow through join stages and the size/arity of materialized
+//! intermediates. The executor records both, so every experiment in this
+//! repository can report a machine-independent series alongside wall time.
+
+use std::time::Duration;
+
+/// Statistics for a single plan execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples emitted by all join stages (the pipelined flow the paper's
+    /// execution time is proportional to).
+    pub tuples_flowed: u64,
+    /// Rows written into materialized intermediates, before deduplication.
+    pub materialized_rows_in: u64,
+    /// Rows in materialized intermediates after deduplication.
+    pub materialized_rows_out: u64,
+    /// Largest materialized intermediate (rows, after dedup).
+    pub peak_materialized: u64,
+    /// Widest intermediate schema observed anywhere in the plan — the
+    /// "working label" size; Theorem 1 bounds its minimum over all plans by
+    /// treewidth + 1.
+    pub max_intermediate_arity: usize,
+    /// Number of `ProjectDistinct` (subquery) materializations.
+    pub materializations: u64,
+    /// Number of join stages executed.
+    pub join_stages: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Merges `other` into `self` (used when a harness sums over plan
+    /// fragments executed separately).
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.tuples_flowed += other.tuples_flowed;
+        self.materialized_rows_in += other.materialized_rows_in;
+        self.materialized_rows_out += other.materialized_rows_out;
+        self.peak_materialized = self.peak_materialized.max(other.peak_materialized);
+        self.max_intermediate_arity = self.max_intermediate_arity.max(other.max_intermediate_arity);
+        self.materializations += other.materializations;
+        self.join_stages += other.join_stages;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = ExecStats {
+            tuples_flowed: 10,
+            peak_materialized: 5,
+            max_intermediate_arity: 3,
+            materializations: 1,
+            join_stages: 2,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            tuples_flowed: 7,
+            peak_materialized: 9,
+            max_intermediate_arity: 2,
+            materializations: 2,
+            join_stages: 1,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.tuples_flowed, 17);
+        assert_eq!(a.peak_materialized, 9);
+        assert_eq!(a.max_intermediate_arity, 3);
+        assert_eq!(a.materializations, 3);
+        assert_eq!(a.join_stages, 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Domain values.
+//!
+//! The paper's databases are tiny (the 3-COLOR `edge` relation has six
+//! tuples over the domain `{1,2,3}`), so a fixed-width unsigned integer is
+//! sufficient and keeps tuples compact — the engine's hot path moves and
+//! hashes many millions of these.
+
+/// A single attribute value. Workload encoders map their domains (colors,
+/// Boolean truth values, ...) onto small integers.
+pub type Value = u32;
+
+/// A tuple of values, stored inline and aligned with its relation's
+/// [`crate::Schema`]. `Box<[Value]>` is two words instead of `Vec`'s three
+/// and cannot over-allocate.
+pub type Tuple = Box<[Value]>;
+
+/// Builds a tuple from a slice, used pervasively in tests and encoders.
+pub fn tuple(values: &[Value]) -> Tuple {
+    values.to_vec().into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = tuple(&[1, 2, 3]);
+        assert_eq!(&*t, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn tuple_is_two_words() {
+        assert_eq!(
+            std::mem::size_of::<Tuple>(),
+            2 * std::mem::size_of::<usize>()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! A minimal SQL AST covering the paper's generated queries.
+
+/// A column reference `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table or subquery alias.
+    pub alias: String,
+    /// Column (variable) name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Builds `alias.column`.
+    pub fn new(alias: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef {
+            alias: alias.into(),
+            column: column.into(),
+        }
+    }
+}
+
+/// An equality condition `left = right` (the only predicate the paper's
+/// queries need).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// Left column.
+    pub left: ColRef,
+    /// Right column.
+    pub right: ColRef,
+}
+
+impl Condition {
+    /// Builds `left = right`.
+    pub fn eq(left: ColRef, right: ColRef) -> Self {
+        Condition { left, right }
+    }
+}
+
+/// A leaf of a FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromItem {
+    /// `name alias (col, col, …)` — a base table with positional column
+    /// renaming, the paper's `edge e1 (v1, v2)` notation.
+    Table {
+        /// Base relation name.
+        name: String,
+        /// Alias.
+        alias: String,
+        /// Renamed columns, positional.
+        columns: Vec<String>,
+    },
+    /// `( SELECT … ) AS alias` — a materialized subquery.
+    Subquery {
+        /// The nested statement.
+        query: Box<SelectStmt>,
+        /// Alias.
+        alias: String,
+    },
+}
+
+impl FromItem {
+    /// The alias this item is referred to by.
+    pub fn alias(&self) -> &str {
+        match self {
+            FromItem::Table { alias, .. } => alias,
+            FromItem::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// A FROM expression: a leaf or a (possibly nested) `JOIN … ON`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FromExpr {
+    /// A single table or subquery.
+    Item(FromItem),
+    /// `left JOIN right ON (conds)`; empty `on` prints as `ON (TRUE)`,
+    /// which appears in the paper's reordering example.
+    Join {
+        /// Left operand.
+        left: Box<FromExpr>,
+        /// Right operand.
+        right: Box<FromExpr>,
+        /// Equality conditions.
+        on: Vec<Condition>,
+    },
+}
+
+impl FromExpr {
+    /// Wraps a leaf.
+    pub fn item(item: FromItem) -> Self {
+        FromExpr::Item(item)
+    }
+
+    /// Joins `self` with `right` on `on`.
+    pub fn join(self, right: FromExpr, on: Vec<Condition>) -> Self {
+        FromExpr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            FromExpr::Item(_) => 1,
+            FromExpr::Join { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+}
+
+/// A SELECT statement. `where_clause` carries the naive formulation's
+/// equalities; the structured formulations leave it empty and use JOIN/ON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT` vs plain `SELECT`.
+    pub distinct: bool,
+    /// Projected columns.
+    pub select: Vec<ColRef>,
+    /// Comma-separated FROM expressions (one entry for JOIN-style queries,
+    /// many for the naive cross-product style).
+    pub from: Vec<FromExpr>,
+    /// Conjunctive WHERE equalities.
+    pub where_clause: Vec<Condition>,
+}
+
+impl SelectStmt {
+    /// A `SELECT DISTINCT` with a single FROM expression and no WHERE.
+    pub fn distinct(select: Vec<ColRef>, from: FromExpr) -> Self {
+        SelectStmt {
+            distinct: true,
+            select,
+            from: vec![from],
+            where_clause: Vec::new(),
+        }
+    }
+
+    /// Total number of base-table references (including inside
+    /// subqueries) — a size measure used in tests.
+    pub fn table_refs(&self) -> usize {
+        fn in_from(e: &FromExpr) -> usize {
+            match e {
+                FromExpr::Item(FromItem::Table { .. }) => 1,
+                FromExpr::Item(FromItem::Subquery { query, .. }) => query.table_refs(),
+                FromExpr::Join { left, right, .. } => in_from(left) + in_from(right),
+            }
+        }
+        self.from.iter().map(in_from).sum()
+    }
+
+    /// Maximum subquery nesting depth (0 for a flat statement).
+    pub fn nesting_depth(&self) -> usize {
+        fn in_from(e: &FromExpr) -> usize {
+            match e {
+                FromExpr::Item(FromItem::Table { .. }) => 0,
+                FromExpr::Item(FromItem::Subquery { query, .. }) => 1 + query.nesting_depth(),
+                FromExpr::Join { left, right, .. } => in_from(left).max(in_from(right)),
+            }
+        }
+        self.from.iter().map(in_from).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(alias: &str) -> FromItem {
+        FromItem::Table {
+            name: "edge".into(),
+            alias: alias.into(),
+            columns: vec!["u".into(), "w".into()],
+        }
+    }
+
+    #[test]
+    fn leaf_count() {
+        let e = FromExpr::item(table("e1")).join(FromExpr::item(table("e2")), vec![]);
+        assert_eq!(e.leaf_count(), 2);
+    }
+
+    #[test]
+    fn table_refs_counts_through_subqueries() {
+        let inner = SelectStmt::distinct(
+            vec![ColRef::new("e1", "u")],
+            FromExpr::item(table("e1")),
+        );
+        let outer = SelectStmt::distinct(
+            vec![ColRef::new("t1", "u")],
+            FromExpr::item(FromItem::Subquery {
+                query: Box::new(inner),
+                alias: "t1".into(),
+            })
+            .join(FromExpr::item(table("e2")), vec![]),
+        );
+        assert_eq!(outer.table_refs(), 2);
+        assert_eq!(outer.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn alias_access() {
+        assert_eq!(table("e9").alias(), "e9");
+    }
+}

@@ -1,0 +1,222 @@
+//! Pretty printing in the paper's Appendix-A style.
+
+use std::fmt::Write as _;
+
+use crate::ast::{ColRef, Condition, FromExpr, FromItem, SelectStmt};
+
+/// Renders a statement with `indent`-space nesting and a trailing
+/// semicolon, in the layout of the paper's Appendix A.
+pub fn render(stmt: &SelectStmt) -> String {
+    let mut out = String::new();
+    render_stmt(stmt, 0, &mut out);
+    out.push(';');
+    out
+}
+
+fn pad(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("   ");
+    }
+}
+
+fn render_stmt(stmt: &SelectStmt, level: usize, out: &mut String) {
+    pad(level, out);
+    out.push_str(if stmt.distinct { "SELECT DISTINCT " } else { "SELECT " });
+    for (i, c) in stmt.select.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_colref(c, out);
+    }
+    out.push('\n');
+    pad(level, out);
+    out.push_str("FROM ");
+    for (i, f) in stmt.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_from(f, level, out);
+    }
+    if !stmt.where_clause.is_empty() {
+        out.push('\n');
+        pad(level, out);
+        out.push_str("WHERE ");
+        for (i, c) in stmt.where_clause.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            render_cond(c, out);
+        }
+    }
+}
+
+fn render_from(expr: &FromExpr, level: usize, out: &mut String) {
+    match expr {
+        FromExpr::Item(item) => render_item(item, level, out),
+        FromExpr::Join { left, right, on } => {
+            // The paper prints the outermost join's left operand first,
+            // then `JOIN (`, the right operand (often a nested join or a
+            // subquery) indented, `)`, and the ON conditions.
+            render_from(left, level, out);
+            out.push_str(" JOIN ");
+            match right.as_ref() {
+                FromExpr::Item(item) => render_item(item, level, out),
+                nested @ FromExpr::Join { .. } => {
+                    out.push_str("(\n");
+                    pad(level + 1, out);
+                    render_from(nested, level + 1, out);
+                    out.push(')');
+                }
+            }
+            out.push('\n');
+            pad(level, out);
+            out.push_str("ON (");
+            if on.is_empty() {
+                out.push_str("TRUE");
+            } else {
+                for (i, c) in on.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" AND ");
+                    }
+                    render_cond(c, out);
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn render_item(item: &FromItem, level: usize, out: &mut String) {
+    match item {
+        FromItem::Table {
+            name,
+            alias,
+            columns,
+        } => {
+            let _ = write!(out, "{name} {alias} (");
+            for (i, c) in columns.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(c);
+            }
+            out.push(')');
+        }
+        FromItem::Subquery { query, alias } => {
+            out.push_str("(\n");
+            render_stmt(query, level + 1, out);
+            out.push_str(") AS ");
+            out.push_str(alias);
+        }
+    }
+}
+
+fn render_colref(c: &ColRef, out: &mut String) {
+    let _ = write!(out, "{}.{}", c.alias, c.column);
+}
+
+fn render_cond(c: &Condition, out: &mut String) {
+    render_colref(&c.left, out);
+    out.push_str(" = ");
+    render_colref(&c.right, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(alias: &str, cols: &[&str]) -> FromItem {
+        FromItem::Table {
+            name: "edge".into(),
+            alias: alias.into(),
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_flat_select() {
+        let stmt = SelectStmt {
+            distinct: true,
+            select: vec![ColRef::new("e1", "v1")],
+            from: vec![
+                FromExpr::item(table("e1", &["v1", "v2"])),
+                FromExpr::item(table("e2", &["v1", "v5"])),
+            ],
+            where_clause: vec![Condition::eq(
+                ColRef::new("e1", "v1"),
+                ColRef::new("e2", "v1"),
+            )],
+        };
+        let sql = render(&stmt);
+        assert!(sql.starts_with("SELECT DISTINCT e1.v1\n"));
+        assert!(sql.contains("FROM edge e1 (v1, v2), edge e2 (v1, v5)"));
+        assert!(sql.contains("WHERE e1.v1 = e2.v1"));
+        assert!(sql.ends_with(';'));
+    }
+
+    #[test]
+    fn renders_join_with_on() {
+        let from = FromExpr::item(table("e2", &["v1", "v5"])).join(
+            FromExpr::item(table("e1", &["v1", "v2"])),
+            vec![Condition::eq(
+                ColRef::new("e1", "v1"),
+                ColRef::new("e2", "v1"),
+            )],
+        );
+        let stmt = SelectStmt::distinct(vec![ColRef::new("e1", "v1")], from);
+        let sql = render(&stmt);
+        assert!(sql.contains("edge e2 (v1, v5) JOIN edge e1 (v1, v2)"));
+        assert!(sql.contains("ON (e1.v1 = e2.v1)"));
+    }
+
+    #[test]
+    fn renders_on_true_for_cross_join() {
+        let from = FromExpr::item(table("e1", &["v1", "v2"]))
+            .join(FromExpr::item(table("e2", &["v3", "v4"])), vec![]);
+        let stmt = SelectStmt::distinct(vec![ColRef::new("e1", "v1")], from);
+        assert!(render(&stmt).contains("ON (TRUE)"));
+    }
+
+    #[test]
+    fn renders_subquery_with_alias_and_indent() {
+        let inner = SelectStmt::distinct(
+            vec![ColRef::new("e1", "v2")],
+            FromExpr::item(table("e1", &["v1", "v2"])),
+        );
+        let from = FromExpr::item(table("e2", &["v2", "v3"])).join(
+            FromExpr::item(FromItem::Subquery {
+                query: Box::new(inner),
+                alias: "t1".into(),
+            }),
+            vec![Condition::eq(
+                ColRef::new("t1", "v2"),
+                ColRef::new("e2", "v2"),
+            )],
+        );
+        let stmt = SelectStmt::distinct(vec![ColRef::new("e2", "v3")], from);
+        let sql = render(&stmt);
+        assert!(sql.contains("JOIN (\n   SELECT DISTINCT e1.v2\n   FROM edge e1 (v1, v2)) AS t1"));
+    }
+
+    #[test]
+    fn renders_nested_join_parenthesized() {
+        let inner = FromExpr::item(table("e2", &["v1", "v5"])).join(
+            FromExpr::item(table("e1", &["v1", "v2"])),
+            vec![Condition::eq(
+                ColRef::new("e1", "v1"),
+                ColRef::new("e2", "v1"),
+            )],
+        );
+        let from = FromExpr::item(table("e3", &["v4", "v5"])).join(
+            inner,
+            vec![Condition::eq(
+                ColRef::new("e2", "v5"),
+                ColRef::new("e3", "v5"),
+            )],
+        );
+        let stmt = SelectStmt::distinct(vec![ColRef::new("e1", "v1")], from);
+        let sql = render(&stmt);
+        assert!(sql.contains("edge e3 (v4, v5) JOIN (\n"));
+        assert!(sql.contains("ON (e2.v5 = e3.v5)"));
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! SQL emission substrate.
+//!
+//! The paper's methods are implemented as SQL *rewrites* sent to
+//! PostgreSQL; this crate provides the small AST those rewrites target and
+//! a pretty printer whose output matches the shape of the paper's Appendix
+//! A examples (`SELECT DISTINCT … FROM edge e1 (v1,v2) JOIN ( … ) ON
+//! ( … )`). The engine in `ppr-relalg` executes the equivalent plan trees;
+//! the SQL text documents each method's rewrite and lets the output be run
+//! on a real PostgreSQL instance unchanged.
+
+pub mod ast;
+pub mod emit;
+
+pub use ast::{ColRef, Condition, FromExpr, FromItem, SelectStmt};

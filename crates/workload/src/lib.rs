@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the *Projection Pushing Revisited* reproduction.
+//!
+//! The paper's experimental queries are translations of combinatorial
+//! problems into project-join queries over tiny databases (§2):
+//!
+//! * [`color`] — k-COLOR (the paper's main 3-COLOR workload): a graph `G`
+//!   becomes the query `π_{v_1} ⋈_{(v_i,v_j) ∈ E} edge(v_i, v_j)` over a
+//!   single 6-tuple `edge` relation; the query is nonempty iff `G` is
+//!   3-colorable.
+//! * [`sat`] — random 3-SAT and 2-SAT (§7 reports these as consistent with
+//!   3-COLOR; Fig. 2's caption uses 3-SAT with 5 variables): each clause
+//!   becomes an atom over a relation holding the clause's satisfying
+//!   assignments.
+//! * [`php`] — pigeonhole instances: complete constraint graphs, the
+//!   treewidth worst case Theorem 1 predicts no method can beat.
+//! * [`spec`] — declarative experiment descriptors used by the benchmark
+//!   harness to name and rebuild every instance deterministically.
+
+pub mod color;
+pub mod php;
+pub mod sat;
+pub mod spec;
+
+pub use color::{color_query, edge_relation, ColorQueryOptions};
+pub use php::{neq_relation, php_query};
+pub use sat::{parse_dimacs, random_sat, sat_query, SatInstance};
+pub use spec::{InstanceSpec, QueryShape};

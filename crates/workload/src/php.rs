@@ -1,0 +1,98 @@
+//! Pigeonhole-principle instances.
+//!
+//! `PHP(p, h)` — place `p` pigeons into `h` holes, no two pigeons sharing
+//! a hole — is the classic family whose CSP encoding has a *complete*
+//! constraint graph: treewidth `p − 1`, the worst case for structural
+//! methods. It stress-tests the limits Theorem 1 predicts: no project-join
+//! order can keep intermediate arity below the treewidth + 1, so even
+//! bucket elimination goes exponential here. Unsatisfiable iff `p > h`.
+
+use ppr_query::{Atom, ConjunctiveQuery, Database, Vars};
+use ppr_relalg::{AttrId, Relation, Schema, Value};
+
+/// Base column ids for the disequality relation.
+const BASE_COL: u32 = 4_000_000;
+
+/// The binary disequality relation over `h` holes: all ordered pairs of
+/// distinct holes (`h(h−1)` tuples).
+pub fn neq_relation(holes: u32) -> Relation {
+    assert!(holes >= 1);
+    let schema = Schema::new(vec![AttrId(BASE_COL), AttrId(BASE_COL + 1)]);
+    let mut rows = Vec::with_capacity((holes * holes.saturating_sub(1)) as usize);
+    for a in 0..holes {
+        for b in 0..holes {
+            if a != b {
+                rows.push(vec![a as Value, b as Value].into_boxed_slice());
+            }
+        }
+    }
+    Relation::from_distinct_rows("neq", schema, rows)
+}
+
+/// Builds the Boolean PHP(p, h) query: one variable per pigeon (its
+/// hole), one `neq` atom per pigeon pair. Nonempty iff `p ≤ h`.
+pub fn php_query(pigeons: usize, holes: u32) -> (ConjunctiveQuery, Database) {
+    assert!(pigeons >= 2, "need at least two pigeons for a constraint");
+    let mut vars = Vars::new();
+    let ids = vars.intern_numbered("pigeon", pigeons);
+    let mut atoms = Vec::with_capacity(pigeons * (pigeons - 1) / 2);
+    for i in 0..pigeons {
+        for j in (i + 1)..pigeons {
+            atoms.push(Atom::new("neq", vec![ids[i], ids[j]]));
+        }
+    }
+    let query = ConjunctiveQuery::new(atoms, vec![ids[0]], vars, true);
+    let mut db = Database::new();
+    db.add(neq_relation(holes));
+    (query, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_relalg::{exec, Budget, Plan};
+
+    fn straightforward(q: &ConjunctiveQuery, db: &Database) -> Plan {
+        let mut atoms = q.atoms.iter();
+        let first = atoms.next().unwrap();
+        let mut p = Plan::scan(db.expect(&first.relation), first.args.clone());
+        for a in atoms {
+            p = p.join(Plan::scan(db.expect(&a.relation), a.args.clone()));
+        }
+        p.project(q.free.clone())
+    }
+
+    #[test]
+    fn neq_relation_size() {
+        assert_eq!(neq_relation(4).len(), 12);
+        assert_eq!(neq_relation(1).len(), 0);
+    }
+
+    #[test]
+    fn php_satisfiable_iff_enough_holes() {
+        for (p, h, expected) in [(3usize, 3u32, true), (4, 3, false), (3, 4, true), (4, 4, true), (5, 4, false)] {
+            let (q, db) = php_query(p, h);
+            let plan = straightforward(&q, &db);
+            let (rel, _) = exec::execute(&plan, &Budget::unlimited()).unwrap();
+            assert_eq!(!rel.is_empty(), expected, "PHP({p},{h})");
+        }
+    }
+
+    #[test]
+    fn php_constraint_graph_is_complete() {
+        use ppr_query::JoinGraph;
+        let (q, _) = php_query(5, 5);
+        let jg = JoinGraph::of(&q);
+        assert_eq!(jg.graph.size(), 10); // C(5,2)
+        assert_eq!(q.num_atoms(), 10);
+    }
+
+    #[test]
+    fn php_treewidth_is_pigeons_minus_one() {
+        use ppr_graph::treewidth::treewidth_exact;
+        use ppr_query::JoinGraph;
+        let (q, _) = php_query(6, 6);
+        let jg = JoinGraph::of(&q);
+        assert_eq!(treewidth_exact(&jg.graph), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduces Appendix A: the pentagon query rendered as SQL by each
+//! method.
+//!
+//! ```sh
+//! cargo run --example sql_emission
+//! ```
+//!
+//! The output can be piped to a real PostgreSQL instance after creating
+//! `edge` as a two-column table with the six distinct-color pairs.
+
+use projection_pushing::prelude::*;
+use projection_pushing::sql::emit::render;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The pentagon of Appendix A: π_{v1} edge(v1,v2) ⋈ edge(v1,v5) ⋈
+    // edge(v4,v5) ⋈ edge(v3,v4) ⋈ edge(v2,v3).
+    let mut vars = Vars::new();
+    let v: Vec<_> = (1..=5).map(|i| vars.intern(&format!("v{i}"))).collect();
+    let e = |a: usize, b: usize| Atom::new("edge", vec![v[a - 1], v[b - 1]]);
+    let query = ConjunctiveQuery::new(
+        vec![e(1, 2), e(1, 5), e(4, 5), e(3, 4), e(2, 3)],
+        vec![v[0]],
+        vars,
+        true,
+    );
+    let mut db = Database::new();
+    db.add(projection_pushing::workload::edge_relation(3));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    for method in [
+        Method::Naive,
+        Method::Straightforward,
+        Method::EarlyProjection,
+        Method::Reordering,
+        Method::BucketElimination(OrderHeuristic::Mcs),
+    ] {
+        println!("-- {} ------------------------------------", method.name());
+        println!("{}\n", render(&emit_sql(method, &query, &db, &mut rng)));
+    }
+}

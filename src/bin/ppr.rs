@@ -1,0 +1,394 @@
+//! `ppr` — the command-line face of the projection-pushing library.
+//!
+//! ```text
+//! ppr color  (--random N,D | --family NAME,ORDER | --edges FILE)
+//!            [--k COLORS] [--free F] [--method M] [--seed S]
+//!            [--timeout-ms T] [--sql]
+//! ppr sat    (--random N,D,K | --dimacs FILE) [--method M] [--seed S]
+//!            [--timeout-ms T] [--sql]
+//! ppr query  --rule 'q(x) :- e(x,y), e(y,z).' --rel 'e = {(1,2),(2,3)}'
+//!            [--rel-file name=path.csv] [--method M] [--sql] [--minimize]
+//! ppr width  (--random N,D | --family NAME,ORDER | --edges FILE) [--seed S]
+//! ```
+//!
+//! Methods: `naive`, `straightforward`, `early`, `reorder`, `bucket`
+//! (default), `bucket-mindeg`, `bucket-minfill`.
+
+use std::process::exit;
+use std::time::Duration;
+
+use projection_pushing::core::methods::{build_plan, emit_sql, Method, OrderHeuristic};
+use projection_pushing::graph::{families, generate, Graph};
+use projection_pushing::prelude::*;
+use projection_pushing::relalg::exec;
+use projection_pushing::sql::emit::render;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        die(USAGE);
+    };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "color" => cmd_color(&flags),
+        "sat" => cmd_sat(&flags),
+        "query" => cmd_query(&flags),
+        "width" => cmd_width(&flags),
+        _ => die(USAGE),
+    }
+}
+
+const USAGE: &str = "usage: ppr <color|sat|query|width> [flags]\n  see `src/bin/ppr.rs` header for flags";
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    exit(2)
+}
+
+/// Minimal flag map: `--name value` pairs plus boolean switches.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let name = args[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| die(&format!("expected flag, got {}", args[i])))
+                .to_string();
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                pairs.push((name, args[i + 1].clone()));
+                i += 2;
+            } else {
+                switches.push(name);
+                i += 1;
+            }
+        }
+        Flags { pairs, switches }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for --{name}: {v}"))),
+            None => default,
+        }
+    }
+}
+
+/// Parses a method name.
+fn method_from_name(name: &str) -> Option<Method> {
+    Some(match name {
+        "naive" => Method::Naive,
+        "straightforward" | "sf" => Method::Straightforward,
+        "early" | "early-projection" => Method::EarlyProjection,
+        "reorder" | "reordering" => Method::Reordering,
+        "bucket" | "bucket-mcs" => Method::BucketElimination(OrderHeuristic::Mcs),
+        "bucket-mindeg" => Method::BucketElimination(OrderHeuristic::MinDegree),
+        "bucket-minfill" => Method::BucketElimination(OrderHeuristic::MinFill),
+        _ => return None,
+    })
+}
+
+/// Parses `N,D` (order, density).
+fn parse_order_density(text: &str) -> Option<(usize, f64)> {
+    let (n, d) = text.split_once(',')?;
+    Some((n.trim().parse().ok()?, d.trim().parse().ok()?))
+}
+
+/// Parses an edge list: one `u v` pair per line, `#` comments.
+fn parse_edge_list(text: &str) -> Result<Graph, String> {
+    let mut edges = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(u), Some(v)) = (it.next(), it.next()) else {
+            return Err(format!("line {}: expected `u v`", lineno + 1));
+        };
+        let u: usize = u.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let v: usize = v.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        edges.push((u, v));
+    }
+    if edges.is_empty() {
+        return Err("no edges".into());
+    }
+    Ok(Graph::from_edges(0, &edges))
+}
+
+/// Parses `NAME,ORDER` for a structured family.
+fn family_graph(text: &str) -> Option<Graph> {
+    let (name, order) = text.split_once(',')?;
+    let n: usize = order.trim().parse().ok()?;
+    Some(match name.trim() {
+        "augpath" | "augmented-path" => families::augmented_path(n),
+        "ladder" => families::ladder(n),
+        "augladder" | "augmented-ladder" => families::augmented_ladder(n),
+        "augcircladder" | "augmented-circular-ladder" => {
+            families::augmented_circular_ladder(n)
+        }
+        "path" => families::path(n),
+        "cycle" => families::cycle(n),
+        "complete" => families::complete(n),
+        "grid" => families::grid(n, n),
+        _ => return None,
+    })
+}
+
+fn graph_from_flags(flags: &Flags, rng: &mut StdRng) -> Graph {
+    if let Some(spec) = flags.get("random") {
+        let (n, d) =
+            parse_order_density(spec).unwrap_or_else(|| die("--random expects N,D"));
+        return generate::random_graph_density(n, d, rng);
+    }
+    if let Some(spec) = flags.get("family") {
+        return family_graph(spec).unwrap_or_else(|| die("--family expects NAME,ORDER"));
+    }
+    if let Some(path) = flags.get("edges") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        return parse_edge_list(&text).unwrap_or_else(|e| die(&e));
+    }
+    die("need one of --random / --family / --edges")
+}
+
+fn run_and_report(query: &ConjunctiveQuery, db: &Database, flags: &Flags) {
+    let method = match flags.get("method") {
+        Some(name) => {
+            method_from_name(name).unwrap_or_else(|| die(&format!("unknown method {name}")))
+        }
+        None => Method::BucketElimination(OrderHeuristic::Mcs),
+    };
+    let seed: u64 = flags.num("seed", 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    if flags.has("sql") {
+        println!("{}", render(&emit_sql(method, query, db, &mut rng)));
+        return;
+    }
+    let timeout_ms: u64 = flags.num("timeout-ms", 60_000);
+    let budget = Budget::tuples(u64::MAX).with_timeout(Duration::from_millis(timeout_ms));
+    let plan = build_plan(method, query, db, &mut rng);
+    match exec::execute(&plan, &budget) {
+        Ok((rel, stats)) => {
+            println!(
+                "method: {}  nonempty: {}  rows: {}",
+                method.name(),
+                !rel.is_empty(),
+                rel.len()
+            );
+            println!(
+                "time: {:.2} ms  tuples flowed: {}  max arity: {}  materializations: {}",
+                stats.elapsed.as_secs_f64() * 1e3,
+                stats.tuples_flowed,
+                stats.max_intermediate_arity,
+                stats.materializations
+            );
+            if flags.has("rows") {
+                for t in rel.tuples().iter().take(50) {
+                    println!("  {t:?}");
+                }
+            }
+        }
+        Err(e) => {
+            println!("method: {}  {e}", method.name());
+            exit(1);
+        }
+    }
+}
+
+fn cmd_color(flags: &Flags) {
+    let seed: u64 = flags.num("seed", 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = graph_from_flags(flags, &mut rng);
+    let opts = ColorQueryOptions {
+        colors: flags.num("k", 3u32),
+        free_fraction: flags.num("free", 0.0f64),
+    };
+    eprintln!(
+        "instance: {} vertices, {} edges",
+        g.order(),
+        g.size()
+    );
+    let (q, db) = color_query(&g, &opts, &mut rng);
+    run_and_report(&q, &db, flags);
+}
+
+fn cmd_sat(flags: &Flags) {
+    use projection_pushing::workload::{parse_dimacs, random_sat, sat_query};
+    let seed: u64 = flags.num("seed", 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instance = if let Some(spec) = flags.get("random") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        if parts.len() != 3 {
+            die("--random expects N,D,K");
+        }
+        let n: usize = parts[0].trim().parse().unwrap_or_else(|_| die("bad N"));
+        let d: f64 = parts[1].trim().parse().unwrap_or_else(|_| die("bad D"));
+        let k: usize = parts[2].trim().parse().unwrap_or_else(|_| die("bad K"));
+        random_sat(n, (d * n as f64).round() as usize, k, &mut rng)
+    } else if let Some(path) = flags.get("dimacs") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        parse_dimacs(&text).unwrap_or_else(|e| die(&e))
+    } else {
+        die("need --random N,D,K or --dimacs FILE")
+    };
+    eprintln!(
+        "instance: {} variables, {} clauses",
+        instance.num_vars,
+        instance.clauses.len()
+    );
+    let (q, db) = sat_query(&instance, flags.num("free", 0.0f64), &mut rng);
+    run_and_report(&q, &db, flags);
+}
+
+fn cmd_query(flags: &Flags) {
+    use projection_pushing::query::{parse_query, parse_relation};
+    let rule = flags.get("rule").unwrap_or_else(|| die("need --rule"));
+    let mut query = parse_query(rule).unwrap_or_else(|e| die(&e.to_string()));
+    let mut db = Database::new();
+    let mut base_col = 10_000_000u32;
+    for rel_text in flags.get_all("rel") {
+        let rel = parse_relation(rel_text, base_col).unwrap_or_else(|e| die(&e.to_string()));
+        base_col += rel.arity() as u32;
+        db.add(rel);
+    }
+    for spec in flags.get_all("rel-file") {
+        // --rel-file name=path.csv
+        let Some((name, path)) = spec.split_once('=') else {
+            die("--rel-file expects name=path.csv");
+        };
+        let text = std::fs::read_to_string(path.trim())
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let rel = projection_pushing::relalg::csv::relation_from_csv(
+            name.trim(),
+            &text,
+            base_col,
+        )
+        .unwrap_or_else(|e| die(&e));
+        base_col += rel.arity() as u32;
+        db.add(rel);
+    }
+    if db.is_empty() {
+        die("need at least one --rel 'name = {(…)…}' or --rel-file name=path.csv");
+    }
+    if flags.has("minimize") {
+        let before = query.num_atoms();
+        query = projection_pushing::core::minimize::minimize(&query);
+        eprintln!("minimized: {before} → {} atoms", query.num_atoms());
+    }
+    run_and_report(&query, &db, flags);
+}
+
+fn cmd_width(flags: &Flags) {
+    use projection_pushing::core::width;
+    use projection_pushing::graph::treewidth;
+    use projection_pushing::query::JoinGraph;
+    let seed: u64 = flags.num("seed", 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = graph_from_flags(flags, &mut rng);
+    let (q, _) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+    let jg = JoinGraph::of(&q);
+    println!(
+        "join graph: {} vars, {} edges",
+        jg.num_vars(),
+        jg.graph.size()
+    );
+    println!(
+        "treewidth bounds: lower {} / upper {}",
+        treewidth::lower_bound(&jg.graph),
+        treewidth::upper_bound(&jg.graph)
+    );
+    for h in [
+        OrderHeuristic::Mcs,
+        OrderHeuristic::MinDegree,
+        OrderHeuristic::MinFill,
+    ] {
+        println!(
+            "induced width ({h:?}): {}",
+            width::heuristic_induced_width(&q, h, &mut rng)
+        );
+    }
+    if jg.num_vars() <= 20 {
+        println!("treewidth (exact): {}", treewidth::treewidth_exact(&jg.graph));
+    } else {
+        println!("treewidth (exact): skipped (> 20 vars)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_resolve() {
+        assert_eq!(method_from_name("bucket"), Some(Method::BucketElimination(OrderHeuristic::Mcs)));
+        assert_eq!(method_from_name("sf"), Some(Method::Straightforward));
+        assert_eq!(method_from_name("nope"), None);
+    }
+
+    #[test]
+    fn order_density_parses() {
+        assert_eq!(parse_order_density("20,3.5"), Some((20, 3.5)));
+        assert_eq!(parse_order_density("20"), None);
+    }
+
+    #[test]
+    fn edge_list_parses() {
+        let g = parse_edge_list("# comment\n0 1\n1 2\n").unwrap();
+        assert_eq!(g.order(), 3);
+        assert_eq!(g.size(), 2);
+        assert!(parse_edge_list("").is_err());
+        assert!(parse_edge_list("0\n").is_err());
+    }
+
+    #[test]
+    fn families_resolve() {
+        assert!(family_graph("ladder,4").is_some());
+        assert!(family_graph("augcircladder,5").is_some());
+        assert!(family_graph("mystery,4").is_none());
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let args: Vec<String> = ["--random", "10,2", "--sql", "--seed", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args);
+        assert_eq!(f.get("random"), Some("10,2"));
+        assert!(f.has("sql"));
+        assert_eq!(f.num::<u64>("seed", 0), 5);
+        assert_eq!(f.num::<u64>("missing", 9), 9);
+    }
+}

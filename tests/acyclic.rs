@@ -1,0 +1,80 @@
+//! Acyclic queries: GYO/Yannakakis integration — the semijoin program of
+//! Wong–Youssefi/Yannakakis agrees with every paper method on tree-shaped
+//! instances.
+
+use projection_pushing::core::yannakakis::{gyo_join_tree, is_acyclic, yannakakis};
+use projection_pushing::evaluate;
+use projection_pushing::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rand::SeedableRng;
+
+/// A random labeled tree on `n` vertices (each vertex attaches to a
+/// random earlier vertex).
+fn random_tree(n: usize, rng: &mut StdRng) -> projection_pushing::graph::Graph {
+    let mut g = projection_pushing::graph::Graph::new(n);
+    for v in 1..n {
+        let parent = rng.random_range(0..v);
+        g.add_edge(parent, v);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_queries_are_acyclic(n in 2usize..12, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_tree(n, &mut rng);
+        let (q, _) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+        prop_assert!(is_acyclic(&q));
+        prop_assert!(gyo_join_tree(&q).is_some());
+    }
+
+    #[test]
+    fn yannakakis_matches_bucket_on_trees(n in 2usize..10, seed in 0u64..1000, free in prop::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_tree(n, &mut rng);
+        let opts = ColorQueryOptions {
+            colors: 3,
+            free_fraction: if free { 0.3 } else { 0.0 },
+        };
+        let (q, db) = color_query(&g, &opts, &mut rng);
+        let yk = yannakakis(&q, &db).expect("tree queries are acyclic");
+        let (be, _) = evaluate(
+            &q, &db, Method::BucketElimination(OrderHeuristic::Mcs), &Budget::unlimited(), seed,
+        ).unwrap();
+        // Align column order before comparing.
+        let yk_aligned = projection_pushing::relalg::ops::project_distinct(&yk, be.schema().attrs());
+        prop_assert!(yk_aligned.set_eq(&be));
+    }
+
+    #[test]
+    fn cyclic_instances_are_rejected(n in 3usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = projection_pushing::graph::families::cycle(n);
+        let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+        prop_assert!(!is_acyclic(&q));
+        prop_assert!(yannakakis(&q, &db).is_none());
+    }
+}
+
+#[test]
+fn structured_families_acyclicity() {
+    use projection_pushing::graph::families;
+    let mut rng = StdRng::seed_from_u64(0);
+    let (aug_path, _) = color_query(
+        &families::augmented_path(5),
+        &ColorQueryOptions::boolean(),
+        &mut rng,
+    );
+    assert!(is_acyclic(&aug_path), "augmented paths are trees");
+    let (ladder, _) = color_query(
+        &families::ladder(4),
+        &ColorQueryOptions::boolean(),
+        &mut rng,
+    );
+    assert!(!is_acyclic(&ladder), "ladders contain cycles");
+}

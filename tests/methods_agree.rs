@@ -1,0 +1,129 @@
+//! Cross-method correctness: every optimization method must compute
+//! exactly the same result as the unoptimized baseline, and the Boolean
+//! answer must match an independent reference solver.
+
+use projection_pushing::evaluate;
+use projection_pushing::prelude::*;
+use projection_pushing::workload::{color::is_colorable, random_sat, sat_query};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_methods() -> Vec<Method> {
+    vec![
+        Method::Naive,
+        Method::Straightforward,
+        Method::EarlyProjection,
+        Method::Reordering,
+        Method::BucketElimination(OrderHeuristic::Mcs),
+        Method::BucketElimination(OrderHeuristic::MinDegree),
+        Method::BucketElimination(OrderHeuristic::MinFill),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Boolean 3-COLOR: all methods agree with backtracking search.
+    #[test]
+    fn boolean_color_agrees_with_reference(order in 4usize..10, extra in 0usize..12, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = order * (order - 1) / 2;
+        let m = (order - 1 + extra).min(max);
+        let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
+        prop_assume!(!g.edges().is_empty());
+        let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+        let expected = is_colorable(&g, 3);
+        for method in all_methods() {
+            let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed).unwrap();
+            prop_assert_eq!(!rel.is_empty(), expected, "{} disagrees", method.name());
+        }
+    }
+
+    /// Non-Boolean 3-COLOR: all methods return the same relation (as a
+    /// set) as the straightforward baseline.
+    #[test]
+    fn non_boolean_color_results_match(order in 4usize..9, extra in 0usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = order * (order - 1) / 2;
+        let m = (order - 1 + extra).min(max);
+        let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
+        prop_assume!(!g.edges().is_empty());
+        let (q, db) = color_query(&g, &ColorQueryOptions::non_boolean(), &mut rng);
+        let (baseline, _) =
+            evaluate(&q, &db, Method::Straightforward, &Budget::unlimited(), seed).unwrap();
+        for method in all_methods() {
+            let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed).unwrap();
+            prop_assert!(rel.set_eq(&baseline), "{} differs", method.name());
+        }
+    }
+
+    /// 3-SAT: bucket elimination agrees with DPLL.
+    #[test]
+    fn sat_agrees_with_dpll(n in 4usize..9, m in 4usize..30, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assume!(n >= 3);
+        let inst = random_sat(n, m, 3, &mut rng);
+        let (q, db) = sat_query(&inst, 0.0, &mut rng);
+        let expected = inst.is_satisfiable();
+        for method in [Method::Straightforward, Method::BucketElimination(OrderHeuristic::Mcs)] {
+            let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed).unwrap();
+            prop_assert_eq!(!rel.is_empty(), expected, "{} disagrees", method.name());
+        }
+    }
+
+    /// 2-SAT variant.
+    #[test]
+    fn two_sat_agrees_with_dpll(n in 3usize..9, m in 3usize..20, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_sat(n, m, 2, &mut rng);
+        let (q, db) = sat_query(&inst, 0.0, &mut rng);
+        let expected = inst.is_satisfiable();
+        let (rel, _) = evaluate(
+            &q, &db, Method::BucketElimination(OrderHeuristic::Mcs), &Budget::unlimited(), seed,
+        ).unwrap();
+        prop_assert_eq!(!rel.is_empty(), expected);
+    }
+
+    /// The pipelined and the fully materialized executor agree on every
+    /// method's plan.
+    #[test]
+    fn executors_agree(order in 4usize..8, extra in 0usize..6, seed in 0u64..1000) {
+        use projection_pushing::core::methods::build_plan;
+        use projection_pushing::relalg::exec;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = order * (order - 1) / 2;
+        let m = (order - 1 + extra).min(max);
+        let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
+        prop_assume!(!g.edges().is_empty());
+        let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+        for method in all_methods() {
+            let plan = build_plan(method, &q, &db, &mut rng);
+            let (a, _) = exec::execute(&plan, &Budget::unlimited()).unwrap();
+            let (b, _) = exec::execute_materialized(&plan, &Budget::unlimited()).unwrap();
+            prop_assert!(a.set_eq(&b), "{} executors disagree", method.name());
+        }
+    }
+}
+
+#[test]
+fn structured_families_answers() {
+    // All structured families are bipartite-ish and 3-colorable; their
+    // queries must be nonempty for every method.
+    use projection_pushing::graph::families;
+    for g in [
+        families::augmented_path(6),
+        families::ladder(5),
+        families::augmented_ladder(4),
+        families::augmented_circular_ladder(4),
+    ] {
+        for method in all_methods() {
+            assert!(
+                projection_pushing::evaluate_3color(&g, method, 3).unwrap(),
+                "{} on order-{} family",
+                method.name(),
+                g.order()
+            );
+        }
+    }
+}

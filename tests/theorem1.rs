@@ -1,0 +1,100 @@
+//! Theorem 1: the join width of a project-join query equals the treewidth
+//! of its join graph plus one — validated constructively through
+//! Algorithms 1–3 on random queries.
+
+use projection_pushing::core::convert::{
+    jet_to_tree_decomposition, mark_and_sweep, tree_decomposition_to_jet,
+};
+use projection_pushing::core::jet::Jet;
+use projection_pushing::core::width;
+use projection_pushing::prelude::*;
+use projection_pushing::query::JoinGraph;
+use projection_pushing::graph::ordering::mcs_order;
+use projection_pushing::graph::TreeDecomposition;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_query(order: usize, extra: usize, seed: u64, free: f64) -> Option<(ConjunctiveQuery, Database)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = order * (order - 1) / 2;
+    let m = (order - 1 + extra).min(max);
+    let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
+    if g.edges().is_empty() {
+        return None;
+    }
+    let opts = ColorQueryOptions {
+        colors: 3,
+        free_fraction: free,
+    };
+    Some(color_query(&g, &opts, &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 (Lemma 1): any join-expression tree of width k yields a
+    /// *valid* tree decomposition of the join graph of width k − 1.
+    #[test]
+    fn algorithm1_soundness(order in 4usize..9, extra in 0usize..8, seed in 0u64..1000, free in prop::bool::ANY) {
+        let Some((q, _)) = random_query(order, extra, seed, if free { 0.25 } else { 0.0 }) else {
+            return Ok(());
+        };
+        let jg = JoinGraph::of(&q);
+        let jet = Jet::left_deep(&q);
+        let td = jet_to_tree_decomposition(&jet, &jg);
+        prop_assert!(td.validate(&jg.graph).is_ok(), "{:?}", td.validate(&jg.graph));
+        prop_assert_eq!(td.width(), jet.width() - 1);
+    }
+
+    /// Algorithm 2 (Lemma 2): mark-and-sweep keeps the decomposition valid
+    /// and does not increase its width.
+    #[test]
+    fn algorithm2_soundness(order in 4usize..9, extra in 0usize..8, seed in 0u64..1000) {
+        let Some((q, _)) = random_query(order, extra, seed, 0.0) else { return Ok(()); };
+        let jg = JoinGraph::of(&q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        let order_ = mcs_order(&jg.graph, &[], &mut rng);
+        let td = TreeDecomposition::from_elimination_order(&jg.graph, &order_);
+        let simplified = mark_and_sweep(&td, &q, &jg);
+        prop_assert!(simplified.decomposition.validate(&jg.graph).is_ok());
+        prop_assert!(simplified.decomposition.width() <= td.width());
+    }
+
+    /// Algorithm 3 (Lemma 3): a width-k decomposition yields a
+    /// join-expression tree of width at most k + 1 that still answers the
+    /// query correctly.
+    #[test]
+    fn algorithm3_soundness(order in 4usize..8, extra in 0usize..8, seed in 0u64..1000) {
+        use projection_pushing::relalg::exec;
+        let Some((q, db)) = random_query(order, extra, seed, 0.0) else { return Ok(()); };
+        let jg = JoinGraph::of(&q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdef);
+        let order_ = mcs_order(&jg.graph, &[], &mut rng);
+        let td = TreeDecomposition::from_elimination_order(&jg.graph, &order_);
+        let jet = tree_decomposition_to_jet(&q, &jg, &td);
+        prop_assert!(jet.width() <= td.width() + 1);
+        // Semantics preserved.
+        let plan = jet.to_plan(&q, &db);
+        let (a, _) = exec::execute(&plan, &Budget::unlimited()).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let sf = projection_pushing::core::methods::build_plan(
+            Method::Straightforward, &q, &db, &mut rng2,
+        );
+        let (b, _) = exec::execute(&sf, &Budget::unlimited()).unwrap();
+        prop_assert!(a.set_eq(&b));
+    }
+
+    /// Theorem 1 (both directions): the exact join width equals exact
+    /// treewidth + 1 (small instances; exact treewidth is NP-hard).
+    #[test]
+    fn theorem1_equality(order in 4usize..8, extra in 0usize..6, seed in 0u64..1000, free in prop::bool::ANY) {
+        let Some((q, _)) = random_query(order, extra, seed, if free { 0.3 } else { 0.0 }) else {
+            return Ok(());
+        };
+        let tw = width::join_graph_treewidth(&q);
+        let (jw, jet) = width::join_width_exact(&q);
+        prop_assert_eq!(jw, tw + 1, "join width {} vs treewidth {}", jw, tw);
+        prop_assert_eq!(jet.width(), jw);
+    }
+}

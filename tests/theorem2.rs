@@ -1,0 +1,83 @@
+//! Theorem 2: the induced width of a project-join query (best variable
+//! order for bucket elimination) equals the treewidth of its join graph —
+//! and the bucket-elimination *plan* realizes induced width + 1 as its
+//! maximal intermediate arity.
+
+use projection_pushing::core::methods::bucket;
+use projection_pushing::core::width;
+use projection_pushing::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_boolean_query(
+    order: usize,
+    extra: usize,
+    seed: u64,
+) -> Option<(ConjunctiveQuery, Database)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = order * (order - 1) / 2;
+    let m = (order - 1 + extra).min(max);
+    let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
+    if g.edges().is_empty() {
+        return None;
+    }
+    Some(color_query(&g, &ColorQueryOptions::boolean(), &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact induced width = exact treewidth.
+    #[test]
+    fn theorem2_equality(order in 4usize..8, extra in 0usize..6, seed in 0u64..1000) {
+        let Some((q, _)) = random_boolean_query(order, extra, seed) else { return Ok(()); };
+        let tw = width::join_graph_treewidth(&q);
+        let (iw, best_order) = width::induced_width_exact(&q);
+        prop_assert_eq!(iw, tw);
+        prop_assert_eq!(width::induced_width_of(&q, &best_order), tw);
+    }
+
+    /// The bucket-elimination plan built along an order has maximal
+    /// intermediate arity exactly the order's induced width + 1 (Boolean
+    /// queries over connected instances).
+    #[test]
+    fn bucket_plan_width_matches_induced_width(order in 4usize..9, extra in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = order * (order - 1) / 2;
+        let m = (order - 1 + extra).min(max);
+        let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
+        prop_assume!(g.is_connected() && !g.edges().is_empty());
+        let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+        let attr_order = bucket::bucket_order(&q, OrderHeuristic::Mcs, &mut rng);
+        let iw = width::induced_width_of(&q, &attr_order);
+        let plan = bucket::plan_with_order(&q, &db, &attr_order);
+        prop_assert_eq!(plan.width().unwrap(), iw + 1);
+    }
+
+    /// Heuristic orders are sound upper bounds: never below treewidth.
+    #[test]
+    fn heuristics_respect_lower_bound(order in 4usize..8, extra in 0usize..6, seed in 0u64..1000) {
+        let Some((q, _)) = random_boolean_query(order, extra, seed) else { return Ok(()); };
+        let tw = width::join_graph_treewidth(&q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11);
+        for h in [OrderHeuristic::Mcs, OrderHeuristic::MinDegree, OrderHeuristic::MinFill] {
+            let w = width::heuristic_induced_width(&q, h, &mut rng);
+            prop_assert!(w >= tw, "{h:?}: {w} < treewidth {tw}");
+        }
+    }
+
+    /// Executing the optimal-order bucket plan never materializes an
+    /// intermediate wider than treewidth + 1 (the operational content of
+    /// Theorem 2).
+    #[test]
+    fn execution_respects_theorem2(order in 4usize..8, extra in 0usize..6, seed in 0u64..1000) {
+        use projection_pushing::relalg::exec;
+        let Some((q, db)) = random_boolean_query(order, extra, seed) else { return Ok(()); };
+        let (tw, best_order) = width::induced_width_exact(&q);
+        let plan = bucket::plan_with_order(&q, &db, &best_order);
+        let (_, stats) = exec::execute(&plan, &Budget::unlimited()).unwrap();
+        prop_assert!(stats.max_intermediate_arity <= tw + 1,
+            "arity {} > treewidth {} + 1", stats.max_intermediate_arity, tw);
+    }
+}
