@@ -14,11 +14,7 @@ use ppr_core::methods::Method;
 use ppr_relalg::Budget;
 use ppr_workload::{InstanceSpec, QueryShape};
 
-fn bench_methods(
-    c: &mut Criterion,
-    group_name: &str,
-    points: &[(&str, QueryShape, f64)],
-) {
+fn bench_methods(c: &mut Criterion, group_name: &str, points: &[(&str, QueryShape, f64)]) {
     let mut group = c.benchmark_group(group_name);
     group
         .sample_size(10)
@@ -64,25 +60,12 @@ fn fig2_compile(c: &mut Criterion) {
             free_fraction: 0.0,
         };
         let (q, db) = spec.build();
-        group.bench_with_input(
-            BenchmarkId::new("naive_dp", density),
-            &density,
-            |b, _| b.iter(|| compile(Planner::ExhaustiveDp, &q, &db, 1)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive_geqo", density),
-            &density,
-            |b, _| {
-                b.iter(|| {
-                    compile(
-                        Planner::Geqo(PoolPolicy::Pg72 { cap: 1 << 12 }),
-                        &q,
-                        &db,
-                        1,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("naive_dp", density), &density, |b, _| {
+            b.iter(|| compile(Planner::ExhaustiveDp, &q, &db, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_geqo", density), &density, |b, _| {
+            b.iter(|| compile(Planner::Geqo(PoolPolicy::Pg72 { cap: 1 << 12 }), &q, &db, 1))
+        });
         group.bench_with_input(
             BenchmarkId::new("straightforward_fixed", density),
             &density,
@@ -99,10 +82,38 @@ fn fig3_density(c: &mut Criterion) {
         c,
         "fig3_density",
         &[
-            ("d2", QueryShape::Random { order: 14, density: 2.0 }, 0.0),
-            ("d4", QueryShape::Random { order: 14, density: 4.0 }, 0.0),
-            ("d6", QueryShape::Random { order: 14, density: 6.0 }, 0.0),
-            ("d4_free20", QueryShape::Random { order: 14, density: 4.0 }, 0.2),
+            (
+                "d2",
+                QueryShape::Random {
+                    order: 14,
+                    density: 2.0,
+                },
+                0.0,
+            ),
+            (
+                "d4",
+                QueryShape::Random {
+                    order: 14,
+                    density: 4.0,
+                },
+                0.0,
+            ),
+            (
+                "d6",
+                QueryShape::Random {
+                    order: 14,
+                    density: 6.0,
+                },
+                0.0,
+            ),
+            (
+                "d4_free20",
+                QueryShape::Random {
+                    order: 14,
+                    density: 4.0,
+                },
+                0.2,
+            ),
         ],
     );
 }
@@ -113,8 +124,22 @@ fn fig4_order_d3(c: &mut Criterion) {
         c,
         "fig4_order_d3",
         &[
-            ("n10", QueryShape::Random { order: 10, density: 3.0 }, 0.0),
-            ("n14", QueryShape::Random { order: 14, density: 3.0 }, 0.0),
+            (
+                "n10",
+                QueryShape::Random {
+                    order: 10,
+                    density: 3.0,
+                },
+                0.0,
+            ),
+            (
+                "n14",
+                QueryShape::Random {
+                    order: 14,
+                    density: 3.0,
+                },
+                0.0,
+            ),
         ],
     );
 }
@@ -126,8 +151,22 @@ fn fig5_order_d6(c: &mut Criterion) {
         "fig5_order_d6",
         &[
             // Density 6 needs ≥ 13 vertices for 6n distinct edges.
-            ("n14", QueryShape::Random { order: 14, density: 6.0 }, 0.0),
-            ("n16", QueryShape::Random { order: 16, density: 6.0 }, 0.0),
+            (
+                "n14",
+                QueryShape::Random {
+                    order: 14,
+                    density: 6.0,
+                },
+                0.0,
+            ),
+            (
+                "n16",
+                QueryShape::Random {
+                    order: 16,
+                    density: 6.0,
+                },
+                0.0,
+            ),
         ],
     );
 }
@@ -187,8 +226,24 @@ fn sat_scaling(c: &mut Criterion) {
         c,
         "sat_scaling",
         &[
-            ("3sat_n10_d4.3", QueryShape::Sat { order: 10, density: 4.3, k: 3 }, 0.0),
-            ("2sat_n14_d1.5", QueryShape::Sat { order: 14, density: 1.5, k: 2 }, 0.0),
+            (
+                "3sat_n10_d4.3",
+                QueryShape::Sat {
+                    order: 10,
+                    density: 4.3,
+                    k: 3,
+                },
+                0.0,
+            ),
+            (
+                "2sat_n14_d1.5",
+                QueryShape::Sat {
+                    order: 14,
+                    density: 1.5,
+                    k: 2,
+                },
+                0.0,
+            ),
         ],
     );
 }

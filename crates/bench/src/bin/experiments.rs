@@ -1,14 +1,20 @@
 //! Regenerates the paper's figures from the command line.
 //!
 //! ```text
-//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--plot]
+//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--plot] [--threads N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          sat3 sat2 theorems
 //!          ablation-orders ablation-pipeline ablation-minibucket
-//!          ablation-distinct ablation-join semijoin
+//!          ablation-distinct ablation-join ablation-parallel semijoin
 //!          all
 //! ```
+//!
+//! `--threads N` switches every sweep to the partitioned parallel executor
+//! with `N` worker threads (`0` = all cores; results are byte-identical to
+//! serial). `ablation-parallel` compares serial against 2/4/`N` threads on
+//! the figure-4 and figure-8 workloads and writes the machine-readable
+//! report to `results/BENCH_parallel.json`.
 //!
 //! Each figure target also runs its non-Boolean (20%-free) variant when
 //! the paper plots one; pass `--free 0` to restrict to Boolean.
@@ -43,6 +49,9 @@ fn main() {
                 cfg.full = true;
                 i += 1;
             }
+            "--threads" => {
+                cfg.threads = next_val(&args, &mut i);
+            }
             "--plot" => {
                 plot = true;
                 i += 1;
@@ -65,8 +74,11 @@ fn main() {
         print!("{text}");
         let points = ppr_bench::plot::parse_tsv(&text);
         if !points.is_empty() {
-            println!("
-{}", ppr_bench::plot::render(&points, 16));
+            println!(
+                "
+{}",
+                ppr_bench::plot::render(&points, 16)
+            );
         }
     } else {
         let out = std::io::stdout();
@@ -121,13 +133,44 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
         "ablation-minibucket" => figures::ablation_minibucket(&mut w, cfg),
         "ablation-distinct" => figures::ablation_distinct(&mut w, cfg),
         "ablation-join" => figures::ablation_join(&mut w, cfg),
+        "ablation-parallel" => {
+            // Persist the machine-readable report before printing: a
+            // downstream pipe closing stdout must not lose the artifact.
+            let rows = figures::ablation_parallel_rows(cfg);
+            let json = figures::parallel_report_json(cfg, &rows);
+            let path = std::path::Path::new("results");
+            if std::fs::create_dir_all(path).is_ok() {
+                let file = path.join("BENCH_parallel.json");
+                match std::fs::write(&file, &json) {
+                    Ok(()) => eprintln!("wrote {}", file.display()),
+                    Err(e) => eprintln!("could not write {}: {e}", file.display()),
+                }
+            }
+            figures::print_parallel_rows(&mut w, &rows);
+        }
         "semijoin" => figures::semijoin_usefulness(&mut w, cfg),
         "limits" => figures::limits_php(&mut w, cfg),
         "all" => {
             for t in [
-                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sat3",
-                "sat2", "theorems", "ablation-orders", "ablation-pipeline",
-                "ablation-minibucket", "ablation-distinct", "ablation-join", "semijoin",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "sat3",
+                "sat2",
+                "theorems",
+                "ablation-orders",
+                "ablation-pipeline",
+                "ablation-minibucket",
+                "ablation-distinct",
+                "ablation-join",
+                "ablation-parallel",
+                "semijoin",
                 "limits",
             ] {
                 writeln!(w, "== {t} ==").expect("write");
@@ -145,7 +188,7 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: experiments <fig1..fig9|sat3|sat2|theorems|ablation-*|all> \
-         [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F]"
+         [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--threads N]"
     );
     std::process::exit(2)
 }

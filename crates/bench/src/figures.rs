@@ -13,7 +13,7 @@ use ppr_query::{ConjunctiveQuery, Database};
 use ppr_relalg::Budget;
 use ppr_workload::{InstanceSpec, QueryShape};
 
-use crate::harness::{run_method, summarize, MethodOutcome};
+use crate::harness::{run_method_threads, summarize, MethodOutcome};
 
 /// Sweep configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +26,9 @@ pub struct Config {
     pub max_tuples: u64,
     /// Denser parameter grids (the paper's full resolution).
     pub full: bool,
+    /// Executor threads: 1 = serial pipelined executor, other values run
+    /// the partitioned parallel executor (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -35,6 +38,7 @@ impl Default for Config {
             timeout: Duration::from_millis(2000),
             max_tuples: 20_000_000,
             full: false,
+            threads: 1,
         }
     }
 }
@@ -73,7 +77,7 @@ fn point(
         let outcomes: Vec<MethodOutcome> = (0..cfg.seeds)
             .map(|s| {
                 let (q, db) = make(s);
-                run_method(method, &q, &db, &budget, s ^ 0x9e37)
+                run_method_threads(method, &q, &db, &budget, s ^ 0x9e37, cfg.threads)
             })
             .collect();
         let cell = summarize(&outcomes, cfg.timeout);
@@ -95,13 +99,7 @@ fn point(
     }
 }
 
-fn color_point(
-    w: &mut impl Write,
-    x: &str,
-    shape: QueryShape,
-    free_fraction: f64,
-    cfg: &Config,
-) {
+fn color_point(w: &mut impl Write, x: &str, shape: QueryShape, free_fraction: f64, cfg: &Config) {
     point(
         w,
         x,
@@ -167,8 +165,10 @@ pub fn fig2_with_densities(w: &mut impl Write, cfg: &Config, densities: &[f64]) 
         } else {
             Planner::Geqo(PoolPolicy::Pg72 { cap: 1 << 16 })
         };
-        for (formulation, planner) in [("naive", naive_planner), ("straightforward", Planner::FixedOrder)]
-        {
+        for (formulation, planner) in [
+            ("naive", naive_planner),
+            ("straightforward", Planner::FixedOrder),
+        ] {
             let mut times = Vec::new();
             let mut plans = Vec::new();
             for seed in 0..cfg.seeds {
@@ -283,12 +283,24 @@ fn structured(
 
 /// Figure 6: augmented path queries.
 pub fn fig6(w: &mut impl Write, cfg: &Config, free_fraction: f64) {
-    structured(w, cfg, free_fraction, |n| QueryShape::AugmentedPath { order: n }, 5);
+    structured(
+        w,
+        cfg,
+        free_fraction,
+        |n| QueryShape::AugmentedPath { order: n },
+        5,
+    );
 }
 
 /// Figure 7: ladder queries.
 pub fn fig7(w: &mut impl Write, cfg: &Config, free_fraction: f64) {
-    structured(w, cfg, free_fraction, |n| QueryShape::Ladder { order: n }, 5);
+    structured(
+        w,
+        cfg,
+        free_fraction,
+        |n| QueryShape::Ladder { order: n },
+        5,
+    );
 }
 
 /// Figure 8: augmented ladder queries.
@@ -580,6 +592,169 @@ pub fn ablation_join(w: &mut impl Write, cfg: &Config) {
     }
 }
 
+/// One measured cell of the parallel-executor ablation: a (workload,
+/// order, method, thread-count) point with its median wall time and the
+/// speedup relative to the serial executor on the same point.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Workload family (`fig4_random` or `fig8_augmented_ladder`).
+    pub workload: &'static str,
+    /// Instance order parameter.
+    pub x: usize,
+    /// Planning method.
+    pub method: Method,
+    /// Executor threads (1 = serial pipelined executor).
+    pub threads: usize,
+    /// Median wall-clock milliseconds (timeouts contribute the budget).
+    pub median_ms: f64,
+    /// Timed-out runs.
+    pub timeouts: usize,
+    /// Total runs.
+    pub runs: usize,
+    /// `serial median / this median` on the same (workload, x, method);
+    /// 1.0 for the serial row itself.
+    pub speedup: f64,
+}
+
+/// Ablation: serial vs partitioned-parallel execution of identical plans
+/// on the figure-4 (random, density 3) and figure-8 (augmented ladder)
+/// workloads. Straightforward plans exercise the chunk-parallel pipeline
+/// (one big top-level join chain); bucket elimination exercises
+/// subquery-lane parallelism (many small sibling materializations). The
+/// parallel executor returns byte-identical relations, so rows differ
+/// only in time.
+pub fn ablation_parallel_rows(cfg: &Config) -> Vec<ParallelRow> {
+    let budget = cfg.budget();
+    let mut thread_counts = vec![1usize, 2, 4];
+    if cfg.threads > 1 && !thread_counts.contains(&cfg.threads) {
+        thread_counts.push(cfg.threads);
+    }
+    let points: Vec<(&'static str, usize, QueryShape)> = {
+        let fig4_orders: &[usize] = if cfg.full { &[12, 14, 16] } else { &[12, 14] };
+        let fig8_orders: &[usize] = if cfg.full { &[4, 5, 6, 7] } else { &[4, 5, 6] };
+        let mut pts = Vec::new();
+        for &n in fig4_orders {
+            pts.push((
+                "fig4_random",
+                n,
+                QueryShape::Random {
+                    order: n,
+                    density: 3.0,
+                },
+            ));
+        }
+        for &n in fig8_orders {
+            pts.push((
+                "fig8_augmented_ladder",
+                n,
+                QueryShape::AugmentedLadder { order: n },
+            ));
+        }
+        pts
+    };
+    let methods = [
+        Method::Straightforward,
+        Method::BucketElimination(OrderHeuristic::Mcs),
+    ];
+    let mut rows = Vec::new();
+    for (workload, x, shape) in points {
+        for method in methods {
+            let mut serial_median = f64::NAN;
+            for &threads in &thread_counts {
+                let outcomes: Vec<MethodOutcome> = (0..cfg.seeds)
+                    .map(|s| {
+                        let (q, db) = InstanceSpec {
+                            shape,
+                            seed: s,
+                            free_fraction: 0.0,
+                        }
+                        .build();
+                        run_method_threads(method, &q, &db, &budget, s ^ 0x9e37, threads)
+                    })
+                    .collect();
+                let cell = summarize(&outcomes, cfg.timeout);
+                if threads == 1 {
+                    serial_median = cell.median_millis;
+                }
+                rows.push(ParallelRow {
+                    workload,
+                    x,
+                    method,
+                    threads,
+                    median_ms: cell.median_millis,
+                    timeouts: cell.timeouts,
+                    runs: cell.runs,
+                    speedup: serial_median / cell.median_millis,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Runs [`ablation_parallel_rows`] and prints the TSV; returns the rows so
+/// the caller can also serialize them (`experiments ablation-parallel`
+/// writes `results/BENCH_parallel.json`).
+pub fn ablation_parallel(w: &mut impl Write, cfg: &Config) -> Vec<ParallelRow> {
+    let rows = ablation_parallel_rows(cfg);
+    print_parallel_rows(w, &rows);
+    rows
+}
+
+/// Prints the parallel-ablation TSV for already-measured rows (kept
+/// separate so the harness can persist the JSON report *before* printing
+/// — a downstream `| head` closing stdout must not lose the artifact).
+pub fn print_parallel_rows(w: &mut impl Write, rows: &[ParallelRow]) {
+    writeln!(
+        w,
+        "workload\tx\tmethod\tthreads\tmedian_ms\ttimeouts\truns\tspeedup"
+    )
+    .expect("write");
+    for r in rows {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.2}",
+            r.workload,
+            r.x,
+            r.method.name(),
+            r.threads,
+            r.median_ms,
+            r.timeouts,
+            r.runs,
+            r.speedup
+        )
+        .expect("write");
+    }
+}
+
+/// Hand-rolled machine-readable report for the parallel ablation (no JSON
+/// dependency in the tree; the format is plain enough to emit directly).
+pub fn parallel_report_json(cfg: &Config, rows: &[ParallelRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"ablation_parallel\",\n");
+    s.push_str(&format!("  \"seeds\": {},\n", cfg.seeds));
+    s.push_str(&format!("  \"timeout_ms\": {},\n", cfg.timeout.as_millis()));
+    s.push_str(&format!("  \"max_tuples\": {},\n", cfg.max_tuples));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"x\": {}, \"method\": \"{}\", \"threads\": {}, \
+             \"median_ms\": {:.3}, \"timeouts\": {}, \"runs\": {}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.workload,
+            r.x,
+            r.method.name(),
+            r.threads,
+            r.median_ms,
+            r.timeouts,
+            r.runs,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// The §2 claim made executable: semijoin reduction removes nothing on
 /// the COLOR workloads (every projection of the edge relation is the full
 /// domain), but on selective relations — a successor chain — it prunes,
@@ -673,8 +848,11 @@ pub fn limits_php(w: &mut impl Write, cfg: &Config) {
 /// induced width vs treewidth on random small queries.
 pub fn theorems(w: &mut impl Write) {
     use ppr_core::width;
-    writeln!(w, "instance\ttreewidth\tjoin_width\tinduced_width\ttheorem1\ttheorem2")
-        .expect("write");
+    writeln!(
+        w,
+        "instance\ttreewidth\tjoin_width\tinduced_width\ttheorem1\ttheorem2"
+    )
+    .expect("write");
     for seed in 0..10u64 {
         let spec = InstanceSpec {
             shape: QueryShape::Random {
@@ -708,6 +886,7 @@ mod tests {
             timeout: Duration::from_millis(500),
             max_tuples: 2_000_000,
             full: false,
+            threads: 1,
         }
     }
 
@@ -777,6 +956,36 @@ mod tests {
             let shrink: f64 = line.split('\t').nth(1).unwrap().parse().unwrap();
             assert_eq!(shrink, 0.0, "{line}");
         }
+    }
+
+    #[test]
+    fn ablation_parallel_reports_speedups_and_json() {
+        let cfg = Config {
+            seeds: 1,
+            timeout: Duration::from_millis(500),
+            max_tuples: 2_000_000,
+            full: false,
+            threads: 2,
+        };
+        let mut out = Vec::new();
+        let rows = ablation_parallel(&mut out, &cfg);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("fig8_augmented_ladder"));
+        assert!(s.contains("fig4_random"));
+        // 5 points × 2 methods × 3 thread counts (2 is already in {1,2,4}).
+        assert_eq!(rows.len(), 5 * 2 * 3);
+        for r in &rows {
+            if r.threads == 1 {
+                assert!((r.speedup - 1.0).abs() < 1e-9);
+            }
+            assert!(r.median_ms.is_finite());
+        }
+        let json = parallel_report_json(&cfg, &rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"benchmark\": \"ablation_parallel\""));
+        assert!(json.contains("\"speedup_vs_serial\""));
+        // Every row serialized.
+        assert_eq!(json.matches("\"workload\"").count(), rows.len());
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub struct MethodOutcome {
 }
 
 /// Plans and executes `method` on one instance under `budget`; `seed`
-/// drives the method's tie-breaking randomness.
+/// drives the method's tie-breaking randomness. Serial execution; see
+/// [`run_method_threads`] for the parallel executor.
 pub fn run_method(
     method: Method,
     query: &ConjunctiveQuery,
@@ -45,10 +46,30 @@ pub fn run_method(
     budget: &Budget,
     seed: u64,
 ) -> MethodOutcome {
+    run_method_threads(method, query, db, budget, seed, 1)
+}
+
+/// [`run_method`] with an executor-thread count: `threads == 1` runs the
+/// serial pipelined executor, anything else the partitioned parallel
+/// executor (`0` = all available cores). Both produce identical relations,
+/// so sweeps stay comparable across thread counts.
+pub fn run_method_threads(
+    method: Method,
+    query: &ConjunctiveQuery,
+    db: &Database,
+    budget: &Budget,
+    seed: u64,
+    threads: usize,
+) -> MethodOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let started = Instant::now();
     let plan = build_plan(method, query, db, &mut rng);
-    match exec::execute(&plan, budget) {
+    let result = if threads == 1 {
+        exec::execute(&plan, budget)
+    } else {
+        ppr_relalg::parallel::execute_parallel(&plan, budget, threads)
+    };
+    match result {
         Ok((rel, stats)) => MethodOutcome {
             method,
             status: RunStatus::Ok,

@@ -166,8 +166,12 @@ x\tmethod\tmedian_ms\ttimeouts\truns\tmedian_tuples\tmax_arity
         assert!(chart.contains("b = bucket-mcs"));
         // The slow method's mark appears above the fast one: the first
         // grid row containing 'a' precedes the first containing 'b'.
-        let first_a = chart.lines().position(|l| l.contains('a') && l.contains("ms |"));
-        let first_b = chart.lines().position(|l| l.contains('b') && l.contains("ms |"));
+        let first_a = chart
+            .lines()
+            .position(|l| l.contains('a') && l.contains("ms |"));
+        let first_b = chart
+            .lines()
+            .position(|l| l.contains('b') && l.contains("ms |"));
         assert!(first_a < first_b, "{chart}");
     }
 
@@ -179,8 +183,16 @@ x\tmethod\tmedian_ms\ttimeouts\truns\tmedian_tuples\tmax_arity
     #[test]
     fn collisions_render_star() {
         let pts = vec![
-            Point { x: "1".into(), method: "m1".into(), median_ms: 5.0 },
-            Point { x: "1".into(), method: "m2".into(), median_ms: 5.0 },
+            Point {
+                x: "1".into(),
+                method: "m1".into(),
+                median_ms: 5.0,
+            },
+            Point {
+                x: "1".into(),
+                method: "m2".into(),
+                median_ms: 5.0,
+            },
         ];
         let chart = render(&pts, 5);
         assert!(chart.contains('*'), "{chart}");

@@ -151,10 +151,8 @@ pub fn mark_and_sweep(
         })
         .collect();
     let mut alive: Vec<bool> = vec![true; n];
-    let mut adj_sets: Vec<FxHashSet<usize>> = adj
-        .iter()
-        .map(|ns| ns.iter().copied().collect())
-        .collect();
+    let mut adj_sets: Vec<FxHashSet<usize>> =
+        adj.iter().map(|ns| ns.iter().copied().collect()).collect();
     for k in 0..n {
         if !new_bags[k].is_empty() {
             continue;
@@ -302,7 +300,12 @@ mod tests {
         let order = mcs_order(&jg.graph, &[], &mut rng());
         let td = TreeDecomposition::from_elimination_order(&jg.graph, &order);
         let jet = tree_decomposition_to_jet(&q, &jg, &td);
-        assert!(jet.width() <= td.width() + 1, "{} > {}", jet.width(), td.width() + 1);
+        assert!(
+            jet.width() <= td.width() + 1,
+            "{} > {}",
+            jet.width(),
+            td.width() + 1
+        );
     }
 
     #[test]

@@ -161,8 +161,7 @@ impl Jet {
                     .iter()
                     .copied()
                     .filter(|a| {
-                        free.contains(a)
-                            || sub_occ[v].get(a).copied().unwrap_or(0) < total_occ[a]
+                        free.contains(a) || sub_occ[v].get(a).copied().unwrap_or(0) < total_occ[a]
                     })
                     .collect();
             }
@@ -185,7 +184,11 @@ impl Jet {
 
     /// The width `max_v |L_w(v)|`.
     pub fn width(&self) -> usize {
-        self.nodes.iter().map(|n| n.working.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.working.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Converts the tree into an executable [`Plan`]: each interior node
@@ -201,10 +204,7 @@ impl Jet {
             let atom = &query.atoms[j];
             return Plan::scan(db.expect(&atom.relation), atom.args.clone());
         }
-        let mut plans = node
-            .children
-            .iter()
-            .map(|&c| self.node_plan(c, query, db));
+        let mut plans = node.children.iter().map(|&c| self.node_plan(c, query, db));
         let mut plan = plans.next().expect("interior node has children");
         for p in plans {
             plan = plan.join(p);

@@ -20,8 +20,8 @@ pub fn plan(query: &ConjunctiveQuery, db: &Database) -> Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::methods::test_support::{k4, pentagon, triangle_free_pair};
     use crate::methods::straightforward;
+    use crate::methods::test_support::{k4, pentagon, triangle_free_pair};
     use ppr_relalg::{exec, Budget};
 
     #[test]
@@ -41,8 +41,7 @@ mod tests {
     fn agrees_with_straightforward_on_pentagon() {
         let (q, db) = pentagon();
         let (a, _) = exec::execute(&plan(&q, &db), &Budget::unlimited()).unwrap();
-        let (b, _) =
-            exec::execute(&straightforward::plan(&q, &db), &Budget::unlimited()).unwrap();
+        let (b, _) = exec::execute(&straightforward::plan(&q, &db), &Budget::unlimited()).unwrap();
         assert!(a.set_eq(&b));
     }
 

@@ -90,8 +90,8 @@ pub fn private_vars(query: &ConjunctiveQuery, idx: usize) -> Vec<AttrId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::methods::test_support::{k4, pentagon, triangle_free_pair};
     use crate::methods::straightforward;
+    use crate::methods::test_support::{k4, pentagon, triangle_free_pair};
     use ppr_query::{Atom, Vars};
     use ppr_relalg::{exec, Budget};
     use rand::rngs::StdRng;
@@ -149,7 +149,10 @@ mod tests {
     fn private_vars_detects_singletons() {
         let (q, _) = pentagon();
         for i in 0..q.num_atoms() {
-            assert!(private_vars(&q, i).is_empty(), "pentagon has no private vars");
+            assert!(
+                private_vars(&q, i).is_empty(),
+                "pentagon has no private vars"
+            );
         }
     }
 

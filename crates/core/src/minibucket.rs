@@ -48,7 +48,10 @@ pub fn plan_with_order(
     for atom in &query.atoms {
         let vars = atom.vars();
         let b = vars.iter().map(|v| position[v]).max().expect("has vars");
-        buckets[b].push((Plan::scan(db.expect(&atom.relation), atom.args.clone()), vars));
+        buckets[b].push((
+            Plan::scan(db.expect(&atom.relation), atom.args.clone()),
+            vars,
+        ));
     }
 
     let mut exact = true;
@@ -165,8 +168,8 @@ fn join_and_project(items: Vec<BucketItem>, var: AttrId, var_is_free: bool) -> B
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::methods::test_support::{k4, pentagon};
     use crate::methods::straightforward;
+    use crate::methods::test_support::{k4, pentagon};
     use ppr_relalg::{exec, Budget};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -37,8 +37,8 @@ pub fn contained_in(sub: &ConjunctiveQuery, sup: &ConjunctiveQuery) -> bool {
         &db,
         &mut rng,
     );
-    let (rel, _) = exec::execute(&plan, &Budget::unlimited())
-        .expect("canonical databases are tiny");
+    let (rel, _) =
+        exec::execute(&plan, &Budget::unlimited()).expect("canonical databases are tiny");
     // The homomorphism must fix the head: the canonical (frozen) head
     // tuple must appear in the result.
     let head: Vec<Value> = sub.free.iter().map(|a| a.0 as Value).collect();
@@ -113,10 +113,7 @@ mod tests {
         let y = vars.intern("y");
         let y2 = vars.intern("y2");
         let q = ConjunctiveQuery::new(
-            vec![
-                Atom::new("e", vec![x, y]),
-                Atom::new("e", vec![x, y2]),
-            ],
+            vec![Atom::new("e", vec![x, y]), Atom::new("e", vec![x, y2])],
             vec![x],
             vars,
             true,

@@ -176,8 +176,8 @@ mod tests {
         ));
         let r = semijoin_reduce(&q, &db, 10);
         assert!(!r.proven_empty); // 1→2→3 exists
-        // First atom reduced to (1,2): only value whose successor has a
-        // successor.
+                                  // First atom reduced to (1,2): only value whose successor has a
+                                  // successor.
         assert_eq!(r.relations[0].len(), 1);
     }
 }

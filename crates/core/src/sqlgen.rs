@@ -138,11 +138,14 @@ fn prepare(node: &Plan, vars: &Vars, counters: &mut Counters) -> Prepared {
                     let renamed = format!("{name}_{}", dup_count + 1);
                     self_conditions.push(Condition::eq(
                         ColRef::new(alias.clone(), renamed.clone()),
-                        ColRef::new(alias.clone(), columns
-                            .iter()
-                            .find(|(v, _)| *v == var)
-                            .map(|(_, c)| c.clone())
-                            .expect("first occurrence exists")),
+                        ColRef::new(
+                            alias.clone(),
+                            columns
+                                .iter()
+                                .find(|(v, _)| *v == var)
+                                .map(|(_, c)| c.clone())
+                                .expect("first occurrence exists"),
+                        ),
                     ));
                     renamed
                 };
@@ -162,8 +165,7 @@ fn prepare(node: &Plan, vars: &Vars, counters: &mut Counters) -> Prepared {
             let stmt = emit_select(node, vars, counters);
             counters.subqueries += 1;
             let alias = format!("t{}", counters.subqueries);
-            let columns: Vec<(AttrId, String)> =
-                keep.iter().map(|&v| (v, vars.name(v))).collect();
+            let columns: Vec<(AttrId, String)> = keep.iter().map(|&v| (v, vars.name(v))).collect();
             Prepared {
                 item: FromItem::Subquery {
                     query: Box::new(stmt),
@@ -220,7 +222,10 @@ mod tests {
             .project(vec![v[0]]);
         let sql = render(&plan_to_sql(&plan, &vars));
         // e2 (the second pipeline input) is printed first, joined to e1.
-        assert!(sql.contains("edge e2 (v1, v2) JOIN edge e1 (v0, v1)"), "{sql}");
+        assert!(
+            sql.contains("edge e2 (v1, v2) JOIN edge e1 (v0, v1)"),
+            "{sql}"
+        );
         assert!(sql.contains("ON (e2.v1 = e1.v1)"), "{sql}");
     }
 
@@ -260,8 +265,7 @@ mod tests {
     #[should_panic(expected = "projection")]
     fn bare_join_rejected() {
         let (vars, v) = named_vars(3);
-        let plan = Plan::scan(edge(), vec![v[0], v[1]])
-            .join(Plan::scan(edge(), vec![v[1], v[2]]));
+        let plan = Plan::scan(edge(), vec![v[0], v[1]]).join(Plan::scan(edge(), vec![v[1], v[2]]));
         plan_to_sql(&plan, &vars);
     }
 }

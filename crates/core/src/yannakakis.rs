@@ -50,9 +50,7 @@ pub fn gyo_join_tree(query: &ConjunctiveQuery) -> Option<JoinTree> {
             let shared: Vec<AttrId> = query.atoms[e]
                 .vars()
                 .into_iter()
-                .filter(|&v| {
-                    (0..m).any(|f| f != e && alive[f] && query.atoms[f].mentions(v))
-                })
+                .filter(|&v| (0..m).any(|f| f != e && alive[f] && query.atoms[f].mentions(v)))
                 .collect();
             for f in 0..m {
                 if f == e || !alive[f] {
@@ -151,10 +149,8 @@ pub fn yannakakis(query: &ConjunctiveQuery, db: &Database) -> Option<Relation> {
             .copied()
             .filter(|&v| {
                 free.contains(&v)
-                    || (0..m).any(|f| {
-                        tree_outside(&sub_vars, &tree, j, f)
-                            && query.atoms[f].mentions(v)
-                    })
+                    || (0..m)
+                        .any(|f| tree_outside(&sub_vars, &tree, j, f) && query.atoms[f].mentions(v))
             })
             .collect();
         acc = ops::project_distinct(&acc, &keep);

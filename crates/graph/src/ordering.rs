@@ -107,7 +107,11 @@ pub fn induced_width(graph: &Graph, order: &EliminationOrder) -> usize {
 /// it: the vertices in `initial` are numbered first (in the given
 /// sequence), then each subsequent vertex maximizes the number of edges to
 /// already-numbered vertices, ties broken uniformly at random.
-pub fn mcs_order<R: Rng + ?Sized>(graph: &Graph, initial: &[usize], rng: &mut R) -> EliminationOrder {
+pub fn mcs_order<R: Rng + ?Sized>(
+    graph: &Graph,
+    initial: &[usize],
+    rng: &mut R,
+) -> EliminationOrder {
     let n = graph.order();
     let mut numbered = vec![false; n];
     let mut weight = vec![0usize; n]; // edges to numbered vertices
@@ -259,7 +263,7 @@ mod tests {
     #[test]
     fn induced_width_of_bad_path_order() {
         let g = families::path(3); // 0 - 1 - 2
-        // Eliminate the middle vertex first: sees 2 live neighbors.
+                                   // Eliminate the middle vertex first: sees 2 live neighbors.
         let o = EliminationOrder::new(vec![0, 2, 1]);
         assert_eq!(induced_width(&g, &o), 2);
     }

@@ -9,7 +9,7 @@
 
 use rustc_hash::FxHashMap;
 
-use ppr_relalg::{Relation, Schema, AttrId, Value};
+use ppr_relalg::{AttrId, Relation, Schema, Value};
 
 use crate::cq::{ConjunctiveQuery, Database};
 
@@ -93,10 +93,7 @@ mod tests {
         let mut vars = Vars::new();
         let v = vars.intern_numbered("v", 2);
         let q = ConjunctiveQuery::new(
-            vec![
-                Atom::new("r", vec![v[0], v[1]]),
-                Atom::new("s", vec![v[1]]),
-            ],
+            vec![Atom::new("r", vec![v[0], v[1]]), Atom::new("s", vec![v[1]])],
             vec![v[0]],
             vars,
             true,
@@ -112,10 +109,7 @@ mod tests {
         let mut vars = Vars::new();
         let v = vars.intern_numbered("v", 2);
         let q = ConjunctiveQuery::new(
-            vec![
-                Atom::new("r", vec![v[0], v[1]]),
-                Atom::new("r", vec![v[1]]),
-            ],
+            vec![Atom::new("r", vec![v[0], v[1]]), Atom::new("r", vec![v[1]])],
             vec![v[0]],
             vars,
             true,

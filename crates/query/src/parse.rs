@@ -101,10 +101,8 @@ pub fn parse_relation(input: &str, base_col: u32) -> Result<Relation, ParseError
     let mut rows: Vec<Box<[Value]>> = Vec::new();
     let mut arity: Option<usize> = None;
     for tup in split_parenthesized(inner)? {
-        let values: Result<Vec<Value>, _> = tup
-            .split(',')
-            .map(|v| v.trim().parse::<Value>())
-            .collect();
+        let values: Result<Vec<Value>, _> =
+            tup.split(',').map(|v| v.trim().parse::<Value>()).collect();
         let values = match values {
             Ok(v) => v,
             Err(e) => return err(format!("bad value in ({tup}): {e}")),
@@ -120,11 +118,7 @@ pub fn parse_relation(input: &str, base_col: u32) -> Result<Relation, ParseError
     }
     let k = arity.ok_or_else(|| ParseError("relation needs at least one tuple".into()))?;
     let attrs: Vec<AttrId> = (0..k as u32).map(|i| AttrId(base_col + i)).collect();
-    Ok(Relation::from_distinct_rows(
-        name,
-        Schema::new(attrs),
-        rows,
-    ))
+    Ok(Relation::from_distinct_rows(name, Schema::new(attrs), rows))
 }
 
 /// Splits `e(x, y), f(y, z)` into named atoms.

@@ -60,7 +60,9 @@ impl Vars {
     /// Interns `v0, v1, …, v{n-1}` (the convention the workload encoders
     /// use: variable `v{i}` is graph vertex `i`), returning their ids.
     pub fn intern_numbered(&mut self, prefix: &str, n: usize) -> Vec<AttrId> {
-        (0..n).map(|i| self.intern(&format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.intern(&format!("{prefix}{i}")))
+            .collect()
     }
 }
 

@@ -14,11 +14,7 @@ use crate::value::Value;
 
 /// Parses CSV text into a relation over synthesized column attributes
 /// starting at `base_col`. Every row must have the same arity.
-pub fn relation_from_csv(
-    name: &str,
-    text: &str,
-    base_col: u32,
-) -> Result<Relation, String> {
+pub fn relation_from_csv(name: &str, text: &str, base_col: u32) -> Result<Relation, String> {
     let mut rows: Vec<Box<[Value]>> = Vec::new();
     let mut arity: Option<usize> = None;
     for (lineno, line) in text.lines().enumerate() {
@@ -26,10 +22,8 @@ pub fn relation_from_csv(
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let values: Result<Vec<Value>, _> = line
-            .split(',')
-            .map(|v| v.trim().parse::<Value>())
-            .collect();
+        let values: Result<Vec<Value>, _> =
+            line.split(',').map(|v| v.trim().parse::<Value>()).collect();
         let values = values.map_err(|e| format!("line {}: {e}", lineno + 1))?;
         match arity {
             None => arity = Some(values.len()),

@@ -18,10 +18,9 @@
 //! join via [`crate::ops::natural_join`]; the `ablation_pipeline` bench
 //! compares the two.
 
-use rustc_hash::{FxHashMap, FxHashSet};
-
 use crate::budget::{Budget, Meter};
 use crate::error::RelalgError;
+use crate::key::{KeyedMap, KeyedSet};
 use crate::ops;
 use crate::plan::Plan;
 use crate::relation::Relation;
@@ -29,6 +28,8 @@ use crate::schema::Schema;
 use crate::stats::ExecStats;
 use crate::value::{Tuple, Value};
 use crate::Result;
+
+pub use crate::parallel::{execute_parallel, execute_parallel_with};
 
 /// Options for the pipelined executor.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +69,8 @@ pub fn execute_with(
     let rel = materialize(plan, &mut meter, &mut stats, options)?;
     stats.tuples_flowed = meter.tuples_flowed;
     stats.elapsed = meter.elapsed();
+    stats.threads_used = 1;
+    stats.cpu_time = stats.elapsed;
     Ok((rel, stats))
 }
 
@@ -80,21 +83,27 @@ pub fn execute_materialized(plan: &Plan, budget: &Budget) -> Result<(Relation, E
     let rel = materialize_all(plan, &mut meter, &mut stats)?;
     stats.tuples_flowed = meter.tuples_flowed;
     stats.elapsed = meter.elapsed();
+    stats.threads_used = 1;
+    stats.cpu_time = stats.elapsed;
     Ok((rel, stats))
 }
 
 /// One probe stage of a pipeline: a hash table over one join input.
-struct Stage {
+///
+/// The table is a [`KeyedMap`], so probing allocates nothing per tuple:
+/// join keys of ≤ 2 values are packed into a `u64` inline, and wider keys
+/// are looked up through a reused scratch buffer.
+pub(crate) struct Stage {
     /// Join key → row indices of this input.
-    table: FxHashMap<Vec<Value>, Vec<usize>>,
+    pub(crate) table: KeyedMap<Vec<usize>>,
     /// This input's rows.
-    rows: Vec<Tuple>,
+    pub(crate) rows: Vec<Tuple>,
     /// Positions *within the accumulated tuple buffer* of the join-key
     /// values to probe with.
-    key_pos_in_buf: Vec<usize>,
+    pub(crate) key_pos_in_buf: Vec<usize>,
     /// Positions within this input's rows of the columns appended to the
     /// buffer (columns not already bound by earlier stages).
-    extra_pos: Vec<usize>,
+    pub(crate) extra_pos: Vec<usize>,
 }
 
 /// Where pipeline output goes.
@@ -105,14 +114,20 @@ enum Sink {
     /// off this degrades to a plain projection (bag semantics).
     Distinct {
         keep_pos: Vec<usize>,
-        seen: FxHashSet<Tuple>,
+        seen: KeyedSet,
         rows: Vec<Tuple>,
         dedup: bool,
     },
 }
 
 impl Sink {
-    fn emit(&mut self, buf: &[Value], meter: &Meter, stats: &mut ExecStats) -> Result<()> {
+    fn emit(
+        &mut self,
+        buf: &[Value],
+        scratch: &mut Vec<Value>,
+        meter: &Meter,
+        stats: &mut ExecStats,
+    ) -> Result<()> {
         let rows = match self {
             Sink::Bag(rows) => {
                 rows.push(buf.to_vec().into_boxed_slice());
@@ -125,9 +140,10 @@ impl Sink {
                 dedup,
             } => {
                 stats.materialized_rows_in += 1;
-                let t: Tuple = keep_pos.iter().map(|&p| buf[p]).collect();
-                if !*dedup || seen.insert(t.clone()) {
-                    rows.push(t);
+                // Duplicates cost a set probe only; the projected row is
+                // allocated just for first occurrences.
+                if !*dedup || seen.insert(keep_pos, buf, scratch) {
+                    rows.push(keep_pos.iter().map(|&p| buf[p]).collect());
                 }
                 rows.len()
             }
@@ -148,7 +164,7 @@ impl Sink {
 /// trees produce when an interior node skips a no-op projection) flatten
 /// the same way, which is sound because the pipeline natural-joins its
 /// inputs in sequence and ⋈ is associative and commutative.
-fn join_chain(plan: &Plan) -> Vec<&Plan> {
+pub(crate) fn join_chain(plan: &Plan) -> Vec<&Plan> {
     match plan {
         Plan::Join { left, right } => {
             let mut chain = join_chain(left);
@@ -196,9 +212,7 @@ fn pipeline(
     for node in &chain {
         match node {
             Plan::Scan { base, binding } => inputs.push(ops::bind(base, binding)),
-            Plan::ProjectDistinct { .. } => {
-                inputs.push(materialize(node, meter, stats, options)?)
-            }
+            Plan::ProjectDistinct { .. } => inputs.push(materialize(node, meter, stats, options)?),
             Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
         }
     }
@@ -206,33 +220,13 @@ fn pipeline(
     // Accumulated schema after each stage.
     let mut acc = inputs[0].schema().clone();
     stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
+    let mut scratch: Vec<Value> = Vec::new();
     let mut stages: Vec<Stage> = Vec::with_capacity(inputs.len().saturating_sub(1));
     for input in &inputs[1..] {
-        let keys = acc.common(input.schema());
-        let key_pos_in_buf = acc.positions(&keys);
-        let key_pos_in_rel = input.schema().positions(&keys);
-        let extra_pos: Vec<usize> = input
-            .schema()
-            .attrs()
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| !acc.contains(**a))
-            .map(|(i, _)| i)
-            .collect();
-        let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-        table.reserve(input.len());
-        for (i, t) in input.tuples().iter().enumerate() {
-            let key: Vec<Value> = key_pos_in_rel.iter().map(|&p| t[p]).collect();
-            table.entry(key).or_default().push(i);
-        }
+        let stage = build_stage(&acc, input, &mut scratch);
         acc = acc.join(input.schema());
         stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
-        stages.push(Stage {
-            table,
-            rows: input.tuples().to_vec(),
-            key_pos_in_buf,
-            extra_pos,
-        });
+        stages.push(stage);
     }
     stats.join_stages += stages.len() as u64;
 
@@ -242,27 +236,30 @@ fn pipeline(
         None => acc.clone(),
     };
     let mut sink = match keep {
-        Some(attrs) => Sink::Distinct {
-            keep_pos: acc.positions(&attrs),
-            seen: FxHashSet::default(),
-            rows: Vec::new(),
-            dedup: options.dedup_subqueries,
-        },
+        Some(attrs) => {
+            let keep_pos = acc.positions(&attrs);
+            Sink::Distinct {
+                seen: KeyedSet::with_capacity(keep_pos.len(), 0),
+                keep_pos,
+                rows: Vec::new(),
+                dedup: options.dedup_subqueries,
+            }
+        }
         None => Sink::Bag(Vec::new()),
     };
 
     // Depth-first streaming: probe stage by stage, never materializing the
     // intermediate tuple.
     let mut buf: Vec<Value> = Vec::with_capacity(acc.arity());
-    let first = std::mem::replace(&mut inputs[0], Relation::empty("", Schema::empty()))
-        .into_tuples();
+    let first =
+        std::mem::replace(&mut inputs[0], Relation::empty("", Schema::empty())).into_tuples();
     for t in &first {
         if let Some(kind) = meter.on_tuple() {
             return Err(budget_err(kind, meter));
         }
         buf.clear();
         buf.extend_from_slice(t);
-        probe(&stages, 0, &mut buf, &mut sink, meter, stats)
+        probe(&stages, 0, &mut buf, &mut scratch, &mut sink, meter, stats)
             .map_err(|e| attach_flow(e, meter))?;
     }
 
@@ -277,20 +274,46 @@ fn pipeline(
     Ok(rel)
 }
 
+/// Builds one probe stage: a keyed hash table over `input`, joined against
+/// the accumulated schema `acc`. `scratch` is reused across build tuples.
+pub(crate) fn build_stage(acc: &Schema, input: &Relation, scratch: &mut Vec<Value>) -> Stage {
+    let keys = acc.common(input.schema());
+    let key_pos_in_buf = acc.positions(&keys);
+    let key_pos_in_rel = input.schema().positions(&keys);
+    let extra_pos: Vec<usize> = input
+        .schema()
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !acc.contains(**a))
+        .map(|(i, _)| i)
+        .collect();
+    let mut table: KeyedMap<Vec<usize>> = KeyedMap::with_capacity(keys.len(), input.len());
+    for (i, t) in input.tuples().iter().enumerate() {
+        table.entry_or_default(&key_pos_in_rel, t, scratch).push(i);
+    }
+    Stage {
+        table,
+        rows: input.tuples().to_vec(),
+        key_pos_in_buf,
+        extra_pos,
+    }
+}
+
 fn probe(
     stages: &[Stage],
     idx: usize,
     buf: &mut Vec<Value>,
+    scratch: &mut Vec<Value>,
     sink: &mut Sink,
     meter: &mut Meter,
     stats: &mut ExecStats,
 ) -> Result<()> {
     if idx == stages.len() {
-        return sink.emit(buf, meter, stats);
+        return sink.emit(buf, scratch, meter, stats);
     }
     let stage = &stages[idx];
-    let key: Vec<Value> = stage.key_pos_in_buf.iter().map(|&p| buf[p]).collect();
-    if let Some(matches) = stage.table.get(&key) {
+    if let Some(matches) = stage.table.get(&stage.key_pos_in_buf, buf, scratch) {
         let base_len = buf.len();
         for &ri in matches {
             if let Some(kind) = meter.on_tuple() {
@@ -302,7 +325,7 @@ fn probe(
             let row = &stage.rows[ri];
             buf.truncate(base_len);
             buf.extend(stage.extra_pos.iter().map(|&p| row[p]));
-            probe(stages, idx + 1, buf, sink, meter, stats)?;
+            probe(stages, idx + 1, buf, scratch, sink, meter, stats)?;
         }
         buf.truncate(base_len);
     }
@@ -465,8 +488,7 @@ mod tests {
     #[test]
     fn bare_join_returns_bag() {
         let e = edge();
-        let plan =
-            Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(2), a(3)]));
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(2), a(3)]));
         let (rel, _) = execute(&plan, &Budget::unlimited()).unwrap();
         // 6 edge tuples, each extended by 2 choices for v3.
         assert_eq!(rel.len(), 12);
@@ -477,8 +499,7 @@ mod tests {
     fn cross_product_stage() {
         let e = edge();
         // Disjoint attributes: full cross product 6 × 6.
-        let plan =
-            Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(3), a(4)]));
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(3), a(4)]));
         let (rel, stats) = execute(&plan, &Budget::unlimited()).unwrap();
         assert_eq!(rel.len(), 36);
         assert_eq!(stats.max_intermediate_arity, 4);
@@ -506,10 +527,10 @@ mod tests {
         // Join-expression trees produce bushy joins when interior nodes
         // skip no-op projections; the pipeline must flatten both spines.
         let e = edge();
-        let left = Plan::scan(e.clone(), vec![a(1), a(2)])
-            .join(Plan::scan(e.clone(), vec![a(2), a(3)]));
-        let right = Plan::scan(e.clone(), vec![a(3), a(4)])
-            .join(Plan::scan(e.clone(), vec![a(4), a(5)]));
+        let left =
+            Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e.clone(), vec![a(2), a(3)]));
+        let right =
+            Plan::scan(e.clone(), vec![a(3), a(4)]).join(Plan::scan(e.clone(), vec![a(4), a(5)]));
         let bushy = Plan::Join {
             left: Box::new(left),
             right: Box::new(right),
@@ -526,7 +547,9 @@ mod tests {
     fn no_dedup_option_keeps_duplicates() {
         let e = edge();
         let sub = Plan::scan(e.clone(), vec![a(1), a(2)]).project(vec![a(2)]);
-        let plan = sub.join(Plan::scan(e, vec![a(2), a(3)])).project(vec![a(3)]);
+        let plan = sub
+            .join(Plan::scan(e, vec![a(2), a(3)]))
+            .project(vec![a(3)]);
         let opts = ExecOptions {
             dedup_subqueries: false,
         };

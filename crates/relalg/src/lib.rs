@@ -27,7 +27,9 @@ pub mod budget;
 pub mod csv;
 pub mod error;
 pub mod exec;
+pub mod key;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod relation;
 pub mod schema;

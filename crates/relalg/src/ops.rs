@@ -5,8 +5,9 @@
 //! compositions of these operators. They are also used directly by the
 //! Yannakakis semijoin reducer and the fully-materialized ablation executor.
 
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashSet;
 
+use crate::key::{JoinKey, KeyedMap, KeyedSet};
 use crate::relation::Relation;
 use crate::schema::{AttrId, Schema};
 use crate::value::{Tuple, Value};
@@ -40,19 +41,17 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
         .map(|(i, _)| i)
         .collect();
 
-    let mut table: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-    table.reserve(right.len());
+    let mut table: KeyedMap<Vec<usize>> = KeyedMap::with_capacity(keys.len(), right.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(keys.len());
     for (i, t) in right.tuples().iter().enumerate() {
-        let key: Vec<Value> = right_key_pos.iter().map(|&p| t[p]).collect();
-        table.entry(key).or_default().push(i);
+        table
+            .entry_or_default(&right_key_pos, t, &mut scratch)
+            .push(i);
     }
 
     let mut rows: Vec<Tuple> = Vec::new();
-    let mut key_buf: Vec<Value> = Vec::with_capacity(keys.len());
     for lt in left.tuples() {
-        key_buf.clear();
-        key_buf.extend(left_key_pos.iter().map(|&p| lt[p]));
-        if let Some(matches) = table.get(&key_buf) {
+        if let Some(matches) = table.get(&left_key_pos, lt, &mut scratch) {
             for &ri in matches {
                 let rt = &right.tuples()[ri];
                 let mut out = Vec::with_capacity(out_schema.arity());
@@ -107,30 +106,33 @@ pub fn sort_merge_join(left: &Relation, right: &Relation) -> Relation {
         .map(|(i, _)| i)
         .collect();
 
-    let key_of = |t: &Tuple, pos: &[usize]| -> Vec<Value> { pos.iter().map(|&p| t[p]).collect() };
-    let mut l: Vec<&Tuple> = left.tuples().iter().collect();
-    let mut r: Vec<&Tuple> = right.tuples().iter().collect();
-    l.sort_by_key(|t| key_of(t, &left_key_pos));
-    r.sort_by_key(|t| key_of(t, &right_key_pos));
+    // Key each row once ([`JoinKey`] allocates only for keys wider than
+    // two values), instead of re-extracting a `Vec` per comparison.
+    let mut l: Vec<(JoinKey, &Tuple)> = left
+        .tuples()
+        .iter()
+        .map(|t| (JoinKey::from_row(&left_key_pos, t), t))
+        .collect();
+    let mut r: Vec<(JoinKey, &Tuple)> = right
+        .tuples()
+        .iter()
+        .map(|t| (JoinKey::from_row(&right_key_pos, t), t))
+        .collect();
+    l.sort_by(|a, b| a.0.cmp(&b.0));
+    r.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut rows: Vec<Tuple> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < l.len() && j < r.len() {
-        let lk = key_of(l[i], &left_key_pos);
-        let rk = key_of(r[j], &right_key_pos);
-        match lk.cmp(&rk) {
+        match l[i].0.cmp(&r[j].0) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 // Run boundaries on both sides.
-                let i_end = (i..l.len())
-                    .find(|&x| key_of(l[x], &left_key_pos) != lk)
-                    .unwrap_or(l.len());
-                let j_end = (j..r.len())
-                    .find(|&x| key_of(r[x], &right_key_pos) != rk)
-                    .unwrap_or(r.len());
-                for lt in &l[i..i_end] {
-                    for rt in &r[j..j_end] {
+                let i_end = (i..l.len()).find(|&x| l[x].0 != l[i].0).unwrap_or(l.len());
+                let j_end = (j..r.len()).find(|&x| r[x].0 != r[j].0).unwrap_or(r.len());
+                for (_, lt) in &l[i..i_end] {
+                    for (_, rt) in &r[j..j_end] {
                         let mut out = Vec::with_capacity(out_schema.arity());
                         out.extend_from_slice(lt);
                         out.extend(right_extra_pos.iter().map(|&p| rt[p]));
@@ -189,12 +191,14 @@ pub fn nested_loop_join(left: &Relation, right: &Relation) -> Relation {
 pub fn project_distinct(rel: &Relation, keep: &[AttrId]) -> Relation {
     let pos = rel.schema().positions(keep);
     let schema = rel.schema().project(keep);
-    let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+    let mut seen = KeyedSet::with_capacity(pos.len(), rel.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(pos.len());
     let mut rows = Vec::new();
     for t in rel.tuples() {
-        let out: Tuple = pos.iter().map(|&p| t[p]).collect();
-        if seen.insert(out.clone()) {
-            rows.push(out);
+        // Duplicates cost a set probe only; the output row is allocated
+        // just for first occurrences.
+        if seen.insert(&pos, t, &mut scratch) {
+            rows.push(pos.iter().map(|&p| t[p]).collect());
         }
     }
     let mut r = Relation::new(format!("π({})", rel.name()), schema, rows);
@@ -244,24 +248,23 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
         } else {
             left.tuples().to_vec()
         };
-        return Relation::new(format!("({}⋉{})", left.name(), right.name()),
-            left.schema().clone(), rows);
+        return Relation::new(
+            format!("({}⋉{})", left.name(), right.name()),
+            left.schema().clone(),
+            rows,
+        );
     }
     let left_pos = left.schema().positions(&keys);
     let right_pos = right.schema().positions(&keys);
-    let mut table: FxHashSet<Vec<Value>> = FxHashSet::default();
+    let mut table = KeyedSet::with_capacity(keys.len(), right.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(keys.len());
     for t in right.tuples() {
-        table.insert(right_pos.iter().map(|&p| t[p]).collect());
+        table.insert(&right_pos, t, &mut scratch);
     }
-    let mut key_buf: Vec<Value> = Vec::with_capacity(keys.len());
     let rows = left
         .tuples()
         .iter()
-        .filter(|t| {
-            key_buf.clear();
-            key_buf.extend(left_pos.iter().map(|&p| t[p]));
-            table.contains(&key_buf)
-        })
+        .filter(|t| table.contains(&left_pos, t, &mut scratch))
         .cloned()
         .collect();
     Relation::new(
@@ -276,12 +279,20 @@ pub fn union(a: &Relation, b: &Relation) -> Relation {
     assert_eq!(a.schema(), b.schema(), "union requires identical schemas");
     let mut rows = a.tuples().to_vec();
     rows.extend_from_slice(b.tuples());
-    Relation::from_distinct_rows(format!("({}∪{})", a.name(), b.name()), a.schema().clone(), rows)
+    Relation::from_distinct_rows(
+        format!("({}∪{})", a.name(), b.name()),
+        a.schema().clone(),
+        rows,
+    )
 }
 
 /// Set difference `a − b`; panics if schemas differ.
 pub fn difference(a: &Relation, b: &Relation) -> Relation {
-    assert_eq!(a.schema(), b.schema(), "difference requires identical schemas");
+    assert_eq!(
+        a.schema(),
+        b.schema(),
+        "difference requires identical schemas"
+    );
     let bset: FxHashSet<&Tuple> = b.tuples().iter().collect();
     let rows = a
         .tuples()
@@ -289,7 +300,11 @@ pub fn difference(a: &Relation, b: &Relation) -> Relation {
         .filter(|t| !bset.contains(t))
         .cloned()
         .collect();
-    Relation::from_distinct_rows(format!("({}−{})", a.name(), b.name()), a.schema().clone(), rows)
+    Relation::from_distinct_rows(
+        format!("({}−{})", a.name(), b.name()),
+        a.schema().clone(),
+        rows,
+    )
 }
 
 /// Renames attributes positionally: column `i` becomes `binding[i]`.
@@ -346,7 +361,10 @@ mod tests {
         let a = rel("a", &[1, 2], &[&[1, 10], &[2, 20]]);
         let b = rel("b", &[2, 3], &[&[10, 100], &[10, 101], &[30, 300]]);
         let j = natural_join(&a, &b);
-        assert_eq!(j.schema(), &Schema::new(vec![AttrId(1), AttrId(2), AttrId(3)]));
+        assert_eq!(
+            j.schema(),
+            &Schema::new(vec![AttrId(1), AttrId(2), AttrId(3)])
+        );
         let mut rows: Vec<_> = j.tuples().to_vec();
         rows.sort();
         assert_eq!(rows, vec![tuple(&[1, 10, 100]), tuple(&[1, 10, 101])]);

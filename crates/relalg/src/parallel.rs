@@ -1,0 +1,815 @@
+//! Parallel partitioned plan execution.
+//!
+//! [`execute_parallel`] evaluates the same plans as [`crate::exec::execute`]
+//! and produces **byte-identical** result relations, but spreads the work
+//! over a scoped thread pool (`std::thread::scope` — the environment has no
+//! crates.io access, so rayon is not an option, and scoped threads are all
+//! the structure needed; see `DESIGN.md` §2):
+//!
+//! * **Independent subqueries** feeding one pipeline (the buckets of
+//!   bucket elimination) are materialized concurrently.
+//! * **Build sides** of large join stages are hash-partitioned into `P`
+//!   shards and the shard tables are built in parallel; probes route by
+//!   the same hash, so a lookup touches exactly one shard.
+//! * **Probe pipelines** run over contiguous chunks of the first input,
+//!   claimed work-stealing style off an atomic counter. Each worker owns
+//!   its sink (a per-worker distinct set — no contention), and the
+//!   chunk-ordered merge reproduces the serial executor's row order
+//!   exactly: dedup keeps first occurrences, and first occurrence in
+//!   chunk order *is* first occurrence in serial order.
+//!
+//! Budgets stay cooperative: workers count tuples locally and flush to a
+//! shared atomic every few thousand tuples; the first worker to observe an
+//! exhausted budget trips a stop flag that the rest see at their next
+//! flush. Totals are exact on success, so `tuples_flowed` matches the
+//! serial executor for every thread count.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::budget::{Budget, BudgetKind};
+use crate::error::RelalgError;
+use crate::exec::{join_chain, ExecOptions};
+use crate::key::{shard_of, KeyedMap, KeyedSet};
+use crate::ops;
+use crate::plan::Plan;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::stats::ExecStats;
+use crate::value::{Tuple, Value};
+use crate::Result;
+
+/// Tuples a worker accounts locally before flushing to the shared meter.
+const FLUSH_EVERY: u64 = 4096;
+/// Build sides smaller than this are built single-shard on the calling
+/// thread (partitioning overhead would dominate).
+const PARALLEL_BUILD_MIN: usize = 4096;
+/// Probe chunks per worker: more than one so a slow chunk doesn't leave
+/// the other workers idle at the tail.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Executes `plan` on `threads` worker threads (0 = one per available
+/// core) under `budget`, with default [`ExecOptions`].
+///
+/// The result relation is byte-identical to [`crate::exec::execute`]'s —
+/// same rows, same order — and `tuples_flowed` is exact and equal to the
+/// serial count for every thread count.
+pub fn execute_parallel(
+    plan: &Plan,
+    budget: &Budget,
+    threads: usize,
+) -> Result<(Relation, ExecStats)> {
+    execute_parallel_with(plan, budget, threads, ExecOptions::default())
+}
+
+/// [`execute_parallel`] with explicit [`ExecOptions`].
+pub fn execute_parallel_with(
+    plan: &Plan,
+    budget: &Budget,
+    threads: usize,
+    options: ExecOptions,
+) -> Result<(Relation, ExecStats)> {
+    plan.validate()?;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let meter = SharedMeter::new(budget);
+    let telemetry = Telemetry::new(threads);
+    let ctx = Ctx {
+        meter: &meter,
+        telemetry: &telemetry,
+        options,
+    };
+    let mut stats = ExecStats::default();
+    let rel = materialize_par(plan, ctx, &mut stats, threads)?;
+    stats.tuples_flowed = meter.total();
+    stats.elapsed = meter.started.elapsed();
+    stats.threads_used = threads as u64;
+    stats.shard_tuples = telemetry.flows.lock().expect("telemetry lock").clone();
+    stats.cpu_time = Duration::from_nanos(telemetry.busy_nanos.load(Ordering::Relaxed));
+    Ok((rel, stats))
+}
+
+/// Shared execution context, copied into every worker.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    meter: &'a SharedMeter,
+    telemetry: &'a Telemetry,
+    options: ExecOptions,
+}
+
+/// Cross-thread budget meter: a tuple counter workers flush into in
+/// batches, plus a stop flag recording the first exhausted budget.
+struct SharedMeter {
+    budget: Budget,
+    started: Instant,
+    flowed: AtomicU64,
+    /// 0 = running; otherwise `BudgetKind` discriminant + 1.
+    stop: AtomicU8,
+}
+
+impl SharedMeter {
+    fn new(budget: &Budget) -> Self {
+        SharedMeter {
+            budget: budget.clone(),
+            started: Instant::now(),
+            flowed: AtomicU64::new(0),
+            stop: AtomicU8::new(0),
+        }
+    }
+
+    /// Adds `n` locally-counted tuples and checks every budget dimension.
+    fn flush(&self, n: u64) -> StdResult {
+        if n > 0 {
+            self.flowed.fetch_add(n, Ordering::Relaxed);
+        }
+        self.check()
+    }
+
+    /// Checks the stop flag and global limits without adding tuples.
+    fn check(&self) -> StdResult {
+        if let Some(kind) = decode_stop(self.stop.load(Ordering::Relaxed)) {
+            return Err(kind);
+        }
+        if self.flowed.load(Ordering::Relaxed) > self.budget.max_tuples_flowed {
+            return Err(self.trip(BudgetKind::Tuples));
+        }
+        if let Some(limit) = self.budget.timeout {
+            if self.started.elapsed() > limit {
+                return Err(self.trip(BudgetKind::WallClock));
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the first tripped budget; later trips observe the winner.
+    fn trip(&self, kind: BudgetKind) -> BudgetKind {
+        let encoded = encode_stop(kind);
+        match self
+            .stop
+            .compare_exchange(0, encoded, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => kind,
+            Err(prior) => decode_stop(prior).unwrap_or(kind),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.flowed.load(Ordering::Relaxed)
+    }
+}
+
+type StdResult = std::result::Result<(), BudgetKind>;
+
+fn encode_stop(kind: BudgetKind) -> u8 {
+    match kind {
+        BudgetKind::Tuples => 1,
+        BudgetKind::Materialized => 2,
+        BudgetKind::WallClock => 3,
+    }
+}
+
+fn decode_stop(v: u8) -> Option<BudgetKind> {
+    match v {
+        1 => Some(BudgetKind::Tuples),
+        2 => Some(BudgetKind::Materialized),
+        3 => Some(BudgetKind::WallClock),
+        _ => None,
+    }
+}
+
+/// Per-worker view of the shared meter: counts locally, flushes in
+/// batches so the atomic stays off the per-tuple path.
+struct LocalMeter<'a> {
+    shared: &'a SharedMeter,
+    unflushed: u64,
+    /// Total tuples this worker flowed (for `ExecStats::shard_tuples`).
+    flowed: u64,
+}
+
+impl<'a> LocalMeter<'a> {
+    fn new(shared: &'a SharedMeter) -> Self {
+        LocalMeter {
+            shared,
+            unflushed: 0,
+            flowed: 0,
+        }
+    }
+
+    #[inline]
+    fn on_tuple(&mut self) -> StdResult {
+        self.unflushed += 1;
+        self.flowed += 1;
+        if self.unflushed >= FLUSH_EVERY {
+            self.flush()
+        } else {
+            Ok(())
+        }
+    }
+
+    fn flush(&mut self) -> StdResult {
+        let n = std::mem::take(&mut self.unflushed);
+        self.shared.flush(n)
+    }
+}
+
+/// Aggregated worker telemetry for [`ExecStats`].
+struct Telemetry {
+    busy_nanos: AtomicU64,
+    flows: Mutex<Vec<u64>>,
+}
+
+impl Telemetry {
+    fn new(threads: usize) -> Self {
+        Telemetry {
+            busy_nanos: AtomicU64::new(0),
+            flows: Mutex::new(vec![0; threads]),
+        }
+    }
+
+    fn record_worker(&self, index: usize, flowed: u64, busy: Duration) {
+        self.busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        let mut flows = self.flows.lock().expect("telemetry lock");
+        if index < flows.len() {
+            flows[index] += flowed;
+        }
+    }
+}
+
+/// One probe stage whose build side is hash-partitioned into shards.
+/// Probes route by [`shard_of`] over the same key positions used at build
+/// time, so each lookup touches exactly one shard.
+struct ParStage {
+    shards: Vec<KeyedMap<Vec<usize>>>,
+    rows: Vec<Tuple>,
+    key_pos_in_buf: Vec<usize>,
+    extra_pos: Vec<usize>,
+}
+
+/// Parallel counterpart of the serial executor's `materialize`.
+fn materialize_par(
+    plan: &Plan,
+    ctx: Ctx<'_>,
+    stats: &mut ExecStats,
+    threads: usize,
+) -> Result<Relation> {
+    match plan {
+        Plan::Scan { .. } | Plan::Join { .. } => pipeline_par(plan, None, ctx, stats, threads),
+        Plan::ProjectDistinct { input, keep } => {
+            let rel = pipeline_par(input, Some(keep.clone()), ctx, stats, threads)?;
+            stats.materializations += 1;
+            stats.peak_materialized = stats.peak_materialized.max(rel.len() as u64);
+            stats.materialized_rows_out += rel.len() as u64;
+            Ok(rel)
+        }
+    }
+}
+
+/// Runs one join pipeline with partitioned builds and chunked probes.
+fn pipeline_par(
+    plan: &Plan,
+    keep: Option<Vec<crate::schema::AttrId>>,
+    ctx: Ctx<'_>,
+    stats: &mut ExecStats,
+    threads: usize,
+) -> Result<Relation> {
+    let chain = join_chain(plan);
+
+    // Materialize pipeline inputs. Scans bind inline (cheap); subquery
+    // inputs are independent of each other — the "buckets" of bucket
+    // elimination — so with threads to spare they materialize
+    // concurrently, each lane getting an equal share of the thread budget.
+    let mut inputs: Vec<Option<Relation>> = (0..chain.len()).map(|_| None).collect();
+    let mut subqueries: Vec<usize> = Vec::new();
+    for (i, node) in chain.iter().enumerate() {
+        match node {
+            Plan::Scan { base, binding } => inputs[i] = Some(ops::bind(base, binding)),
+            Plan::ProjectDistinct { .. } => subqueries.push(i),
+            Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
+        }
+    }
+    if threads <= 1 || subqueries.len() <= 1 {
+        for &i in &subqueries {
+            inputs[i] = Some(materialize_par(chain[i], ctx, stats, threads)?);
+        }
+    } else {
+        let share = (threads / subqueries.len()).max(1);
+        let lanes: Vec<Result<(Relation, ExecStats)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = subqueries
+                .iter()
+                .map(|&i| {
+                    let node = chain[i];
+                    s.spawn(move || {
+                        let mut lane_stats = ExecStats::default();
+                        materialize_par(node, ctx, &mut lane_stats, share)
+                            .map(|rel| (rel, lane_stats))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("subquery lane panicked"))
+                .collect()
+        });
+        for (&i, lane) in subqueries.iter().zip(lanes) {
+            let (rel, lane_stats) = lane?;
+            stats.absorb(&lane_stats);
+            inputs[i] = Some(rel);
+        }
+    }
+    let inputs: Vec<Relation> = inputs
+        .into_iter()
+        .map(|r| r.expect("all inputs set"))
+        .collect();
+
+    // Build stages, hash-partitioning large build sides across threads.
+    let mut acc = inputs[0].schema().clone();
+    stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
+    let mut stages: Vec<ParStage> = Vec::with_capacity(inputs.len().saturating_sub(1));
+    for input in &inputs[1..] {
+        let shards = if threads > 1 && input.len() >= PARALLEL_BUILD_MIN {
+            threads
+        } else {
+            1
+        };
+        let stage = build_stage_par(&acc, input, shards);
+        acc = acc.join(input.schema());
+        stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
+        stages.push(stage);
+    }
+    stats.join_stages += stages.len() as u64;
+
+    let distinct = keep.is_some() && ctx.options.dedup_subqueries;
+    let out_schema = match &keep {
+        Some(attrs) => acc.project(attrs),
+        None => acc.clone(),
+    };
+    let keep_pos: Option<Vec<usize>> = keep.as_ref().map(|attrs| acc.positions(attrs));
+
+    // Chunked parallel probe over the first input.
+    let mut inputs = inputs;
+    let first =
+        std::mem::replace(&mut inputs[0], Relation::empty("", Schema::empty())).into_tuples();
+    let chunk_size = first
+        .len()
+        .div_ceil((threads * CHUNKS_PER_THREAD).max(1))
+        .max(1);
+    let nchunks = first.len().div_ceil(chunk_size);
+    let workers = threads.min(nchunks).max(1);
+
+    let next = AtomicUsize::new(0);
+    let outcomes: Vec<std::result::Result<WorkerOut, BudgetKind>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let stages = &stages;
+                let first = &first;
+                let next = &next;
+                let keep_pos = keep_pos.as_deref();
+                s.spawn(move || {
+                    run_probe_worker(stages, first, chunk_size, nchunks, next, keep_pos, ctx)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe worker panicked"))
+            .collect()
+    });
+
+    // Collect worker output; any budget trip aborts the pipeline.
+    let mut per_chunk: Vec<Vec<Tuple>> = (0..nchunks).map(|_| Vec::new()).collect();
+    let mut rows_in_total = 0u64;
+    for (w, outcome) in outcomes.into_iter().enumerate() {
+        let out = outcome.map_err(|kind| budget_err(kind, ctx.meter))?;
+        ctx.telemetry.record_worker(w, out.flowed, out.busy);
+        rows_in_total += out.rows_in;
+        for (c, rows) in out.chunks {
+            per_chunk[c] = rows;
+        }
+    }
+    stats.materialized_rows_in += rows_in_total;
+
+    // Chunk-ordered merge. Dedup keeps first occurrences, which in chunk
+    // order is exactly the serial first-occurrence order, so the merged
+    // rows are byte-identical to the serial executor's.
+    let mut rows: Vec<Tuple> = Vec::new();
+    if distinct {
+        let width = keep_pos.as_ref().map_or(0, |k| k.len());
+        let identity: Vec<usize> = (0..width).collect();
+        let mut seen = KeyedSet::with_capacity(width, 0);
+        let mut scratch: Vec<Value> = Vec::new();
+        for chunk_rows in per_chunk {
+            for t in chunk_rows {
+                if seen.insert(&identity, &t, &mut scratch) {
+                    rows.push(t);
+                }
+            }
+        }
+    } else {
+        for chunk_rows in &mut per_chunk {
+            rows.append(chunk_rows);
+        }
+    }
+    if rows.len() as u64 > ctx.meter.budget.max_materialized {
+        return Err(budget_err(
+            ctx.meter.trip(BudgetKind::Materialized),
+            ctx.meter,
+        ));
+    }
+
+    let mut rel = Relation::new("result", out_schema, rows);
+    if distinct {
+        rel.assume_deduped();
+    }
+    Ok(rel)
+}
+
+/// Output of one probe worker: emitted rows grouped by chunk, plus
+/// accounting.
+struct WorkerOut {
+    chunks: Vec<(usize, Vec<Tuple>)>,
+    flowed: u64,
+    rows_in: u64,
+    busy: Duration,
+}
+
+/// A probe worker: claims chunks off the shared counter, streams them
+/// through the stages into a private sink, and returns per-chunk rows.
+fn run_probe_worker(
+    stages: &[ParStage],
+    first: &[Tuple],
+    chunk_size: usize,
+    nchunks: usize,
+    next: &AtomicUsize,
+    keep_pos: Option<&[usize]>,
+    ctx: Ctx<'_>,
+) -> std::result::Result<WorkerOut, BudgetKind> {
+    let t0 = Instant::now();
+    let mut meter = LocalMeter::new(ctx.meter);
+    let mut sink = match keep_pos {
+        Some(kp) => WorkerSink::Distinct {
+            keep_pos: kp,
+            seen: KeyedSet::with_capacity(kp.len(), 0),
+            rows: Vec::new(),
+            dedup: ctx.options.dedup_subqueries,
+            rows_in: 0,
+        },
+        None => WorkerSink::Bag { rows: Vec::new() },
+    };
+    let mut chunks: Vec<(usize, Vec<Tuple>)> = Vec::new();
+    let mut buf: Vec<Value> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::new();
+    loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= nchunks {
+            break;
+        }
+        // See the stop flag promptly even when our own flow is slow.
+        ctx.meter.check()?;
+        let lo = c * chunk_size;
+        let hi = (lo + chunk_size).min(first.len());
+        for t in &first[lo..hi] {
+            meter.on_tuple()?;
+            buf.clear();
+            buf.extend_from_slice(t);
+            probe_par(stages, 0, &mut buf, &mut scratch, &mut sink, &mut meter)?;
+        }
+        chunks.push((c, sink.take_rows()));
+    }
+    meter.flush()?;
+    Ok(WorkerOut {
+        chunks,
+        flowed: meter.flowed,
+        rows_in: sink.rows_in(),
+        busy: t0.elapsed(),
+    })
+}
+
+/// Per-worker pipeline sink. The distinct set is worker-private — dedup
+/// across workers happens at the chunk-ordered merge, so suppressing a
+/// duplicate here is safe exactly because the kept occurrence lives in an
+/// earlier chunk of the same worker.
+enum WorkerSink<'a> {
+    Bag {
+        rows: Vec<Tuple>,
+    },
+    Distinct {
+        keep_pos: &'a [usize],
+        seen: KeyedSet,
+        rows: Vec<Tuple>,
+        dedup: bool,
+        rows_in: u64,
+    },
+}
+
+impl WorkerSink<'_> {
+    #[inline]
+    fn emit(&mut self, buf: &[Value], scratch: &mut Vec<Value>) {
+        match self {
+            WorkerSink::Bag { rows } => rows.push(buf.to_vec().into_boxed_slice()),
+            WorkerSink::Distinct {
+                keep_pos,
+                seen,
+                rows,
+                dedup,
+                rows_in,
+            } => {
+                *rows_in += 1;
+                if !*dedup || seen.insert(keep_pos, buf, scratch) {
+                    rows.push(keep_pos.iter().map(|&p| buf[p]).collect());
+                }
+            }
+        }
+    }
+
+    /// Takes the rows emitted since the last call (one chunk's worth).
+    fn take_rows(&mut self) -> Vec<Tuple> {
+        match self {
+            WorkerSink::Bag { rows } => std::mem::take(rows),
+            WorkerSink::Distinct { rows, .. } => std::mem::take(rows),
+        }
+    }
+
+    fn rows_in(&self) -> u64 {
+        match self {
+            WorkerSink::Bag { .. } => 0,
+            WorkerSink::Distinct { rows_in, .. } => *rows_in,
+        }
+    }
+}
+
+/// Depth-first probe through sharded stages (parallel counterpart of the
+/// serial executor's `probe`).
+fn probe_par(
+    stages: &[ParStage],
+    idx: usize,
+    buf: &mut Vec<Value>,
+    scratch: &mut Vec<Value>,
+    sink: &mut WorkerSink<'_>,
+    meter: &mut LocalMeter<'_>,
+) -> StdResult {
+    if idx == stages.len() {
+        sink.emit(buf, scratch);
+        return Ok(());
+    }
+    let stage = &stages[idx];
+    let shard = if stage.shards.len() == 1 {
+        0
+    } else {
+        shard_of(&stage.key_pos_in_buf, buf, stage.shards.len())
+    };
+    if let Some(matches) = stage.shards[shard].get(&stage.key_pos_in_buf, buf, scratch) {
+        let base_len = buf.len();
+        for &ri in matches {
+            meter.on_tuple()?;
+            let row = &stage.rows[ri];
+            buf.truncate(base_len);
+            buf.extend(stage.extra_pos.iter().map(|&p| row[p]));
+            probe_par(stages, idx + 1, buf, scratch, sink, meter)?;
+        }
+        buf.truncate(base_len);
+    }
+    Ok(())
+}
+
+/// Builds one sharded probe stage. With more than one shard, partitioning
+/// and shard-table construction both run across scoped threads; row
+/// indices stay ascending within every shard entry, so probe match order
+/// — and therefore output order — is identical to the serial build.
+fn build_stage_par(acc: &Schema, input: &Relation, shards: usize) -> ParStage {
+    let keys = acc.common(input.schema());
+    let key_pos_in_buf = acc.positions(&keys);
+    let key_pos_in_rel = input.schema().positions(&keys);
+    let extra_pos: Vec<usize> = input
+        .schema()
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !acc.contains(**a))
+        .map(|(i, _)| i)
+        .collect();
+    let rows = input.tuples();
+
+    let shard_maps: Vec<KeyedMap<Vec<usize>>> = if shards == 1 {
+        let mut table: KeyedMap<Vec<usize>> = KeyedMap::with_capacity(keys.len(), rows.len());
+        let mut scratch: Vec<Value> = Vec::new();
+        for (i, t) in rows.iter().enumerate() {
+            table
+                .entry_or_default(&key_pos_in_rel, t, &mut scratch)
+                .push(i);
+        }
+        vec![table]
+    } else {
+        // Phase 1: each worker partitions a contiguous slice of rows into
+        // per-shard index lists.
+        let chunk = rows.len().div_ceil(shards).max(1);
+        let parts: Vec<Vec<Vec<usize>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|w| {
+                    let key_pos_in_rel = &key_pos_in_rel;
+                    s.spawn(move || {
+                        let lo = (w * chunk).min(rows.len());
+                        let hi = (lo + chunk).min(rows.len());
+                        let mut part: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+                        for (off, t) in rows[lo..hi].iter().enumerate() {
+                            part[shard_of(key_pos_in_rel, t, shards)].push(lo + off);
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        });
+        // Phase 2: worker j assembles shard j, walking partitions in
+        // chunk order so indices stay ascending.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|j| {
+                    let parts = &parts;
+                    let key_pos_in_rel = &key_pos_in_rel;
+                    s.spawn(move || {
+                        let size: usize = parts.iter().map(|p| p[j].len()).sum();
+                        let mut table: KeyedMap<Vec<usize>> =
+                            KeyedMap::with_capacity(key_pos_in_rel.len(), size);
+                        let mut scratch: Vec<Value> = Vec::new();
+                        for part in parts {
+                            for &i in &part[j] {
+                                table
+                                    .entry_or_default(key_pos_in_rel, &rows[i], &mut scratch)
+                                    .push(i);
+                            }
+                        }
+                        table
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("build worker panicked"))
+                .collect()
+        })
+    };
+
+    ParStage {
+        shards: shard_maps,
+        rows: rows.to_vec(),
+        key_pos_in_buf,
+        extra_pos,
+    }
+}
+
+fn budget_err(kind: BudgetKind, meter: &SharedMeter) -> RelalgError {
+    RelalgError::BudgetExceeded {
+        kind,
+        tuples_flowed: meter.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::schema::AttrId;
+    use crate::value::tuple;
+    use std::sync::Arc;
+
+    fn edge(n: u32) -> Arc<Relation> {
+        let schema = Schema::new(vec![AttrId(1000), AttrId(1001)]);
+        let mut rows = Vec::new();
+        for a in 1..=n {
+            for b in 1..=n {
+                if a != b {
+                    rows.push(tuple(&[a, b]));
+                }
+            }
+        }
+        Relation::from_distinct_rows("edge", schema, rows).into_shared()
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    /// Path query with projection boundaries: stresses subquery lanes,
+    /// stage builds, and the distinct merge.
+    fn chain_plan(len: u32) -> Plan {
+        let e = edge(5);
+        let mut plan = Plan::scan(e.clone(), vec![a(0), a(1)]).project(vec![a(1)]);
+        for i in 1..len {
+            plan = plan
+                .join(Plan::scan(e.clone(), vec![a(i), a(i + 1)]))
+                .project(vec![a(i + 1)]);
+        }
+        plan
+    }
+
+    fn triangle_plan() -> Plan {
+        let e = edge(3);
+        Plan::scan(e.clone(), vec![a(1), a(2)])
+            .join(Plan::scan(e.clone(), vec![a(2), a(3)]))
+            .join(Plan::scan(e, vec![a(1), a(3)]))
+            .project(vec![a(1)])
+    }
+
+    fn assert_identical(plan: &Plan, threads: usize) {
+        let (serial, serial_stats) = execute(plan, &Budget::unlimited()).unwrap();
+        let (par, par_stats) = execute_parallel(plan, &Budget::unlimited(), threads).unwrap();
+        // Byte-identical: same rows in the same order, same schema.
+        assert_eq!(serial.schema(), par.schema());
+        assert_eq!(serial.tuples(), par.tuples());
+        assert_eq!(serial.is_deduped(), par.is_deduped());
+        assert_eq!(serial_stats.tuples_flowed, par_stats.tuples_flowed);
+    }
+
+    #[test]
+    fn matches_serial_across_thread_counts() {
+        for threads in [1, 2, 4, 7] {
+            assert_identical(&triangle_plan(), threads);
+            assert_identical(&chain_plan(6), threads);
+        }
+    }
+
+    #[test]
+    fn bare_join_bag_matches_serial() {
+        let e = edge(4);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(2), a(3)]));
+        assert_identical(&plan, 3);
+    }
+
+    #[test]
+    fn cross_product_matches_serial() {
+        let e = edge(3);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(3), a(4)]));
+        assert_identical(&plan, 4);
+    }
+
+    #[test]
+    fn empty_input_matches_serial() {
+        let empty = Relation::empty("none", Schema::new(vec![a(1), a(2)])).into_shared();
+        let plan = Plan::scan(empty, vec![a(1), a(2)]).project(vec![a(1)]);
+        assert_identical(&plan, 4);
+    }
+
+    #[test]
+    fn sibling_subqueries_run_and_agree() {
+        // Two independent DISTINCT subqueries joined — the bucket shape.
+        let e = edge(5);
+        let left = Plan::scan(e.clone(), vec![a(1), a(2)]).project(vec![a(2)]);
+        let right = Plan::scan(e.clone(), vec![a(2), a(3)]).project(vec![a(2)]);
+        let plan = left.join(right).project(vec![a(2)]);
+        assert_identical(&plan, 4);
+    }
+
+    #[test]
+    fn tuple_budget_trips_cooperatively() {
+        let plan = chain_plan(8);
+        let err = execute_parallel(&plan, &Budget::tuples(10), 4).unwrap_err();
+        assert!(matches!(
+            err,
+            RelalgError::BudgetExceeded {
+                kind: BudgetKind::Tuples,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn materialization_budget_trips() {
+        let plan = triangle_plan();
+        let budget = Budget {
+            max_materialized: 1,
+            ..Budget::unlimited()
+        };
+        assert!(matches!(
+            execute_parallel(&plan, &budget, 2),
+            Err(RelalgError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_report_threads_and_cpu_split() {
+        let (_, stats) = execute_parallel(&chain_plan(5), &Budget::unlimited(), 3).unwrap();
+        assert_eq!(stats.threads_used, 3);
+        assert_eq!(stats.shard_tuples.len(), 3);
+        assert!(stats.cpu_time >= Duration::ZERO);
+        // Worker flow telemetry covers the probe-side tuple flow.
+        assert!(stats.shard_tuples.iter().sum::<u64>() <= stats.tuples_flowed);
+        assert!(stats.shard_tuples.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let (rel, stats) = execute_parallel(&triangle_plan(), &Budget::unlimited(), 0).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert!(stats.threads_used >= 1);
+    }
+}

@@ -45,11 +45,7 @@ impl Relation {
     }
 
     /// Creates a relation and de-duplicates its rows.
-    pub fn from_distinct_rows(
-        name: impl Into<String>,
-        schema: Schema,
-        tuples: Vec<Tuple>,
-    ) -> Self {
+    pub fn from_distinct_rows(name: impl Into<String>, schema: Schema, tuples: Vec<Tuple>) -> Self {
         let mut r = Relation::new(name, schema, tuples);
         r.dedup();
         r

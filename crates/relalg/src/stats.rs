@@ -30,6 +30,17 @@ pub struct ExecStats {
     pub join_stages: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Worker threads the executor ran with (1 for the serial executors).
+    pub threads_used: u64,
+    /// Tuples flowed by each probe worker of the parallel executor
+    /// (empty for the serial executors). Sums to the top-level pipeline's
+    /// share of [`ExecStats::tuples_flowed`]; the spread shows partition
+    /// balance.
+    pub shard_tuples: Vec<u64>,
+    /// Total busy time summed across worker threads. Equals `elapsed` for
+    /// serial execution; the `cpu_time / elapsed` ratio is the effective
+    /// parallel speedup.
+    pub cpu_time: Duration,
 }
 
 impl ExecStats {
@@ -40,10 +51,20 @@ impl ExecStats {
         self.materialized_rows_in += other.materialized_rows_in;
         self.materialized_rows_out += other.materialized_rows_out;
         self.peak_materialized = self.peak_materialized.max(other.peak_materialized);
-        self.max_intermediate_arity = self.max_intermediate_arity.max(other.max_intermediate_arity);
+        self.max_intermediate_arity = self
+            .max_intermediate_arity
+            .max(other.max_intermediate_arity);
         self.materializations += other.materializations;
         self.join_stages += other.join_stages;
         self.elapsed += other.elapsed;
+        self.threads_used = self.threads_used.max(other.threads_used);
+        if self.shard_tuples.len() < other.shard_tuples.len() {
+            self.shard_tuples.resize(other.shard_tuples.len(), 0);
+        }
+        for (mine, theirs) in self.shard_tuples.iter_mut().zip(&other.shard_tuples) {
+            *mine += theirs;
+        }
+        self.cpu_time += other.cpu_time;
     }
 }
 

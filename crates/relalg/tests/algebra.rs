@@ -15,19 +15,15 @@ fn relation_strategy(
     max_rows: usize,
 ) -> impl Strategy<Value = Relation> {
     let arity = attrs.len();
-    prop::collection::vec(
-        prop::collection::vec(0..domain, arity),
-        0..=max_rows,
+    prop::collection::vec(prop::collection::vec(0..domain, arity), 0..=max_rows).prop_map(
+        move |rows| {
+            Relation::new(
+                name,
+                Schema::new(attrs.iter().map(|&i| AttrId(i)).collect()),
+                rows.into_iter().map(|r| r.into_boxed_slice()).collect(),
+            )
+        },
     )
-    .prop_map(move |rows| {
-        Relation::new(
-            name,
-            Schema::new(attrs.iter().map(|&i| AttrId(i)).collect()),
-            rows.into_iter()
-                .map(|r| r.into_boxed_slice())
-                .collect(),
-        )
-    })
 }
 
 /// Set-of-rows view regardless of column order: reproject to a canonical

@@ -181,10 +181,7 @@ mod tests {
 
     #[test]
     fn table_refs_counts_through_subqueries() {
-        let inner = SelectStmt::distinct(
-            vec![ColRef::new("e1", "u")],
-            FromExpr::item(table("e1")),
-        );
+        let inner = SelectStmt::distinct(vec![ColRef::new("e1", "u")], FromExpr::item(table("e1")));
         let outer = SelectStmt::distinct(
             vec![ColRef::new("t1", "u")],
             FromExpr::item(FromItem::Subquery {

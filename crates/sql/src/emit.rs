@@ -21,7 +21,11 @@ fn pad(level: usize, out: &mut String) {
 
 fn render_stmt(stmt: &SelectStmt, level: usize, out: &mut String) {
     pad(level, out);
-    out.push_str(if stmt.distinct { "SELECT DISTINCT " } else { "SELECT " });
+    out.push_str(if stmt.distinct {
+        "SELECT DISTINCT "
+    } else {
+        "SELECT "
+    });
     for (i, c) in stmt.select.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");

@@ -225,13 +225,7 @@ mod tests {
         let names: Vec<String> = q
             .atoms
             .iter()
-            .map(|a| {
-                format!(
-                    "{}-{}",
-                    q.vars.name(a.args[0]),
-                    q.vars.name(a.args[1])
-                )
-            })
+            .map(|a| format!("{}-{}", q.vars.name(a.args[0]), q.vars.name(a.args[1])))
             .collect();
         assert_eq!(names, vec!["v0-v1", "v1-v2", "v2-v3"]);
     }

@@ -70,7 +70,13 @@ mod tests {
 
     #[test]
     fn php_satisfiable_iff_enough_holes() {
-        for (p, h, expected) in [(3usize, 3u32, true), (4, 3, false), (3, 4, true), (4, 4, true), (5, 4, false)] {
+        for (p, h, expected) in [
+            (3usize, 3u32, true),
+            (4, 3, false),
+            (3, 4, true),
+            (4, 4, true),
+            (5, 4, false),
+        ] {
             let (q, db) = php_query(p, h);
             let plan = straightforward(&q, &db);
             let (rel, _) = exec::execute(&plan, &Budget::unlimited()).unwrap();

@@ -173,7 +173,13 @@ pub fn random_sat<R: Rng + ?Sized>(
         pool.shuffle(rng);
         let clause: Vec<i32> = pool[..k]
             .iter()
-            .map(|&v| if rng.random_bool(0.5) { v as i32 } else { -(v as i32) })
+            .map(|&v| {
+                if rng.random_bool(0.5) {
+                    v as i32
+                } else {
+                    -(v as i32)
+                }
+            })
             .collect();
         clauses.push(clause);
     }

@@ -111,18 +111,12 @@ impl InstanceSpec {
 impl fmt::Display for InstanceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.shape {
-            QueryShape::Random { order, density } => {
-                write!(f, "random(n={order}, d={density})")?
-            }
+            QueryShape::Random { order, density } => write!(f, "random(n={order}, d={density})")?,
             QueryShape::AugmentedPath { order } => write!(f, "augpath(n={order})")?,
             QueryShape::Ladder { order } => write!(f, "ladder(n={order})")?,
             QueryShape::AugmentedLadder { order } => write!(f, "augladder(n={order})")?,
-            QueryShape::AugmentedCircularLadder { order } => {
-                write!(f, "augcircladder(n={order})")?
-            }
-            QueryShape::Sat { order, density, k } => {
-                write!(f, "{k}sat(n={order}, d={density})")?
-            }
+            QueryShape::AugmentedCircularLadder { order } => write!(f, "augcircladder(n={order})")?,
+            QueryShape::Sat { order, density, k } => write!(f, "{k}sat(n={order}, d={density})")?,
         }
         write!(f, " seed={} free={}", self.seed, self.free_fraction)
     }

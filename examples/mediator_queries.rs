@@ -14,7 +14,7 @@
 
 use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
-use projection_pushing::relalg::{Relation, Schema, AttrId};
+use projection_pushing::relalg::{AttrId, Relation, Schema};
 
 fn main() {
     // Three source-relation shapes over a small domain {0..4}:

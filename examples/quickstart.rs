@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use projection_pushing::prelude::*;
 use projection_pushing::evaluate;
+use projection_pushing::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -40,7 +40,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: ppr <color|sat|query|width> [flags]\n  see `src/bin/ppr.rs` header for flags";
+const USAGE: &str =
+    "usage: ppr <color|sat|query|width> [flags]\n  see `src/bin/ppr.rs` header for flags";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -154,9 +155,7 @@ fn family_graph(text: &str) -> Option<Graph> {
         "augpath" | "augmented-path" => families::augmented_path(n),
         "ladder" => families::ladder(n),
         "augladder" | "augmented-ladder" => families::augmented_ladder(n),
-        "augcircladder" | "augmented-circular-ladder" => {
-            families::augmented_circular_ladder(n)
-        }
+        "augcircladder" | "augmented-circular-ladder" => families::augmented_circular_ladder(n),
         "path" => families::path(n),
         "cycle" => families::cycle(n),
         "complete" => families::complete(n),
@@ -167,8 +166,7 @@ fn family_graph(text: &str) -> Option<Graph> {
 
 fn graph_from_flags(flags: &Flags, rng: &mut StdRng) -> Graph {
     if let Some(spec) = flags.get("random") {
-        let (n, d) =
-            parse_order_density(spec).unwrap_or_else(|| die("--random expects N,D"));
+        let (n, d) = parse_order_density(spec).unwrap_or_else(|| die("--random expects N,D"));
         return generate::random_graph_density(n, d, rng);
     }
     if let Some(spec) = flags.get("family") {
@@ -234,11 +232,7 @@ fn cmd_color(flags: &Flags) {
         colors: flags.num("k", 3u32),
         free_fraction: flags.num("free", 0.0f64),
     };
-    eprintln!(
-        "instance: {} vertices, {} edges",
-        g.order(),
-        g.size()
-    );
+    eprintln!("instance: {} vertices, {} edges", g.order(), g.size());
     let (q, db) = color_query(&g, &opts, &mut rng);
     run_and_report(&q, &db, flags);
 }
@@ -290,12 +284,8 @@ fn cmd_query(flags: &Flags) {
         };
         let text = std::fs::read_to_string(path.trim())
             .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-        let rel = projection_pushing::relalg::csv::relation_from_csv(
-            name.trim(),
-            &text,
-            base_col,
-        )
-        .unwrap_or_else(|e| die(&e));
+        let rel = projection_pushing::relalg::csv::relation_from_csv(name.trim(), &text, base_col)
+            .unwrap_or_else(|e| die(&e));
         base_col += rel.arity() as u32;
         db.add(rel);
     }
@@ -340,7 +330,10 @@ fn cmd_width(flags: &Flags) {
         );
     }
     if jg.num_vars() <= 20 {
-        println!("treewidth (exact): {}", treewidth::treewidth_exact(&jg.graph));
+        println!(
+            "treewidth (exact): {}",
+            treewidth::treewidth_exact(&jg.graph)
+        );
     } else {
         println!("treewidth (exact): skipped (> 20 vars)");
     }
@@ -352,7 +345,10 @@ mod tests {
 
     #[test]
     fn method_names_resolve() {
-        assert_eq!(method_from_name("bucket"), Some(Method::BucketElimination(OrderHeuristic::Mcs)));
+        assert_eq!(
+            method_from_name("bucket"),
+            Some(Method::BucketElimination(OrderHeuristic::Mcs))
+        );
         assert_eq!(method_from_name("sf"), Some(Method::Straightforward));
         assert_eq!(method_from_name("nope"), None);
     }

@@ -43,9 +43,11 @@ use ppr_relalg::{exec, Budget, ExecStats, Relation};
 
 /// Everything a typical user needs.
 pub mod prelude {
+    pub use crate::evaluate_parallel;
     pub use crate::{evaluate, evaluate_3color, graph, Method, OrderHeuristic};
     pub use ppr_core::methods::{build_plan, emit_sql};
     pub use ppr_query::{Atom, ConjunctiveQuery, Database, Vars};
+    pub use ppr_relalg::parallel::execute_parallel;
     pub use ppr_relalg::{Budget, Plan};
     pub use ppr_workload::{color_query, ColorQueryOptions, InstanceSpec, QueryShape};
 }
@@ -64,6 +66,23 @@ pub fn evaluate(
     exec::execute(&plan, budget)
 }
 
+/// [`evaluate`] on the partitioned parallel executor with `threads` worker
+/// threads (`0` = all cores, `1` = one worker). The result relation is
+/// byte-identical to [`evaluate`]'s; only wall-clock time and the
+/// thread-related [`ExecStats`] fields differ.
+pub fn evaluate_parallel(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    method: Method,
+    budget: &Budget,
+    seed: u64,
+    threads: usize,
+) -> ppr_relalg::Result<(Relation, ExecStats)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = build_plan(method, query, db, &mut rng);
+    ppr_relalg::parallel::execute_parallel(&plan, budget, threads)
+}
+
 /// Decides 3-colorability of `graph` by evaluating the paper's Boolean
 /// project-join query with `method`. `Ok(true)` means colorable.
 pub fn evaluate_3color(
@@ -72,11 +91,8 @@ pub fn evaluate_3color(
     seed: u64,
 ) -> ppr_relalg::Result<bool> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let (q, db) = ppr_workload::color_query(
-        graph,
-        &ppr_workload::ColorQueryOptions::boolean(),
-        &mut rng,
-    );
+    let (q, db) =
+        ppr_workload::color_query(graph, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
     let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed)?;
     Ok(!rel.is_empty())
 }
@@ -96,14 +112,28 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = graph::families::augmented_ladder(4);
+        let (q, db) =
+            ppr_workload::color_query(&g, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
+        let method = Method::BucketElimination(OrderHeuristic::Mcs);
+        let (serial, _) = evaluate(&q, &db, method, &Budget::unlimited(), 7).unwrap();
+        for threads in [1usize, 4] {
+            let (par, stats) =
+                evaluate_parallel(&q, &db, method, &Budget::unlimited(), 7, threads).unwrap();
+            assert_eq!(serial.schema(), par.schema());
+            assert_eq!(serial.tuples(), par.tuples());
+            assert!(stats.threads_used >= 1);
+        }
+    }
+
+    #[test]
     fn evaluate_returns_stats() {
         let mut rng = StdRng::seed_from_u64(0);
         let g = graph::families::ladder(4);
-        let (q, db) = ppr_workload::color_query(
-            &g,
-            &ppr_workload::ColorQueryOptions::boolean(),
-            &mut rng,
-        );
+        let (q, db) =
+            ppr_workload::color_query(&g, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
         let (rel, stats) = evaluate(
             &q,
             &db,

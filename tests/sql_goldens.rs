@@ -45,7 +45,10 @@ fn straightforward_is_a_nested_join_chain() {
     let sql = sql_for(Method::Straightforward);
     // Atoms appear innermost-first: e1 = edge(v1,v2) deepest, the last
     // listed atom outermost (Appendix A.2's shape).
-    assert!(sql.contains("edge e2 (v1, v5) JOIN edge e1 (v1, v2)"), "{sql}");
+    assert!(
+        sql.contains("edge e2 (v1, v5) JOIN edge e1 (v1, v2)"),
+        "{sql}"
+    );
     assert!(sql.contains("ON (e2.v1 = e1.v1)"), "{sql}");
     // No subqueries: straightforward does not push projections.
     assert!(!sql.contains(" AS t"), "{sql}");
@@ -90,12 +93,7 @@ fn all_methods_reference_every_atom_exactly_once() {
         Method::BucketElimination(OrderHeuristic::Mcs),
     ] {
         let sql = sql_for(method);
-        assert_eq!(
-            sql.matches("edge e").count(),
-            5,
-            "{}: {sql}",
-            method.name()
-        );
+        assert_eq!(sql.matches("edge e").count(), 5, "{}: {sql}", method.name());
     }
 }
 

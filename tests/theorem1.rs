@@ -7,15 +7,20 @@ use projection_pushing::core::convert::{
 };
 use projection_pushing::core::jet::Jet;
 use projection_pushing::core::width;
-use projection_pushing::prelude::*;
-use projection_pushing::query::JoinGraph;
 use projection_pushing::graph::ordering::mcs_order;
 use projection_pushing::graph::TreeDecomposition;
+use projection_pushing::prelude::*;
+use projection_pushing::query::JoinGraph;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn random_query(order: usize, extra: usize, seed: u64, free: f64) -> Option<(ConjunctiveQuery, Database)> {
+fn random_query(
+    order: usize,
+    extra: usize,
+    seed: u64,
+    free: f64,
+) -> Option<(ConjunctiveQuery, Database)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let max = order * (order - 1) / 2;
     let m = (order - 1 + extra).min(max);

@@ -1,0 +1,412 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the small slice of the `proptest` API the workspace's tests use: the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros, a [`Strategy`]
+//! trait with `prop_map`, strategies for integer ranges, tuples,
+//! `collection::vec`, and `bool::ANY`, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (fully reproducible runs, no `PROPTEST_*` environment handling) and
+//! failing inputs are **not shrunk** — the failure message reports the case
+//! number, which is enough to re-run deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator handed to strategies. A fixed-seed deterministic PRNG.
+pub type TestRng = StdRng;
+
+/// Error produced by `prop_assert!`-style macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejection: false,
+        }
+    }
+
+    /// A `prop_assume!` rejection: the case is discarded and re-drawn
+    /// rather than failed.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejection: true,
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Upstream proptest separates strategies from value
+/// trees to support shrinking; this shim only ever samples.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f` (upstream `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// A length range for generated vectors.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` of `element` samples with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Runs `property` for `config.cases` deterministic cases, panicking (like
+/// a failed `assert!`) on the first case whose body returns an error.
+pub fn run_cases<F>(config: ProptestConfig, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Upstream aborts after too many `prop_assume!` rejections; mirror
+    // that so a never-satisfiable assumption cannot spin forever.
+    let mut rejections_left = config.cases as u64 * 16;
+    let mut draw = 0u64;
+    let mut case = 0;
+    while case < config.cases {
+        // Distinct, fixed seeds per draw: reproducible without env vars.
+        let mut rng =
+            TestRng::seed_from_u64(0x70726f_70746573u64 ^ draw.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        draw += 1;
+        match property(&mut rng) {
+            Ok(()) => case += 1,
+            Err(e) if e.rejection => {
+                rejections_left = rejections_left
+                    .checked_sub(1)
+                    .unwrap_or_else(|| panic!("too many prop_assume! rejections ({})", e));
+            }
+            Err(e) => {
+                panic!(
+                    "property failed at case {}/{}: {}",
+                    case + 1,
+                    config.cases,
+                    e
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors the upstream macro's common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(0u32..4, 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, |__ppt_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __ppt_rng);)+
+                    let mut __ppt_body = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __ppt_body()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Discards the current case (re-drawing fresh inputs) when `cond` is
+/// false, instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 2usize..5,
+            flag in prop::bool::ANY,
+            pairs in prop::collection::vec((0usize..3, 0u64..10), 1..4),
+        ) {
+            prop_assert!((2..5).contains(&x));
+            let y = if flag { x } else { x + 1 };
+            prop_assert!(y >= x);
+            prop_assert!(!pairs.is_empty() && pairs.len() < 4);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 3 && *b < 10, "({a}, {b}) out of range");
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(
+            doubled in (0u32..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::run_cases(ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
