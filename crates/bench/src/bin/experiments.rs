@@ -6,8 +6,8 @@
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          sat3 sat2 theorems
 //!          ablation-orders ablation-pipeline ablation-minibucket
-//!          ablation-distinct ablation-join ablation-parallel semijoin
-//!          all
+//!          ablation-distinct ablation-join ablation-parallel
+//!          serve-throughput semijoin all
 //! ```
 //!
 //! `--threads N` switches every sweep to the partitioned parallel executor
@@ -148,6 +148,21 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
             }
             figures::print_parallel_rows(&mut w, &rows);
         }
+        "serve-throughput" => {
+            // Persist the machine-readable report before printing, like
+            // ablation-parallel: a closed stdout must not lose the artifact.
+            let rows = ppr_bench::serve::serve_throughput_rows(cfg);
+            let json = ppr_bench::serve::serve_report_json(cfg, &rows);
+            let path = std::path::Path::new("results");
+            if std::fs::create_dir_all(path).is_ok() {
+                let file = path.join("BENCH_serve.json");
+                match std::fs::write(&file, &json) {
+                    Ok(()) => eprintln!("wrote {}", file.display()),
+                    Err(e) => eprintln!("could not write {}: {e}", file.display()),
+                }
+            }
+            ppr_bench::serve::print_serve_rows(&mut w, &rows);
+        }
         "semijoin" => figures::semijoin_usefulness(&mut w, cfg),
         "limits" => figures::limits_php(&mut w, cfg),
         "all" => {
@@ -170,6 +185,7 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
                 "ablation-distinct",
                 "ablation-join",
                 "ablation-parallel",
+                "serve-throughput",
                 "semijoin",
                 "limits",
             ] {

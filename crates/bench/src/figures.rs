@@ -603,8 +603,13 @@ pub struct ParallelRow {
     pub x: usize,
     /// Planning method.
     pub method: Method,
-    /// Executor threads (1 = serial pipelined executor).
+    /// Executor threads requested (1 = serial pipelined executor,
+    /// 0 = all cores).
     pub threads: usize,
+    /// Threads the executor actually used (max over finished runs; the
+    /// executor may use fewer than requested on small plans, and resolves
+    /// a request of 0 to the core count).
+    pub threads_used: u64,
     /// Median wall-clock milliseconds (timeouts contribute the budget).
     pub median_ms: f64,
     /// Timed-out runs.
@@ -672,6 +677,11 @@ pub fn ablation_parallel_rows(cfg: &Config) -> Vec<ParallelRow> {
                         run_method_threads(method, &q, &db, &budget, s ^ 0x9e37, threads)
                     })
                     .collect();
+                let threads_used = outcomes
+                    .iter()
+                    .filter_map(|o| o.stats.as_ref().map(|s| s.threads_used))
+                    .max()
+                    .unwrap_or(threads.max(1) as u64);
                 let cell = summarize(&outcomes, cfg.timeout);
                 if threads == 1 {
                     serial_median = cell.median_millis;
@@ -681,6 +691,7 @@ pub fn ablation_parallel_rows(cfg: &Config) -> Vec<ParallelRow> {
                     x,
                     method,
                     threads,
+                    threads_used,
                     median_ms: cell.median_millis,
                     timeouts: cell.timeouts,
                     runs: cell.runs,
@@ -707,17 +718,18 @@ pub fn ablation_parallel(w: &mut impl Write, cfg: &Config) -> Vec<ParallelRow> {
 pub fn print_parallel_rows(w: &mut impl Write, rows: &[ParallelRow]) {
     writeln!(
         w,
-        "workload\tx\tmethod\tthreads\tmedian_ms\ttimeouts\truns\tspeedup"
+        "workload\tx\tmethod\tthreads\tthreads_used\tmedian_ms\ttimeouts\truns\tspeedup"
     )
     .expect("write");
     for r in rows {
         writeln!(
             w,
-            "{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.2}",
+            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.2}",
             r.workload,
             r.x,
             r.method.name(),
             r.threads,
+            r.threads_used,
             r.median_ms,
             r.timeouts,
             r.runs,
@@ -732,18 +744,25 @@ pub fn print_parallel_rows(w: &mut impl Write, rows: &[ParallelRow]) {
 pub fn parallel_report_json(cfg: &Config, rows: &[ParallelRow]) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"ablation_parallel\",\n");
+    s.push_str(&format!(
+        "  \"host\": {{\"cpus\": {}}},\n",
+        crate::harness::host_cpus()
+    ));
     s.push_str(&format!("  \"seeds\": {},\n", cfg.seeds));
     s.push_str(&format!("  \"timeout_ms\": {},\n", cfg.timeout.as_millis()));
     s.push_str(&format!("  \"max_tuples\": {},\n", cfg.max_tuples));
+    s.push_str(&format!("  \"threads_requested\": {},\n", cfg.threads));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"x\": {}, \"method\": \"{}\", \"threads\": {}, \
+             \"threads_used\": {}, \
              \"median_ms\": {:.3}, \"timeouts\": {}, \"runs\": {}, \"speedup_vs_serial\": {:.3}}}{}\n",
             r.workload,
             r.x,
             r.method.name(),
             r.threads,
+            r.threads_used,
             r.median_ms,
             r.timeouts,
             r.runs,
@@ -984,6 +1003,9 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"benchmark\": \"ablation_parallel\""));
         assert!(json.contains("\"speedup_vs_serial\""));
+        assert!(json.contains("\"host\": {\"cpus\": "));
+        assert!(json.contains("\"threads_requested\": 2"));
+        assert!(json.contains("\"threads_used\""));
         // Every row serialized.
         assert_eq!(json.matches("\"workload\"").count(), rows.len());
     }

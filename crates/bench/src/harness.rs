@@ -88,6 +88,15 @@ pub fn run_method_threads(
     }
 }
 
+/// Logical CPUs on this host, as seen by the executor's `0 = all cores`
+/// resolution; recorded in benchmark reports so numbers are interpretable
+/// on other machines.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Median of a sample (`None` when empty). Timeout runs should be filtered
 /// or penalized by the caller before aggregation.
 pub fn median(mut xs: Vec<f64>) -> Option<f64> {

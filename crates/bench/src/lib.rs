@@ -11,5 +11,6 @@
 pub mod figures;
 pub mod harness;
 pub mod plot;
+pub mod serve;
 
 pub use harness::{run_method, MethodOutcome, RunStatus};

@@ -1,0 +1,271 @@
+//! Serving-layer throughput benchmark (`experiments serve-throughput`).
+//!
+//! Stands up a real [`ppr_service::Server`] on an ephemeral TCP port and
+//! drives it with the figure-4 workload (3-COLOR queries over random
+//! graphs at density 3) from concurrent clients. Each distinct query is
+//! requested many times, so after the cold pass the plan cache serves the
+//! hot path and the numbers measure the serving layer itself: protocol,
+//! admission, cache, executor. Reported per method: requests/sec, p50/p95
+//! latency, and the cache-hit rate.
+
+use std::time::Instant;
+
+use ppr_core::methods::{Method, OrderHeuristic};
+use ppr_query::Database;
+use ppr_service::{Client, Engine, EngineConfig, Request, Server};
+use ppr_workload::{edge_relation, InstanceSpec, QueryShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figures::Config;
+use crate::harness::host_cpus;
+
+/// One method's measured serving throughput.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Planning method requested over the wire.
+    pub method: Method,
+    /// Requests that completed with rows.
+    pub ok: usize,
+    /// Requests that failed (budget, overload, transport).
+    pub errors: usize,
+    /// Wall-clock duration of the drive phase in milliseconds.
+    pub elapsed_ms: f64,
+    /// Completed requests per second.
+    pub reqs_per_sec: f64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency in milliseconds.
+    pub p95_ms: f64,
+    /// Plan-cache hit rate over the whole run.
+    pub cache_hit_rate: f64,
+    /// Executor threads the responses reported using (max observed).
+    pub threads_used: u64,
+}
+
+/// Fixed drive shape: clients × requests-per-client per method.
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 30;
+
+/// Renders the 3-COLOR query of `graph` as wire text: one `edge` atom per
+/// graph edge, Boolean head.
+fn color_query_text(graph: &ppr_graph::Graph) -> String {
+    let atoms: Vec<String> = graph
+        .edges()
+        .iter()
+        .map(|&(u, v)| format!("edge(v{u}, v{v})"))
+        .collect();
+    format!("q() :- {}", atoms.join(", "))
+}
+
+/// The figure-4 query mix: one random graph per seed.
+fn workload_queries(cfg: &Config) -> Vec<String> {
+    let order = if cfg.full { 12 } else { 10 };
+    (0..cfg.seeds.max(1))
+        .map(|seed| {
+            let spec = InstanceSpec {
+                shape: QueryShape::Random {
+                    order,
+                    density: 3.0,
+                },
+                seed,
+                free_fraction: 0.0,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            color_query_text(&spec.graph(&mut rng))
+        })
+        .collect()
+}
+
+/// Measures one method against a fresh server.
+fn drive_method(cfg: &Config, method: Method, queries: &[String]) -> ServeRow {
+    let mut db = Database::new();
+    db.add(edge_relation(3));
+    let engine = Engine::start(
+        db,
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 256,
+            exec_threads: cfg.threads.max(1),
+            max_budget: cfg.budget(),
+            ..EngineConfig::default()
+        },
+    );
+    let mut server = Server::start("127.0.0.1:0", engine.handle()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..CLIENTS {
+        let queries: Vec<String> = queries.to_vec();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut latencies_ms = Vec::with_capacity(REQUESTS_PER_CLIENT);
+            let mut errors = 0usize;
+            let mut threads_used = 0u64;
+            for i in 0..REQUESTS_PER_CLIENT {
+                let query = &queries[(c + i) % queries.len()];
+                let t0 = Instant::now();
+                match client.run(&Request::new(query.clone(), method)) {
+                    Ok(resp) => {
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        threads_used = threads_used.max(resp.stats.threads_used);
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            (latencies_ms, errors, threads_used)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    let mut threads_used = 0;
+    for h in workers {
+        let (l, e, t) = h.join().expect("client thread");
+        latencies.extend(l);
+        errors += e;
+        threads_used = threads_used.max(t);
+    }
+    let elapsed = started.elapsed();
+
+    let hit_rate = engine.handle().stats().cache.hit_rate();
+    server.shutdown();
+    engine.shutdown();
+
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            f64::NAN
+        } else {
+            latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let ok = latencies.len();
+    ServeRow {
+        method,
+        ok,
+        errors,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        reqs_per_sec: ok as f64 / elapsed.as_secs_f64(),
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        cache_hit_rate: hit_rate,
+        threads_used,
+    }
+}
+
+/// Runs the throughput sweep: one row per method over the same query mix.
+pub fn serve_throughput_rows(cfg: &Config) -> Vec<ServeRow> {
+    let queries = workload_queries(cfg);
+    [
+        Method::Straightforward,
+        Method::EarlyProjection,
+        Method::BucketElimination(OrderHeuristic::Mcs),
+    ]
+    .into_iter()
+    .map(|m| drive_method(cfg, m, &queries))
+    .collect()
+}
+
+/// Prints the TSV (kept separate from measurement so the harness persists
+/// the JSON artifact before touching stdout).
+pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
+    writeln!(
+        w,
+        "method\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tcache_hit_rate\tthreads_used"
+    )
+    .expect("write");
+    for r in rows {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{}",
+            r.method.name(),
+            r.ok,
+            r.errors,
+            r.reqs_per_sec,
+            r.p50_ms,
+            r.p95_ms,
+            r.cache_hit_rate,
+            r.threads_used
+        )
+        .expect("write");
+    }
+}
+
+/// Machine-readable report for `results/BENCH_serve.json` (hand-rolled,
+/// like the parallel report — no JSON dependency in the tree).
+pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"serve_throughput\",\n");
+    s.push_str(&format!("  \"host\": {{\"cpus\": {}}},\n", host_cpus()));
+    s.push_str(&format!(
+        "  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n"
+    ));
+    s.push_str(&format!("  \"distinct_queries\": {},\n", cfg.seeds.max(1)));
+    s.push_str(&format!("  \"timeout_ms\": {},\n", cfg.timeout.as_millis()));
+    s.push_str(&format!(
+        "  \"exec_threads_requested\": {},\n",
+        cfg.threads.max(1)
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"method\": \"{}\", \"ok\": {}, \"errors\": {}, \"elapsed_ms\": {:.1}, \
+             \"reqs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"cache_hit_rate\": {:.3}, \"threads_used\": {}}}{}\n",
+            r.method.name(),
+            r.ok,
+            r.errors,
+            r.elapsed_ms,
+            r.reqs_per_sec,
+            r.p50_ms,
+            r.p95_ms,
+            r.cache_hit_rate,
+            r.threads_used,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn serve_throughput_measures_and_serializes() {
+        let cfg = Config {
+            seeds: 2,
+            timeout: Duration::from_millis(2000),
+            max_tuples: 20_000_000,
+            full: false,
+            threads: 1,
+        };
+        let queries = workload_queries(&cfg);
+        assert_eq!(queries.len(), 2);
+        assert!(queries[0].starts_with("q() :- edge(v"));
+
+        let row = drive_method(
+            &cfg,
+            Method::BucketElimination(OrderHeuristic::Mcs),
+            &queries,
+        );
+        assert_eq!(row.ok + row.errors, CLIENTS * REQUESTS_PER_CLIENT);
+        assert_eq!(row.errors, 0, "no request should fail on this workload");
+        assert!(row.reqs_per_sec > 0.0);
+        assert!(row.p95_ms >= row.p50_ms);
+        // 120 requests over 2 distinct queries: all but the cold pass hit.
+        assert!(
+            row.cache_hit_rate > 0.9,
+            "hit rate {} too low",
+            row.cache_hit_rate
+        );
+
+        let json = serve_report_json(&cfg, &[row]);
+        assert!(json.contains("\"benchmark\": \"serve_throughput\""));
+        assert!(json.contains("\"host\": {\"cpus\": "));
+        assert!(json.contains("\"cache_hit_rate\""));
+    }
+}

@@ -25,7 +25,7 @@ use ppr_sql::SelectStmt;
 
 /// Which elimination-order heuristic bucket elimination uses. The paper
 /// uses MCS; the others feed the `ablation_orders` bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrderHeuristic {
     /// Maximum-cardinality search (Tarjan–Yannakakis), the paper's choice.
     Mcs,
@@ -35,8 +35,9 @@ pub enum OrderHeuristic {
     MinFill,
 }
 
-/// An evaluation method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// An evaluation method. `Hash` so it can key plan caches alongside a
+/// query fingerprint (`ppr-service`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// §3: flat SQL, planner-chosen order.
     Naive,
@@ -62,7 +63,24 @@ impl Method {
         ]
     }
 
-    /// Short display name used in experiment output.
+    /// Parses a method name as accepted by the CLI and the service wire
+    /// protocol: the [`Method::name`] spellings plus the short aliases
+    /// `sf`, `early`, `reorder(ing)`, `bucket`.
+    pub fn parse(name: &str) -> Option<Method> {
+        Some(match name {
+            "naive" => Method::Naive,
+            "straightforward" | "sf" => Method::Straightforward,
+            "early" | "early-projection" => Method::EarlyProjection,
+            "reorder" | "reordering" => Method::Reordering,
+            "bucket" | "bucket-mcs" => Method::BucketElimination(OrderHeuristic::Mcs),
+            "bucket-mindeg" => Method::BucketElimination(OrderHeuristic::MinDegree),
+            "bucket-minfill" => Method::BucketElimination(OrderHeuristic::MinFill),
+            _ => return None,
+        })
+    }
+
+    /// Short display name used in experiment output. Round-trips through
+    /// [`Method::parse`].
     pub fn name(&self) -> &'static str {
         match self {
             Method::Naive => "naive",
@@ -202,6 +220,27 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for m in [
+            Method::Naive,
+            Method::Straightforward,
+            Method::EarlyProjection,
+            Method::Reordering,
+            Method::BucketElimination(OrderHeuristic::Mcs),
+            Method::BucketElimination(OrderHeuristic::MinDegree),
+            Method::BucketElimination(OrderHeuristic::MinFill),
+        ] {
+            assert_eq!(Method::parse(m.name()), Some(m));
+        }
+        assert_eq!(Method::parse("sf"), Some(Method::Straightforward));
+        assert_eq!(
+            Method::parse("bucket"),
+            Some(Method::BucketElimination(OrderHeuristic::Mcs))
+        );
+        assert_eq!(Method::parse("nope"), None);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Canonical query fingerprints.
+//!
+//! A serving layer amortizes planning cost by caching compiled plans, and
+//! the cache key must identify a query *up to the renamings that leave its
+//! plan reusable*: two queries that differ only in variable names and in
+//! the listing order of their atoms have isomorphic join graphs, so every
+//! structural method (early projection, reordering, bucket elimination)
+//! produces the same plan shape for them. [`fingerprint`] computes a
+//! 128-bit hash with exactly that invariance:
+//!
+//! * **renaming variables never changes the key** — variable *names* are
+//!   never hashed, only the structure of their occurrences;
+//! * **permuting atoms never changes the key** — atoms enter the hash as a
+//!   sorted multiset;
+//! * the ordered free-variable list and the Boolean flag *are* part of the
+//!   key, because they change the result schema (π_{x,y} and π_{y,x} of
+//!   the same join are different queries to a caller) — except that a
+//!   Boolean query's single emulated-projection representative is ignored:
+//!   it is an arbitrary parser choice, not part of the query's meaning.
+//!
+//! The construction is Weisfeiler–Leman color refinement on the
+//! variable/atom incidence structure (the same refinement family used for
+//! graph-isomorphism invariants): variables start from a structural color
+//! (free-list position or bound marker), then rounds alternately recolor
+//! atoms from `(relation, argument colors in order)` and variables from
+//! the sorted multiset of their `(atom color, argument position)`
+//! occurrences. After stabilization the sorted atom-color multiset plus
+//! the ordered free colors are folded into the final digest.
+//!
+//! Like every refinement-based invariant, the map is sound (isomorphic
+//! queries always collide) and complete only in practice: WL-equivalent
+//! non-isomorphic queries — or a 2⁻¹²⁸ hash collision — would share a key.
+//! The plan cache trades that vanishing risk for never re-planning a hot
+//! query; the property tests in `tests/fingerprint.rs` pin both directions
+//! on the paper's workload generators.
+
+use crate::cq::ConjunctiveQuery;
+use ppr_relalg::AttrId;
+use rustc_hash::FxHashMap;
+
+/// A 128-bit canonical query fingerprint. Displayed as 32 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation. The
+/// fingerprint must be stable across processes and platforms, so the
+/// mixing is spelled out here rather than borrowed from a `Hasher` whose
+/// initial state could change.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Order-dependent combination of a running hash with one word.
+#[inline]
+fn fold(acc: u64, word: u64) -> u64 {
+    mix64(acc ^ word.wrapping_mul(0xff51_afd7_ed55_8ccd))
+}
+
+/// Hashes a byte string (relation names).
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut acc = mix64(seed ^ bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = fold(acc, u64::from_le_bytes(word));
+    }
+    acc
+}
+
+/// One refinement pass at a fixed `seed`; two independent seeds give the
+/// two 64-bit halves of the [`Fingerprint`].
+fn half(query: &ConjunctiveQuery, seed: u64) -> u64 {
+    let vars: Vec<AttrId> = query.all_vars();
+    let var_index: FxHashMap<AttrId, usize> =
+        vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // Initial variable colors: position in the free list (ordered — it is
+    // the output schema) or a bound-variable marker. Both are invariant
+    // under renaming and atom permutation. A Boolean query's free list
+    // holds one *arbitrary* representative for SQL emulation (see
+    // `ConjunctiveQuery::is_boolean`); which variable the parser picked is
+    // not part of the query's meaning, so every variable of a Boolean
+    // query gets the bound marker.
+    let boolean = query.is_boolean();
+    let mut var_color: Vec<u64> = vars
+        .iter()
+        .map(|v| match query.free.iter().position(|f| f == v) {
+            Some(i) if !boolean => mix64(seed ^ 0xf2ee ^ (i as u64 + 1)),
+            _ => mix64(seed ^ 0xb0a7),
+        })
+        .collect();
+
+    // Pre-hash relation names once.
+    let rel_hash: Vec<u64> = query
+        .atoms
+        .iter()
+        .map(|a| hash_bytes(seed ^ 0x5e1a, a.relation.as_bytes()))
+        .collect();
+
+    // Refine until the variable partition stabilizes. |vars| rounds always
+    // suffice (each round can only split color classes); queries are small
+    // enough that the quadratic worst case is irrelevant.
+    let mut atom_color: Vec<u64> = vec![0; query.atoms.len()];
+    let mut distinct = count_distinct(&var_color);
+    for _ in 0..=vars.len() {
+        // Atom colors from (relation, ordered argument colors).
+        for (ai, atom) in query.atoms.iter().enumerate() {
+            let mut acc = fold(mix64(seed ^ 0xa703), rel_hash[ai]);
+            for &arg in &atom.args {
+                acc = fold(acc, var_color[var_index[&arg]]);
+            }
+            atom_color[ai] = acc;
+        }
+        // Variable colors from the sorted multiset of occurrences.
+        let mut occurrences: Vec<Vec<u64>> = vec![Vec::new(); vars.len()];
+        for (ai, atom) in query.atoms.iter().enumerate() {
+            for (pos, &arg) in atom.args.iter().enumerate() {
+                occurrences[var_index[&arg]].push(fold(atom_color[ai], pos as u64 + 1));
+            }
+        }
+        for (vi, occ) in occurrences.iter_mut().enumerate() {
+            occ.sort_unstable();
+            let mut acc = var_color[vi];
+            for &o in occ.iter() {
+                acc = fold(acc, o);
+            }
+            var_color[vi] = acc;
+        }
+        let now = count_distinct(&var_color);
+        if now == distinct {
+            break;
+        }
+        distinct = now;
+    }
+
+    // Final digest: sorted atom-color multiset, then the sorted multiset
+    // of per-connected-component digests, then the *ordered* free colors,
+    // then the Boolean flag and the shape counts. The component digests
+    // matter because refinement alone cannot tell a single cycle from a
+    // disjoint union of smaller ones (every vertex looks alike in both);
+    // the component split can.
+    let mut sorted_atoms = atom_color.clone();
+    sorted_atoms.sort_unstable();
+    let mut acc = mix64(seed ^ 0xd1e5);
+    for &a in &sorted_atoms {
+        acc = fold(acc, a);
+    }
+    let mut components = component_digests(query, &vars, &var_index, &atom_color, seed);
+    components.sort_unstable();
+    for &c in &components {
+        acc = fold(acc, c);
+    }
+    if !boolean {
+        for &f in &query.free {
+            acc = fold(acc, var_color[var_index[&f]]);
+        }
+    }
+    acc = fold(acc, boolean as u64);
+    acc = fold(acc, query.atoms.len() as u64);
+    fold(acc, vars.len() as u64)
+}
+
+/// One digest per connected component of the variable/atom incidence
+/// graph: the component's variable count folded with its sorted atom
+/// colors. Variable-free atoms are grouped into one shared component.
+fn component_digests(
+    query: &ConjunctiveQuery,
+    vars: &[AttrId],
+    var_index: &FxHashMap<AttrId, usize>,
+    atom_color: &[u64],
+    seed: u64,
+) -> Vec<u64> {
+    // Union-find over variables; each atom unions its argument set.
+    let mut parent: Vec<usize> = (0..vars.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for atom in &query.atoms {
+        let mut args = atom.args.iter();
+        if let Some(&first) = args.next() {
+            let a = find(&mut parent, var_index[&first]);
+            for &arg in args {
+                let b = find(&mut parent, var_index[&arg]);
+                parent[b] = a;
+            }
+        }
+    }
+    // Bucket atom colors and variable counts by component root.
+    let mut atoms_by_root: FxHashMap<Option<usize>, Vec<u64>> = FxHashMap::default();
+    for (ai, atom) in query.atoms.iter().enumerate() {
+        let root = atom
+            .args
+            .first()
+            .map(|arg| find(&mut parent, var_index[arg]));
+        atoms_by_root.entry(root).or_default().push(atom_color[ai]);
+    }
+    let mut vars_by_root: FxHashMap<usize, u64> = FxHashMap::default();
+    for vi in 0..vars.len() {
+        let root = find(&mut parent, vi);
+        *vars_by_root.entry(root).or_insert(0) += 1;
+    }
+    atoms_by_root
+        .into_iter()
+        .map(|(root, mut colors)| {
+            colors.sort_unstable();
+            let var_count = root.map_or(0, |r| vars_by_root[&r]);
+            let mut acc = fold(mix64(seed ^ 0xc0c0), var_count);
+            for &c in &colors {
+                acc = fold(acc, c);
+            }
+            acc
+        })
+        .collect()
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Computes the canonical fingerprint of `query`. Pure and deterministic
+/// across runs, processes, and platforms.
+pub fn fingerprint(query: &ConjunctiveQuery) -> Fingerprint {
+    let hi = half(query, 0x9e37_79b9_7f4a_7c15);
+    let lo = half(query, 0xc2b2_ae3d_27d4_eb4f);
+    Fingerprint(((hi as u128) << 64) | lo as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::parse::parse_query;
+    use crate::vars::Vars;
+
+    #[test]
+    fn renaming_is_invisible() {
+        let a = parse_query("q(x) :- e(x, y), e(y, z)").unwrap();
+        let b = parse_query("q(u) :- e(u, w), e(w, t)").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn atom_order_is_invisible() {
+        let a = parse_query("q(x) :- e(x, y), f(y, z)").unwrap();
+        let b = parse_query("q(x) :- f(y, z), e(x, y)").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn permuted_query_keeps_key() {
+        let q = parse_query("q() :- e(a,b), e(b,c), e(c,d), e(d,a)").unwrap();
+        let p = q.permuted(&[2, 0, 3, 1]);
+        assert_eq!(fingerprint(&q), fingerprint(&p));
+    }
+
+    #[test]
+    fn relation_name_matters() {
+        let a = parse_query("q(x) :- e(x, y)").unwrap();
+        let b = parse_query("q(x) :- f(x, y)").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn structure_matters() {
+        // Path vs triangle vs repeated-variable selection.
+        let path = parse_query("q() :- e(x, y), e(y, z)").unwrap();
+        let tri = parse_query("q() :- e(x, y), e(y, z), e(z, x)").unwrap();
+        let selfloop = parse_query("q() :- e(x, x)").unwrap();
+        let fps = [
+            fingerprint(&path),
+            fingerprint(&tri),
+            fingerprint(&selfloop),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[0], fps[2]);
+        assert_ne!(fps[1], fps[2]);
+    }
+
+    #[test]
+    fn free_list_order_matters() {
+        // π_{x,y}(e(x,y)) and π_{y,x}(e(x,y)) are not renamings of each
+        // other: a cached plan for one would return column-swapped rows
+        // for the other, so the keys must differ.
+        let a = parse_query("q(x, y) :- e(x, y)").unwrap();
+        let b = parse_query("q(y, x) :- e(x, y)").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        // With a *symmetric* body the swap is a true isomorphism (x↔y maps
+        // one query onto the other), and equal keys are sound: both
+        // queries have identical, swap-closed results.
+        let c = parse_query("q(x, y) :- e(x, y), e(y, x)").unwrap();
+        let d = parse_query("q(y, x) :- e(x, y), e(y, x)").unwrap();
+        assert_eq!(fingerprint(&c), fingerprint(&d));
+    }
+
+    #[test]
+    fn free_vs_bound_matters() {
+        let a = parse_query("q(x) :- e(x, y)").unwrap();
+        let b = parse_query("q(y) :- e(x, y)").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        // Boolean flag distinguishes the emulated-projection variant even
+        // though its free list also carries one variable.
+        let c = parse_query("q() :- e(x, y)").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn symmetric_colors_still_split_structure() {
+        // C4 vs two disjoint edges-with-shared-relation: same atom count,
+        // same variable count and degree sequence of 1… actually C4 has
+        // all-degree-2 vars; the pair has degree-1 vars, so refinement
+        // separates them immediately.
+        let c4 = parse_query("q() :- e(a,b), e(b,c), e(c,d), e(d,a)").unwrap();
+        let pair = parse_query("q() :- e(a,b), e(b,a), e(c,d), e(d,c)").unwrap();
+        assert_ne!(fingerprint(&c4), fingerprint(&pair));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let q = parse_query("q(x) :- e(x, y)").unwrap();
+        let s = fingerprint(&q).to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn hand_built_rename_matches_parsed() {
+        // Build the same query with a different interning order (hence
+        // different AttrIds end-to-end) and check key equality.
+        let parsed = parse_query("q(x) :- e(x, y), e(y, z)").unwrap();
+        let mut vars = Vars::new();
+        let z = vars.intern("zz");
+        let y = vars.intern("yy");
+        let x = vars.intern("xx");
+        let hand = ConjunctiveQuery::new(
+            vec![Atom::new("e", vec![y, z]), Atom::new("e", vec![x, y])],
+            vec![x],
+            vars,
+            false,
+        );
+        assert_eq!(fingerprint(&parsed), fingerprint(&hand));
+    }
+}

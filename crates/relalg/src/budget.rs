@@ -75,6 +75,20 @@ impl Budget {
         self
     }
 
+    /// The per-dimension minimum of `self` and `cap`. A server applies
+    /// this to client-supplied budgets so a request can tighten but never
+    /// exceed the operator's limits.
+    pub fn clamp(&self, cap: &Budget) -> Budget {
+        Budget {
+            max_tuples_flowed: self.max_tuples_flowed.min(cap.max_tuples_flowed),
+            max_materialized: self.max_materialized.min(cap.max_materialized),
+            timeout: match (self.timeout, cap.timeout) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
     /// Starts a metering session for one execution.
     pub(crate) fn start(&self) -> Meter {
         Meter {
@@ -159,6 +173,22 @@ mod tests {
         let m = b.start();
         assert_eq!(m.on_materialized_rows(10), None);
         assert_eq!(m.on_materialized_rows(11), Some(BudgetKind::Materialized));
+    }
+
+    #[test]
+    fn clamp_takes_per_dimension_minimum() {
+        let cap = Budget::tuples(1_000).with_timeout(Duration::from_millis(100));
+        let loose = Budget::tuples(1_000_000).with_timeout(Duration::from_secs(10));
+        let tight = Budget::tuples(10).with_timeout(Duration::from_millis(1));
+        let c = loose.clamp(&cap);
+        assert_eq!(c.max_tuples_flowed, 1_000);
+        assert_eq!(c.timeout, Some(Duration::from_millis(100)));
+        let t = tight.clamp(&cap);
+        assert_eq!(t.max_tuples_flowed, 10);
+        assert_eq!(t.timeout, Some(Duration::from_millis(1)));
+        // A cap with a timeout applies even when the request has none.
+        let n = Budget::unlimited().clamp(&cap);
+        assert_eq!(n.timeout, Some(Duration::from_millis(100)));
     }
 
     #[test]

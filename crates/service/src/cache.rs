@@ -1,0 +1,301 @@
+//! Fingerprint-keyed LRU plan cache.
+//!
+//! Planning is the per-request fixed cost the serving layer exists to
+//! amortize: for the structural methods it is pure query analysis
+//! (independent of the data), so a compiled [`Plan`] is reusable for every
+//! future request whose query is *isomorphic* to the one that built it.
+//! The cache key is therefore ([`Fingerprint`], [`Method`]) — the
+//! fingerprint already quotients out variable renaming and atom order —
+//! and the value is an `Arc<Plan>` shared with however many requests are
+//! concurrently executing it.
+//!
+//! Eviction is strict LRU over an intrusive doubly-linked list threaded
+//! through a slab, so `get`/`insert` are O(1) and the cache never scans.
+//! Hit/miss/eviction counters are atomics read by the `stats` wire
+//! command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ppr_core::methods::Method;
+use ppr_query::Fingerprint;
+use ppr_relalg::Plan;
+use rustc_hash::FxHashMap;
+
+/// Cache key: canonical query identity × planning method.
+pub type CacheKey = (Fingerprint, Method);
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    plan: Arc<Plan>,
+    prev: usize,
+    next: usize,
+}
+
+struct Inner {
+    map: FxHashMap<CacheKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl Inner {
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+/// Counter snapshot (plus occupancy) of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a cached plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe LRU cache from [`CacheKey`] to compiled plans.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                nodes: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit (and refreshing recency) or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Plan>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key).copied() {
+            Some(i) => {
+                inner.unlink(i);
+                inner.push_front(i);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(inner.nodes[i].plan.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `plan` under `key`, evicting the least-recently-used entry
+    /// at capacity. If a racing request inserted the key first, the
+    /// existing plan wins (and is returned), so all concurrent requests
+    /// for one query execute the same plan.
+    pub fn insert(&self, key: CacheKey, plan: Arc<Plan>) -> Arc<Plan> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(&i) = inner.map.get(&key) {
+            inner.unlink(i);
+            inner.push_front(i);
+            return inner.nodes[i].plan.clone();
+        }
+        if inner.map.len() >= self.capacity {
+            let lru = inner.tail;
+            inner.unlink(lru);
+            let old_key = inner.nodes[lru].key;
+            inner.map.remove(&old_key);
+            inner.free.push(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let i = match inner.free.pop() {
+            Some(i) => {
+                inner.nodes[i] = Node {
+                    key,
+                    plan: plan.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                inner.nodes.push(Node {
+                    key,
+                    plan: plan.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.nodes.len() - 1
+            }
+        };
+        inner.push_front(i);
+        inner.map.insert(key, i);
+        plan
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.inner.lock().expect("cache lock").map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_relalg::{AttrId, Relation, Schema};
+
+    fn key(n: u128) -> CacheKey {
+        (Fingerprint(n), Method::Straightforward)
+    }
+
+    fn plan(tag: u32) -> Arc<Plan> {
+        let rel = Relation::empty(format!("r{tag}"), Schema::new(vec![AttrId(tag)]));
+        Arc::new(Plan::scan(rel.into_shared(), vec![AttrId(tag)]))
+    }
+
+    fn scan_name(p: &Plan) -> &str {
+        match p {
+            Plan::Scan { base, .. } => base.name(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let c = PlanCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), plan(1));
+        assert!(c.get(&key(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 1, 0, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn method_is_part_of_the_key() {
+        let c = PlanCache::new(4);
+        c.insert((Fingerprint(7), Method::Straightforward), plan(1));
+        assert!(c.get(&(Fingerprint(7), Method::EarlyProjection)).is_none());
+        assert!(c.get(&(Fingerprint(7), Method::Straightforward)).is_some());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = PlanCache::new(2);
+        c.insert(key(1), plan(1));
+        c.insert(key(2), plan(2));
+        assert!(c.get(&key(1)).is_some()); // 2 is now LRU
+        c.insert(key(3), plan(3));
+        assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn insert_race_keeps_first_plan() {
+        let c = PlanCache::new(4);
+        let first = c.insert(key(1), plan(10));
+        let second = c.insert(key(1), plan(20));
+        assert_eq!(scan_name(&first), "r10");
+        assert_eq!(scan_name(&second), "r10", "existing entry must win");
+        assert_eq!(c.stats().len, 1);
+    }
+
+    #[test]
+    fn eviction_slot_reuse_is_sound() {
+        let c = PlanCache::new(2);
+        for i in 0..100u128 {
+            c.insert(key(i), plan(i as u32));
+        }
+        let s = c.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.evictions, 98);
+        assert!(c.get(&key(99)).is_some());
+        assert!(c.get(&key(98)).is_some());
+        assert!(c.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = Arc::new(PlanCache::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u128 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u128 {
+                    let k = key((t * 4 + i) % 16);
+                    if c.get(&k).is_none() {
+                        c.insert(k, plan(i as u32));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.len, 8);
+        assert_eq!(s.hits + s.misses, 800, "every lookup is counted once");
+    }
+}

@@ -1,0 +1,126 @@
+//! Blocking TCP client for the line protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::engine::{EngineStats, Request, Response};
+use crate::protocol;
+use crate::ServiceError;
+
+/// A connected client. One request is in flight at a time per client;
+/// open more clients for concurrency (the server is thread-per-connection).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running [`crate::Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn round_trip(&mut self, line: &str) -> Result<String, ServiceError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ServiceError::Io("server closed the connection".into()));
+        }
+        Ok(reply)
+    }
+
+    /// Evaluates a query on the server.
+    pub fn run(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let reply = self.round_trip(&protocol::encode_request(request))?;
+        protocol::decode_result(&reply)
+    }
+
+    /// Fetches engine + cache counters.
+    pub fn stats(&mut self) -> Result<EngineStats, ServiceError> {
+        let reply = self.round_trip("stats")?;
+        protocol::decode_stats(&reply)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ServiceError> {
+        let reply = self.round_trip("ping")?;
+        if reply.trim_end() == "ok pong" {
+            Ok(())
+        } else {
+            Err(ServiceError::Protocol(format!(
+                "unexpected ping reply: {}",
+                reply.trim_end()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::server::Server;
+    use ppr_core::methods::Method;
+    use ppr_query::Database;
+
+    fn serve() -> (Server, std::net::SocketAddr, Engine) {
+        let mut db = Database::new();
+        db.add(ppr_workload::edge_relation(3));
+        let engine = Engine::start(db, EngineConfig::default());
+        let server = Server::start("127.0.0.1:0", engine.handle()).expect("bind");
+        let addr = server.local_addr();
+        (server, addr, engine)
+    }
+
+    #[test]
+    fn round_trips_over_tcp() {
+        let (mut server, addr, engine) = serve();
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+
+        let req = Request::new("q(x, y) :- edge(x, y), edge(y, x)", Method::EarlyProjection);
+        let first = client.run(&req).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.columns, vec!["x", "y"]);
+        // K3 is symmetric: every ordered pair of distinct colors.
+        assert_eq!(first.rows.len(), 6);
+
+        let second = client.run(&req).unwrap();
+        assert!(second.cache_hit, "second request must hit the plan cache");
+        assert_eq!(first.rows, second.rows);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+
+        let bad = client.run(&Request::new("nope", Method::Naive));
+        assert!(matches!(bad, Err(ServiceError::Parse(_))));
+
+        server.shutdown();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_one_cache() {
+        let (mut server, addr, engine) = serve();
+        let req = Request::new("q() :- edge(a, b), edge(b, c)", Method::Straightforward);
+        let mut c1 = Client::connect(addr).unwrap();
+        let mut c2 = Client::connect(addr).unwrap();
+        assert!(!c1.run(&req).unwrap().cache_hit);
+        assert!(
+            c2.run(&req).unwrap().cache_hit,
+            "cache is engine-wide, not per-connection"
+        );
+        server.shutdown();
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,498 @@
+//! The request engine: worker pool, admission control, plan cache.
+//!
+//! One [`Engine`] owns a fixed [`Database`] (the paper's workloads run
+//! many large queries over one tiny database, so the database is server
+//! state and queries are the traffic), a [`PlanCache`], and a pool of
+//! worker threads draining a bounded queue. The life of a request:
+//!
+//! 1. **Admission** — [`EngineHandle::execute`] fast-fails with
+//!    [`ServiceError::Overloaded`] when the in-flight cap or the bounded
+//!    queue is full. Nothing ever waits for queue space: under overload
+//!    the server sheds load in O(1) rather than building an unbounded
+//!    backlog.
+//! 2. **Parse + fingerprint** — the worker parses the Datalog-ish text,
+//!    checks every atom against the database, and computes the canonical
+//!    [`ppr_query::fingerprint`].
+//! 3. **Plan** — cache hit returns the shared `Arc<Plan>`; a miss builds
+//!    the plan (the only non-executor CPU cost) and publishes it. Repeated
+//!    queries — under any variable renaming or atom order — never re-plan.
+//! 4. **Execute** — serial or partitioned-parallel executor under the
+//!    request budget clamped by the server maximum.
+//!
+//! Shutdown is graceful: the queue closes, workers drain every admitted
+//! request (each waiting client still gets its answer), then exit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ppr_core::methods::{build_plan, Method};
+use ppr_query::{fingerprint, parse_query, ConjunctiveQuery, Database};
+use ppr_relalg::{exec, parallel, Budget, ExecStats, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::queue::{BoundedQueue, PushError};
+use crate::ServiceError;
+
+/// One query request, embedded or decoded from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Datalog-ish rule text, e.g. `q(x) :- e(x, y), e(y, x)`.
+    pub query: String,
+    /// Planning method.
+    pub method: Method,
+    /// Tuple-flow budget override (clamped by the server maximum).
+    pub max_tuples: Option<u64>,
+    /// Wall-clock budget override in milliseconds (clamped likewise).
+    pub timeout_ms: Option<u64>,
+    /// Planner tie-breaking seed; `None` uses the engine default so that
+    /// repeated requests are deterministic.
+    pub seed: Option<u64>,
+}
+
+impl Request {
+    /// A request with no overrides.
+    pub fn new(query: impl Into<String>, method: Method) -> Self {
+        Request {
+            query: query.into(),
+            method,
+            max_tuples: None,
+            timeout_ms: None,
+            seed: None,
+        }
+    }
+}
+
+/// A successful evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Output column names (the query's free variables, in order).
+    pub columns: Vec<String>,
+    /// Result rows, byte-identical to library-level evaluation of the
+    /// same query, method, and budget.
+    pub rows: Vec<Box<[Value]>>,
+    /// Executor statistics for this request.
+    pub stats: ExecStats,
+    /// Whether the plan came from the cache (no re-planning happened).
+    pub cache_hit: bool,
+    /// Time spent building the plan (0 on cache hits).
+    pub plan_micros: u64,
+}
+
+/// Engine sizing and limits.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded-queue capacity (requests admitted but not yet picked up).
+    pub queue_capacity: usize,
+    /// Hard cap on requests queued + executing; 0 derives
+    /// `workers + queue_capacity`.
+    pub max_inflight: usize,
+    /// Plan-cache entries.
+    pub cache_capacity: usize,
+    /// Threads per request inside the executor: 1 = serial pipelined
+    /// executor, else [`parallel::execute_parallel`] (0 = all cores).
+    pub exec_threads: usize,
+    /// Server-side budget ceiling; request overrides are clamped to it.
+    pub max_budget: Budget,
+    /// Planner seed used when a request does not carry one.
+    pub default_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_inflight: 0,
+            cache_capacity: 256,
+            exec_threads: 1,
+            max_budget: Budget::tuples(u64::MAX).with_timeout(Duration::from_secs(60)),
+            default_seed: 0,
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+struct Shared {
+    db: Database,
+    cache: PlanCache,
+    queue: BoundedQueue<Job>,
+    accepting: AtomicBool,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    exec_threads: usize,
+    max_budget: Budget,
+    default_seed: u64,
+}
+
+/// Aggregate engine counters, reported by the `stats` wire command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests answered (ok or error) by workers.
+    pub served: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests currently queued or executing.
+    pub inflight: usize,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+/// Cloneable submission handle; the [`Engine`] keeps thread ownership.
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+impl EngineHandle {
+    /// Submits `request` and blocks until its result. Fast-fails with
+    /// [`ServiceError::Overloaded`] under saturation and
+    /// [`ServiceError::ShuttingDown`] during drain.
+    pub fn execute(&self, request: Request) -> Result<Response, ServiceError> {
+        let s = &self.shared;
+        if !s.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        // Reserve an in-flight slot before touching the queue so the cap
+        // covers queued *and* executing requests.
+        let prior = s.inflight.fetch_add(1, Ordering::AcqRel);
+        if prior >= s.max_inflight {
+            s.inflight.fetch_sub(1, Ordering::AcqRel);
+            s.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded {
+                inflight: prior,
+                capacity: s.max_inflight,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        match s.queue.try_push(Job { request, reply: tx }) {
+            Ok(()) => rx.recv().unwrap_or(Err(ServiceError::ShuttingDown)),
+            Err(PushError::Full(_)) => {
+                s.inflight.fetch_sub(1, Ordering::AcqRel);
+                s.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Overloaded {
+                    inflight: prior,
+                    capacity: s.max_inflight,
+                })
+            }
+            Err(PushError::Closed(_)) => {
+                s.inflight.fetch_sub(1, Ordering::AcqRel);
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            inflight: self.shared.inflight.load(Ordering::Relaxed),
+            cache: self.shared.cache.stats(),
+        }
+    }
+}
+
+/// The worker pool plus its shared state. Create with [`Engine::start`],
+/// submit through [`Engine::handle`], stop with [`Engine::shutdown`].
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns the worker pool over `db`.
+    pub fn start(db: Database, cfg: EngineConfig) -> Engine {
+        let workers = cfg.workers.max(1);
+        let max_inflight = if cfg.max_inflight == 0 {
+            workers + cfg.queue_capacity
+        } else {
+            cfg.max_inflight
+        };
+        let shared = Arc::new(Shared {
+            db,
+            cache: PlanCache::new(cfg.cache_capacity),
+            queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
+            accepting: AtomicBool::new(true),
+            inflight: AtomicUsize::new(0),
+            max_inflight,
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            exec_threads: cfg.exec_threads,
+            max_budget: cfg.max_budget,
+            default_seed: cfg.default_seed,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ppr-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Graceful drain-and-shutdown: stop admitting, answer everything
+    /// already queued, join the workers.
+    pub fn shutdown(self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.queue.close();
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let result = process(shared, &job.request);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        // A vanished caller (client disconnected mid-request) is fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Validates every atom against the server database before planning, so a
+/// bad request fails with a typed error instead of a worker panic.
+fn check_relations(query: &ConjunctiveQuery, db: &Database) -> Result<(), ServiceError> {
+    for atom in &query.atoms {
+        match db.get(&atom.relation) {
+            None => return Err(ServiceError::MissingRelation(atom.relation.clone())),
+            Some(rel) if rel.arity() != atom.arity() => {
+                return Err(ServiceError::MissingRelation(format!(
+                    "{} has arity {}, query uses {}",
+                    atom.relation,
+                    rel.arity(),
+                    atom.arity()
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn process(shared: &Shared, request: &Request) -> Result<Response, ServiceError> {
+    let query = parse_query(&request.query).map_err(|e| ServiceError::Parse(e.0))?;
+    check_relations(&query, &shared.db)?;
+
+    let key = (fingerprint(&query), request.method);
+    let (plan, cache_hit, plan_micros) = match shared.cache.get(&key) {
+        Some(plan) => (plan, true, 0),
+        None => {
+            let started = Instant::now();
+            let mut rng = StdRng::seed_from_u64(request.seed.unwrap_or(shared.default_seed));
+            let built = Arc::new(build_plan(request.method, &query, &shared.db, &mut rng));
+            let micros = started.elapsed().as_micros() as u64;
+            // A racing worker may have published the same key first; the
+            // cache keeps the existing plan so concurrent identical
+            // requests all run one plan.
+            (shared.cache.insert(key, built), false, micros)
+        }
+    };
+
+    let mut budget = Budget::unlimited();
+    if let Some(t) = request.max_tuples {
+        budget.max_tuples_flowed = t;
+        budget.max_materialized = t;
+    }
+    if let Some(ms) = request.timeout_ms {
+        budget.timeout = Some(Duration::from_millis(ms));
+    }
+    let budget = budget.clamp(&shared.max_budget);
+
+    let (rel, stats) = if shared.exec_threads == 1 {
+        exec::execute(&plan, &budget)
+    } else {
+        parallel::execute_parallel(&plan, &budget, shared.exec_threads)
+    }
+    .map_err(ServiceError::Exec)?;
+
+    let columns = query.free.iter().map(|&f| query.vars.name(f)).collect();
+    Ok(Response {
+        columns,
+        rows: rel.tuples().to_vec(),
+        stats,
+        cache_hit,
+        plan_micros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_relalg::RelalgError;
+
+    fn three_color_db() -> Database {
+        let mut db = Database::new();
+        db.add(ppr_workload::edge_relation(3));
+        db
+    }
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..EngineConfig::default()
+        }
+    }
+
+    const PENTAGON: &str = "q() :- e(a,b), e(b,c), e(c,d), e(d,f), e(f,a)";
+
+    fn pentagon_request(method: Method) -> Request {
+        Request::new(PENTAGON.replace('e', "edge"), method)
+    }
+
+    #[test]
+    fn answers_match_library_evaluation() {
+        let engine = Engine::start(three_color_db(), small_cfg());
+        let h = engine.handle();
+        for method in Method::paper_lineup() {
+            let resp = h.execute(pentagon_request(method)).unwrap();
+            assert!(!resp.rows.is_empty(), "{method:?}: pentagon is 3-colorable");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn repeated_query_hits_cache_even_renamed() {
+        let engine = Engine::start(three_color_db(), small_cfg());
+        let h = engine.handle();
+        let m = Method::BucketElimination(ppr_core::methods::OrderHeuristic::Mcs);
+        let first = h.execute(pentagon_request(m)).unwrap();
+        assert!(!first.cache_hit);
+        let second = h.execute(pentagon_request(m)).unwrap();
+        assert!(second.cache_hit, "identical query must reuse the plan");
+        // A renamed, atom-permuted variant of the same pentagon.
+        let renamed = Request::new(
+            "q() :- edge(v,w), edge(u,v), edge(z,u), edge(y,z), edge(w,y)",
+            m,
+        );
+        let third = h.execute(renamed).unwrap();
+        assert!(third.cache_hit, "isomorphic query must reuse the plan");
+        assert_eq!(first.rows, third.rows);
+        let stats = h.stats();
+        assert_eq!(stats.cache.hits, 2);
+        assert_eq!(stats.cache.misses, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn parse_and_missing_relation_errors_are_typed() {
+        let engine = Engine::start(three_color_db(), small_cfg());
+        let h = engine.handle();
+        let bad = h.execute(Request::new("not a rule", Method::Straightforward));
+        assert!(matches!(bad, Err(ServiceError::Parse(_))));
+        let missing = h.execute(Request::new("q() :- nope(x, y)", Method::Straightforward));
+        assert!(matches!(missing, Err(ServiceError::MissingRelation(_))));
+        let arity = h.execute(Request::new(
+            "q() :- edge(x, y, z)",
+            Method::Straightforward,
+        ));
+        assert!(matches!(arity, Err(ServiceError::MissingRelation(_))));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn budget_override_is_enforced_and_clamped() {
+        let mut cfg = small_cfg();
+        cfg.max_budget = Budget::tuples(1_000_000);
+        let engine = Engine::start(three_color_db(), cfg);
+        let h = engine.handle();
+        let mut req = pentagon_request(Method::Straightforward);
+        req.max_tuples = Some(3);
+        let out = h.execute(req);
+        assert!(
+            matches!(
+                out,
+                Err(ServiceError::Exec(RelalgError::BudgetExceeded { .. }))
+            ),
+            "{out:?}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn saturation_returns_overloaded() {
+        // One worker, tiny queue, and a request that runs long enough to
+        // pile up concurrent submissions.
+        let cfg = EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_inflight: 2,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(three_color_db(), cfg);
+        let h = engine.handle();
+        let slow = || {
+            // K7 with straightforward join order: plenty of tuple flow.
+            let mut atoms = Vec::new();
+            for i in 0..7 {
+                for j in (i + 1)..7 {
+                    atoms.push(format!("edge(v{i}, v{j})"));
+                }
+            }
+            Request::new(
+                format!("q() :- {}", atoms.join(", ")),
+                Method::Straightforward,
+            )
+        };
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let h = h.clone();
+            let req = slow();
+            handles.push(std::thread::spawn(move || h.execute(req)));
+        }
+        let results: Vec<_> = handles.into_iter().map(|t| t.join().unwrap()).collect();
+        let overloaded = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServiceError::Overloaded { .. })))
+            .count();
+        assert!(
+            overloaded > 0,
+            "8 concurrent requests against inflight cap 2 must shed load"
+        );
+        let stats = h.stats();
+        assert_eq!(stats.rejected as usize, overloaded);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let engine = Engine::start(three_color_db(), small_cfg());
+        let h = engine.handle();
+        let resp = h
+            .execute(pentagon_request(Method::EarlyProjection))
+            .unwrap();
+        assert!(!resp.rows.is_empty());
+        engine.shutdown();
+        assert!(matches!(
+            h.execute(pentagon_request(Method::EarlyProjection)),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+
+//! Query-serving subsystem for the projection-pushing engine.
+//!
+//! The paper's planning methods make project-join queries cheap to compile
+//! *and* cheap to run — the regime of a long-lived service answering many
+//! small queries, where planning cost is amortized across repeated
+//! evaluation. This crate is that serving layer:
+//!
+//! * [`cache::PlanCache`] — an LRU cache from
+//!   ([`ppr_query::Fingerprint`], [`ppr_core::methods::Method`]) to
+//!   compiled [`ppr_relalg::Plan`]s with hit/miss/eviction counters. The fingerprint is canonical under
+//!   variable renaming and atom reordering, so syntactic variants of a hot
+//!   query share one cached plan.
+//! * [`engine::Engine`] — a worker pool executing requests over the
+//!   serial or partitioned-parallel executor, with per-request tuple/time
+//!   budgets clamped by a server-side maximum, **admission control**
+//!   (bounded queue + max in-flight; saturation fast-fails with
+//!   [`ServiceError::Overloaded`] instead of queueing unboundedly), and
+//!   graceful drain-and-shutdown.
+//! * [`protocol`] — a newline-delimited wire format carrying the
+//!   Datalog-ish query text [`ppr_query::parse_query`] accepts, method
+//!   selection, and budget overrides; responses carry status, rows, and
+//!   [`ppr_relalg::ExecStats`] including the cache-hit flag.
+//! * [`server::Server`] / [`client::Client`] — a `std::net` TCP server
+//!   (thread per connection; no async runtime — the engine's own queue is
+//!   the concurrency limiter, so blocking I/O threads stay cheap) and a
+//!   blocking client.
+//!
+//! Everything is std-only; the engine is equally usable embedded (via
+//! [`engine::EngineHandle::execute`]) and over TCP.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, PlanCache};
+pub use client::Client;
+pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response};
+pub use server::Server;
+
+use ppr_relalg::RelalgError;
+
+/// Errors surfaced by the serving layer, both embedded and over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the bounded queue (or the
+    /// in-flight cap) is full. Clients should back off and retry; the
+    /// server sheds load instead of queueing unboundedly.
+    Overloaded {
+        /// Requests queued or executing when the request was rejected.
+        inflight: usize,
+        /// The in-flight cap that was hit.
+        capacity: usize,
+    },
+    /// The engine is draining and no longer accepts new requests.
+    ShuttingDown,
+    /// The query text did not parse.
+    Parse(String),
+    /// The query referenced a relation the server's database does not
+    /// have (or with the wrong arity).
+    MissingRelation(String),
+    /// The wire protocol named an unknown method.
+    UnknownMethod(String),
+    /// Execution failed — budget exhaustion ([`RelalgError::BudgetExceeded`])
+    /// or an invalid plan.
+    Exec(RelalgError),
+    /// A malformed protocol line.
+    Protocol(String),
+    /// Client-side transport failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { inflight, capacity } => {
+                write!(f, "overloaded: {inflight} in flight (cap {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+            ServiceError::Parse(m) => write!(f, "parse error: {m}"),
+            ServiceError::MissingRelation(m) => write!(f, "missing relation: {m}"),
+            ServiceError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            ServiceError::Exec(e) => write!(f, "execution error: {e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e.to_string())
+    }
+}

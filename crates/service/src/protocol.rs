@@ -1,0 +1,540 @@
+//! The newline-delimited wire format.
+//!
+//! One request per line, one response line per request, UTF-8, no framing
+//! beyond `\n` — inspectable with `nc` and implementable in any language
+//! in a dozen lines. Lines are `verb key=value … [tail]` where the tail
+//! (`rule=`, `msg=`) consumes the rest of the line so query text and
+//! error messages may contain spaces:
+//!
+//! ```text
+//! → run method=bucket-mcs timeout_ms=1000 rule=q() :- edge(x,y), edge(y,x)
+//! ← ok cache_hit=1 plan_us=0 elapsed_us=57 cpu_us=57 tuples=12
+//!      materializations=1 join_stages=1 max_arity=2 threads=1 cols=x
+//!      rows=3 data=1;2;3                       (single line on the wire)
+//! → stats
+//! ← ok served=2 rejected=0 inflight=0 hits=1 misses=1 evictions=0 cache_len=1
+//! → ping
+//! ← ok pong
+//! ← err kind=overloaded inflight=68 capacity=68
+//! ```
+//!
+//! Result rows ride in `data=` as `;`-separated tuples of `,`-separated
+//! values (values are `u32`, so both separators are unambiguous); row
+//! order is the executor's deterministic order, which keeps responses
+//! byte-identical to library-level evaluation.
+
+use ppr_core::methods::Method;
+use ppr_relalg::budget::BudgetKind;
+use ppr_relalg::{ExecStats, RelalgError, Value};
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+use crate::engine::{EngineStats, Request, Response};
+use crate::ServiceError;
+
+/// Hard cap on accepted line length (1 MiB): a wire peer cannot make the
+/// server buffer unboundedly.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// A decoded client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Evaluate a query.
+    Run(Request),
+    /// Report engine + cache counters.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+fn perr<T>(msg: impl Into<String>) -> Result<T, ServiceError> {
+    Err(ServiceError::Protocol(msg.into()))
+}
+
+/// Encodes a request as one `run` line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let mut line = format!("run method={}", req.method.name());
+    if let Some(t) = req.max_tuples {
+        line.push_str(&format!(" max_tuples={t}"));
+    }
+    if let Some(ms) = req.timeout_ms {
+        line.push_str(&format!(" timeout_ms={ms}"));
+    }
+    if let Some(s) = req.seed {
+        line.push_str(&format!(" seed={s}"));
+    }
+    line.push_str(" rule=");
+    line.push_str(&req.query);
+    line
+}
+
+/// Decodes one client line.
+pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.len() > MAX_LINE {
+        return perr("line too long");
+    }
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "ping" => Ok(Command::Ping),
+        "stats" => Ok(Command::Stats),
+        "run" => {
+            let Some(rule_at) = rest.find("rule=") else {
+                return perr("run line needs rule=");
+            };
+            let query = rest[rule_at + "rule=".len()..].trim().to_string();
+            if query.is_empty() {
+                return perr("empty rule");
+            }
+            let mut method = None;
+            let mut max_tuples = None;
+            let mut timeout_ms = None;
+            let mut seed = None;
+            for tok in rest[..rule_at].split_whitespace() {
+                let Some((k, v)) = tok.split_once('=') else {
+                    return perr(format!("bad token `{tok}`"));
+                };
+                match k {
+                    "method" => match Method::parse(v) {
+                        Some(m) => method = Some(m),
+                        None => return Err(ServiceError::UnknownMethod(v.to_string())),
+                    },
+                    "max_tuples" => max_tuples = Some(parse_num(k, v)?),
+                    "timeout_ms" => timeout_ms = Some(parse_num(k, v)?),
+                    "seed" => seed = Some(parse_num(k, v)?),
+                    _ => return perr(format!("unknown key `{k}`")),
+                }
+            }
+            let Some(method) = method else {
+                return perr("run line needs method=");
+            };
+            Ok(Command::Run(Request {
+                query,
+                method,
+                max_tuples,
+                timeout_ms,
+                seed,
+            }))
+        }
+        other => perr(format!("unknown verb `{other}`")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, ServiceError> {
+    v.parse()
+        .map_err(|_| ServiceError::Protocol(format!("bad value for {key}: {v}")))
+}
+
+/// Encodes an evaluation outcome as one `ok`/`err` line.
+pub fn encode_result(result: &Result<Response, ServiceError>) -> String {
+    match result {
+        Ok(r) => {
+            let mut line = format!(
+                "ok cache_hit={} plan_us={} elapsed_us={} cpu_us={} tuples={} \
+                 materializations={} join_stages={} max_arity={} threads={} cols={} rows={} data=",
+                r.cache_hit as u8,
+                r.plan_micros,
+                r.stats.elapsed.as_micros(),
+                r.stats.cpu_time.as_micros(),
+                r.stats.tuples_flowed,
+                r.stats.materializations,
+                r.stats.join_stages,
+                r.stats.max_intermediate_arity,
+                r.stats.threads_used,
+                r.columns.join(","),
+                r.rows.len(),
+            );
+            for (i, row) in r.rows.iter().enumerate() {
+                if i > 0 {
+                    line.push(';');
+                }
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&v.to_string());
+                }
+            }
+            line
+        }
+        Err(e) => encode_error(e),
+    }
+}
+
+fn encode_error(e: &ServiceError) -> String {
+    match e {
+        ServiceError::Overloaded { inflight, capacity } => {
+            format!("err kind=overloaded inflight={inflight} capacity={capacity}")
+        }
+        ServiceError::ShuttingDown => "err kind=shutting_down".to_string(),
+        ServiceError::Parse(m) => format!("err kind=parse msg={m}"),
+        ServiceError::MissingRelation(m) => format!("err kind=missing_relation msg={m}"),
+        ServiceError::UnknownMethod(m) => format!("err kind=unknown_method msg={m}"),
+        ServiceError::Exec(RelalgError::BudgetExceeded {
+            kind,
+            tuples_flowed,
+        }) => {
+            let which = match kind {
+                BudgetKind::Tuples => "tuples",
+                BudgetKind::Materialized => "materialized",
+                BudgetKind::WallClock => "wallclock",
+            };
+            format!("err kind=budget which={which} tuples={tuples_flowed}")
+        }
+        ServiceError::Exec(other) => format!("err kind=exec msg={other}"),
+        ServiceError::Protocol(m) => format!("err kind=protocol msg={m}"),
+        ServiceError::Io(m) => format!("err kind=io msg={m}"),
+    }
+}
+
+/// Decodes a server `ok`/`err` response line for a `run` request.
+pub fn decode_result(line: &str) -> Result<Response, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected ok/err line, got `{line}`"));
+    };
+    let Some(data_at) = rest.find("data=") else {
+        return perr("ok line needs data=");
+    };
+    let data = &rest[data_at + "data=".len()..];
+    let mut stats = ExecStats::default();
+    let mut cache_hit = false;
+    let mut plan_micros = 0;
+    let mut columns = Vec::new();
+    let mut expected_rows = None;
+    for tok in rest[..data_at].split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "cache_hit" => cache_hit = v == "1",
+            "plan_us" => plan_micros = parse_num(k, v)?,
+            "elapsed_us" => stats.elapsed = Duration::from_micros(parse_num(k, v)?),
+            "cpu_us" => stats.cpu_time = Duration::from_micros(parse_num(k, v)?),
+            "tuples" => stats.tuples_flowed = parse_num(k, v)?,
+            "materializations" => stats.materializations = parse_num(k, v)?,
+            "join_stages" => stats.join_stages = parse_num(k, v)?,
+            "max_arity" => stats.max_intermediate_arity = parse_num(k, v)?,
+            "threads" => stats.threads_used = parse_num(k, v)?,
+            "cols" => {
+                columns = if v.is_empty() {
+                    Vec::new()
+                } else {
+                    v.split(',').map(str::to_string).collect()
+                }
+            }
+            "rows" => expected_rows = Some(parse_num::<usize>(k, v)?),
+            _ => return perr(format!("unknown key `{k}`")),
+        }
+    }
+    let mut rows: Vec<Box<[Value]>> = Vec::new();
+    if !data.is_empty() {
+        for tup in data.split(';') {
+            let row: Result<Vec<Value>, _> = tup.split(',').map(str::parse::<Value>).collect();
+            match row {
+                Ok(r) => rows.push(r.into_boxed_slice()),
+                Err(_) => return perr(format!("bad tuple `{tup}`")),
+            }
+        }
+    }
+    if let Some(n) = expected_rows {
+        if n != rows.len() {
+            return perr(format!("row count {} does not match rows={n}", rows.len()));
+        }
+    }
+    Ok(Response {
+        columns,
+        rows,
+        stats,
+        cache_hit,
+        plan_micros,
+    })
+}
+
+fn decode_error(rest: &str) -> ServiceError {
+    let mut kind = "";
+    let mut fields: Vec<(&str, &str)> = Vec::new();
+    let msg = match rest.find("msg=") {
+        Some(at) => {
+            for tok in rest[..at].split_whitespace() {
+                if let Some(kv) = tok.split_once('=') {
+                    fields.push(kv);
+                }
+            }
+            rest[at + "msg=".len()..].to_string()
+        }
+        None => {
+            for tok in rest.split_whitespace() {
+                if let Some(kv) = tok.split_once('=') {
+                    fields.push(kv);
+                }
+            }
+            String::new()
+        }
+    };
+    for &(k, v) in &fields {
+        if k == "kind" {
+            kind = v;
+        }
+    }
+    let num = |key: &str| -> u64 {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0)
+    };
+    match kind {
+        "overloaded" => ServiceError::Overloaded {
+            inflight: num("inflight") as usize,
+            capacity: num("capacity") as usize,
+        },
+        "shutting_down" => ServiceError::ShuttingDown,
+        "parse" => ServiceError::Parse(msg),
+        "missing_relation" => ServiceError::MissingRelation(msg),
+        "unknown_method" => ServiceError::UnknownMethod(msg),
+        "budget" => {
+            let which = fields
+                .iter()
+                .find(|(k, _)| *k == "which")
+                .map(|&(_, v)| v)
+                .unwrap_or("tuples");
+            let kind = match which {
+                "materialized" => BudgetKind::Materialized,
+                "wallclock" => BudgetKind::WallClock,
+                _ => BudgetKind::Tuples,
+            };
+            ServiceError::Exec(RelalgError::BudgetExceeded {
+                kind,
+                tuples_flowed: num("tuples"),
+            })
+        }
+        "exec" => ServiceError::Exec(RelalgError::InvalidPlan(msg)),
+        "io" => ServiceError::Io(msg),
+        _ => ServiceError::Protocol(if msg.is_empty() {
+            format!("unknown error kind `{kind}`")
+        } else {
+            msg
+        }),
+    }
+}
+
+/// Encodes the `stats` reply.
+pub fn encode_stats(s: &EngineStats) -> String {
+    format!(
+        "ok served={} rejected={} inflight={} hits={} misses={} evictions={} cache_len={}",
+        s.served,
+        s.rejected,
+        s.inflight,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.evictions,
+        s.cache.len
+    )
+}
+
+/// Decodes the `stats` reply.
+pub fn decode_stats(line: &str) -> Result<EngineStats, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected stats line, got `{line}`"));
+    };
+    let mut s = EngineStats {
+        cache: CacheStats::default(),
+        ..EngineStats::default()
+    };
+    for tok in rest.split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "served" => s.served = parse_num(k, v)?,
+            "rejected" => s.rejected = parse_num(k, v)?,
+            "inflight" => s.inflight = parse_num(k, v)?,
+            "hits" => s.cache.hits = parse_num(k, v)?,
+            "misses" => s.cache.misses = parse_num(k, v)?,
+            "evictions" => s.cache.evictions = parse_num(k, v)?,
+            "cache_len" => s.cache.len = parse_num(k, v)?,
+            _ => return perr(format!("unknown key `{k}`")),
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            query: "q(x) :- edge(x, y), edge(y, x)".into(),
+            method: Method::BucketElimination(ppr_core::methods::OrderHeuristic::Mcs),
+            max_tuples: Some(1000),
+            timeout_ms: Some(250),
+            seed: Some(7),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        let line = encode_request(&req);
+        assert_eq!(decode_command(&line).unwrap(), Command::Run(req));
+    }
+
+    #[test]
+    fn minimal_request_round_trips() {
+        let req = Request::new("q() :- edge(x, y)", Method::Straightforward);
+        let line = encode_request(&req);
+        assert!(!line.contains("max_tuples"));
+        assert_eq!(decode_command(&line).unwrap(), Command::Run(req));
+    }
+
+    #[test]
+    fn rule_text_may_contain_spaces_and_equals_free_tokens() {
+        let cmd = decode_command("run method=sf rule=q(x) :- edge(x, y), edge(y, z)").unwrap();
+        match cmd {
+            Command::Run(r) => assert_eq!(r.query, "q(x) :- edge(x, y), edge(y, z)"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(matches!(
+            decode_command("run rule=q() :- e(x,y)"),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_command("run method=warp rule=q() :- e(x,y)"),
+            Err(ServiceError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            decode_command("run method=sf"),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_command("frobnicate"),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_command("run method=sf max_tuples=lots rule=q() :- e(x,y)"),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn ping_and_stats_decode() {
+        assert_eq!(decode_command("ping\n").unwrap(), Command::Ping);
+        assert_eq!(decode_command("stats").unwrap(), Command::Stats);
+    }
+
+    fn sample_response() -> Response {
+        Response {
+            columns: vec!["x".into(), "y".into()],
+            rows: vec![vec![1, 2].into_boxed_slice(), vec![3, 1].into_boxed_slice()],
+            stats: ExecStats {
+                tuples_flowed: 42,
+                materializations: 2,
+                join_stages: 3,
+                max_intermediate_arity: 4,
+                threads_used: 2,
+                elapsed: Duration::from_micros(120),
+                cpu_time: Duration::from_micros(200),
+                ..ExecStats::default()
+            },
+            cache_hit: true,
+            plan_micros: 15,
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = sample_response();
+        let line = encode_result(&Ok(resp.clone()));
+        let back = decode_result(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn empty_result_round_trips() {
+        let resp = Response {
+            columns: vec!["x".into()],
+            rows: Vec::new(),
+            stats: ExecStats::default(),
+            cache_hit: false,
+            plan_micros: 3,
+        };
+        let line = encode_result(&Ok(resp.clone()));
+        assert!(line.ends_with("data="));
+        assert_eq!(decode_result(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let cases = vec![
+            ServiceError::Overloaded {
+                inflight: 68,
+                capacity: 68,
+            },
+            ServiceError::ShuttingDown,
+            ServiceError::Parse("expected `head :- body`".into()),
+            ServiceError::MissingRelation("nope".into()),
+            ServiceError::UnknownMethod("warp".into()),
+            ServiceError::Exec(RelalgError::BudgetExceeded {
+                kind: BudgetKind::WallClock,
+                tuples_flowed: 99,
+            }),
+        ];
+        for e in cases {
+            let line = encode_result(&Err(e.clone()));
+            let back = decode_result(&line).unwrap_err();
+            assert_eq!(back, e, "line was `{line}`");
+        }
+        // Generic exec errors round-trip by kind + message text (the
+        // Display prefix is kept, so the client still sees the cause).
+        let e = ServiceError::Exec(RelalgError::InvalidPlan("broken".into()));
+        let back = decode_result(&encode_result(&Err(e))).unwrap_err();
+        match back {
+            ServiceError::Exec(RelalgError::InvalidPlan(m)) => assert!(m.contains("broken")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_count_mismatch_is_caught() {
+        let line = "ok cache_hit=0 plan_us=0 elapsed_us=0 cpu_us=0 tuples=0 \
+                    materializations=0 join_stages=0 max_arity=0 threads=1 cols=x rows=2 data=1";
+        assert!(matches!(
+            decode_result(line),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = EngineStats {
+            served: 10,
+            rejected: 2,
+            inflight: 1,
+            cache: CacheStats {
+                hits: 7,
+                misses: 3,
+                evictions: 1,
+                len: 2,
+                capacity: 0, // not on the wire
+            },
+        };
+        let line = encode_stats(&s);
+        assert_eq!(decode_stats(&line).unwrap(), s);
+    }
+}

@@ -1,0 +1,170 @@
+//! A bounded MPMC queue with fast-fail admission.
+//!
+//! `std::sync::mpsc` channels are single-consumer; the engine's worker
+//! pool needs many consumers, and admission control needs a non-blocking
+//! `try_push` that reports "full" without ever waiting. This is the
+//! smallest queue with those two properties: a `Mutex<VecDeque>` plus one
+//! condvar. The lock is held for O(1) push/pop only — the expensive work
+//! (planning, execution) happens outside.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking; fails fast when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns
+    /// `None` once the queue is closed *and* drained — consumers see every
+    /// item pushed before `close`, which is what makes engine shutdown
+    /// graceful.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain the backlog.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (racy; for stats only).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_fails_fast() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.try_push(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut seen = Vec::new();
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(x) = q.pop() {
+                    got.push(x);
+                }
+                got
+            }));
+        }
+        for c in consumers {
+            seen.extend(c.join().unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 400);
+        seen.dedup();
+        assert_eq!(seen.len(), 400);
+    }
+}

@@ -1,0 +1,160 @@
+//! Blocking `std::net` TCP server for the line protocol.
+//!
+//! One OS thread per connection, no async runtime. That is a deliberate
+//! fit for this engine: concurrency is limited by the engine's bounded
+//! queue and in-flight cap, not by connection count, so connection
+//! threads spend their lives blocked in `read` — cheap — and admission
+//! control (not the accept loop) is what sheds load. Graceful shutdown
+//! needs no reactor either: the accept loop polls a stop flag through a
+//! nonblocking listener, and connection threads poll the same flag
+//! through short read timeouts, so `shutdown()` converges in one poll
+//! interval.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::EngineHandle;
+use crate::protocol::{self, Command, MAX_LINE};
+use crate::ServiceError;
+
+/// How often blocked I/O re-checks the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A running TCP front-end over an [`EngineHandle`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections on a background thread.
+    pub fn start(addr: impl ToSocketAddrs, engine: EngineHandle) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = stop.clone();
+        let accept_conns = connections.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let engine = engine.clone();
+                        let stop = accept_stop.clone();
+                        let handle =
+                            std::thread::spawn(move || serve_connection(stream, engine, stop));
+                        accept_conns.lock().expect("connection list").push(handle);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address — read this after `start("127.0.0.1:0", …)` to
+    /// learn the ephemeral port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, lets in-progress requests finish, and joins every
+    /// I/O thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .connections
+            .lock()
+            .expect("connection list")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, engine: EngineHandle, stop: Arc<AtomicBool>) {
+    // Short read timeouts make the blocking read loop responsive to the
+    // stop flag without a reactor.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream;
+    let mut writer = match reader.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Process every complete line already buffered before reading more.
+        while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]);
+            let reply = handle_line(&line, &engine);
+            if writer
+                .write_all(reply.as_bytes())
+                .and_then(|_| writer.write_all(b"\n"))
+                .is_err()
+            {
+                return;
+            }
+        }
+        if pending.len() > MAX_LINE {
+            let _ = writer.write_all(b"err kind=protocol msg=line too long\n");
+            return;
+        }
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(line: &str, engine: &EngineHandle) -> String {
+    if line.trim().is_empty() {
+        return protocol::encode_result(&Err(ServiceError::Protocol("empty line".into())));
+    }
+    match protocol::decode_command(line) {
+        Ok(Command::Ping) => "ok pong".to_string(),
+        Ok(Command::Stats) => protocol::encode_stats(&engine.stats()),
+        Ok(Command::Run(request)) => protocol::encode_result(&engine.execute(request)),
+        Err(e) => protocol::encode_result(&Err(e)),
+    }
+}

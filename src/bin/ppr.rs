@@ -9,6 +9,11 @@
 //! ppr query  --rule 'q(x) :- e(x,y), e(y,z).' --rel 'e = {(1,2),(2,3)}'
 //!            [--rel-file name=path.csv] [--method M] [--sql] [--minimize]
 //! ppr width  (--random N,D | --family NAME,ORDER | --edges FILE) [--seed S]
+//! ppr serve  [--listen HOST:PORT] [--rel '…'] [--rel-file name=path.csv]
+//!            [--colors K] [--workers N] [--queue N] [--cache N]
+//!            [--exec-threads N] [--max-tuples N] [--timeout-ms T]
+//! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
+//!            [--max-tuples N] [--timeout-ms T] [--seed S] [--stats] [--ping]
 //! ```
 //!
 //! Methods: `naive`, `straightforward`, `early`, `reorder`, `bucket`
@@ -36,12 +41,13 @@ fn main() {
         "sat" => cmd_sat(&flags),
         "query" => cmd_query(&flags),
         "width" => cmd_width(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         _ => die(USAGE),
     }
 }
 
-const USAGE: &str =
-    "usage: ppr <color|sat|query|width> [flags]\n  see `src/bin/ppr.rs` header for flags";
+const USAGE: &str = "usage: ppr <color|sat|query|width|serve|client> [flags]\n  see `src/bin/ppr.rs` header for flags";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -103,20 +109,6 @@ impl Flags {
             None => default,
         }
     }
-}
-
-/// Parses a method name.
-fn method_from_name(name: &str) -> Option<Method> {
-    Some(match name {
-        "naive" => Method::Naive,
-        "straightforward" | "sf" => Method::Straightforward,
-        "early" | "early-projection" => Method::EarlyProjection,
-        "reorder" | "reordering" => Method::Reordering,
-        "bucket" | "bucket-mcs" => Method::BucketElimination(OrderHeuristic::Mcs),
-        "bucket-mindeg" => Method::BucketElimination(OrderHeuristic::MinDegree),
-        "bucket-minfill" => Method::BucketElimination(OrderHeuristic::MinFill),
-        _ => return None,
-    })
 }
 
 /// Parses `N,D` (order, density).
@@ -182,9 +174,7 @@ fn graph_from_flags(flags: &Flags, rng: &mut StdRng) -> Graph {
 
 fn run_and_report(query: &ConjunctiveQuery, db: &Database, flags: &Flags) {
     let method = match flags.get("method") {
-        Some(name) => {
-            method_from_name(name).unwrap_or_else(|| die(&format!("unknown method {name}")))
-        }
+        Some(name) => Method::parse(name).unwrap_or_else(|| die(&format!("unknown method {name}"))),
         None => Method::BucketElimination(OrderHeuristic::Mcs),
     };
     let seed: u64 = flags.num("seed", 0);
@@ -339,6 +329,130 @@ fn cmd_width(flags: &Flags) {
     }
 }
 
+/// Builds the server database: explicit `--rel` / `--rel-file` relations,
+/// or the k-coloring edge relation (`--colors`, default 3) when none are
+/// given — the natural database for the paper's 3-COLOR workload.
+fn serve_database(flags: &Flags) -> Database {
+    use projection_pushing::query::parse_relation;
+    let mut db = Database::new();
+    let mut base_col = 10_000_000u32;
+    for rel_text in flags.get_all("rel") {
+        let rel = parse_relation(rel_text, base_col).unwrap_or_else(|e| die(&e.to_string()));
+        base_col += rel.arity() as u32;
+        db.add(rel);
+    }
+    for spec in flags.get_all("rel-file") {
+        let Some((name, path)) = spec.split_once('=') else {
+            die("--rel-file expects name=path.csv");
+        };
+        let text = std::fs::read_to_string(path.trim())
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let rel = projection_pushing::relalg::csv::relation_from_csv(name.trim(), &text, base_col)
+            .unwrap_or_else(|e| die(&e));
+        base_col += rel.arity() as u32;
+        db.add(rel);
+    }
+    if db.is_empty() {
+        let colors: u32 = flags.num("colors", 3);
+        db.add(projection_pushing::workload::edge_relation(colors));
+    }
+    db
+}
+
+fn cmd_serve(flags: &Flags) {
+    use projection_pushing::service::{Engine, EngineConfig, Server};
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:7171");
+    let db = serve_database(flags);
+    eprintln!("database: {:?}", db.names());
+    let cfg = EngineConfig {
+        workers: flags.num("workers", 4usize),
+        queue_capacity: flags.num("queue", 64usize),
+        cache_capacity: flags.num("cache", 256usize),
+        exec_threads: flags.num("exec-threads", 1usize),
+        max_budget: Budget::tuples(flags.num("max-tuples", u64::MAX))
+            .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000))),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(db, cfg);
+    let server = Server::start(listen, engine.handle())
+        .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
+    eprintln!(
+        "protocol: `run method=bucket rule=q(x) :- edge(x, y)` per line; also `stats`, `ping`"
+    );
+    // Last line before serving: scripts (and the e2e test) wait for it,
+    // then may close their end of the stderr pipe.
+    eprintln!("ppr-service listening on {}", server.local_addr());
+    // Serve until the process is killed; requests in flight at kill time
+    // are lost, which is fine for a workload server with no durable state.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_client(flags: &Flags) {
+    use projection_pushing::service::{Client, Request};
+    let addr = flags.get("connect").unwrap_or("127.0.0.1:7171");
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    if flags.has("ping") {
+        client.ping().unwrap_or_else(|e| die(&e.to_string()));
+        println!("pong");
+        return;
+    }
+    if flags.has("stats") {
+        let s = client.stats().unwrap_or_else(|e| die(&e.to_string()));
+        println!(
+            "served: {}  rejected: {}  inflight: {}",
+            s.served, s.rejected, s.inflight
+        );
+        println!(
+            "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} cached",
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.hit_rate() * 100.0,
+            s.cache.evictions,
+            s.cache.len
+        );
+        return;
+    }
+    let rule = flags
+        .get("rule")
+        .unwrap_or_else(|| die("need --rule (or --stats / --ping)"));
+    let method = match flags.get("method") {
+        Some(name) => Method::parse(name).unwrap_or_else(|| die(&format!("unknown method {name}"))),
+        None => Method::BucketElimination(OrderHeuristic::Mcs),
+    };
+    let mut request = Request::new(rule, method);
+    request.max_tuples = flags.get("max-tuples").map(|_| flags.num("max-tuples", 0));
+    request.timeout_ms = flags.get("timeout-ms").map(|_| flags.num("timeout-ms", 0));
+    request.seed = flags.get("seed").map(|_| flags.num("seed", 0));
+    match client.run(&request) {
+        Ok(resp) => {
+            println!(
+                "rows: {}  cache_hit: {}  plan: {} us  exec: {} us  tuples flowed: {}",
+                resp.rows.len(),
+                resp.cache_hit,
+                resp.plan_micros,
+                resp.stats.elapsed.as_micros(),
+                resp.stats.tuples_flowed
+            );
+            if !resp.columns.is_empty() {
+                println!("columns: {}", resp.columns.join(", "));
+            }
+            for row in resp.rows.iter().take(50) {
+                println!("  {row:?}");
+            }
+            if resp.rows.len() > 50 {
+                println!("  … {} more", resp.rows.len() - 50);
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,11 +460,11 @@ mod tests {
     #[test]
     fn method_names_resolve() {
         assert_eq!(
-            method_from_name("bucket"),
+            Method::parse("bucket"),
             Some(Method::BucketElimination(OrderHeuristic::Mcs))
         );
-        assert_eq!(method_from_name("sf"), Some(Method::Straightforward));
-        assert_eq!(method_from_name("nope"), None);
+        assert_eq!(Method::parse("sf"), Some(Method::Straightforward));
+        assert_eq!(Method::parse("nope"), None);
     }
 
     #[test]

@@ -24,12 +24,17 @@
 //! let k4 = graph::families::complete(4);
 //! assert!(!evaluate_3color(&k4, Method::Straightforward, 0).unwrap());
 //! ```
+//!
+//! For long-lived query serving — a fingerprint-keyed plan cache,
+//! admission control, and a TCP line protocol (`ppr serve` / `ppr
+//! client`) — see the [`service`] crate.
 
 pub use ppr_core as core;
 pub use ppr_costplanner as costplanner;
 pub use ppr_graph as graph;
 pub use ppr_query as query;
 pub use ppr_relalg as relalg;
+pub use ppr_service as service;
 pub use ppr_sql as sql;
 pub use ppr_workload as workload;
 
@@ -49,6 +54,7 @@ pub mod prelude {
     pub use ppr_query::{Atom, ConjunctiveQuery, Database, Vars};
     pub use ppr_relalg::parallel::execute_parallel;
     pub use ppr_relalg::{Budget, Plan};
+    pub use ppr_service::{Client, Engine, EngineConfig, Request, Server, ServiceError};
     pub use ppr_workload::{color_query, ColorQueryOptions, InstanceSpec, QueryShape};
 }
 

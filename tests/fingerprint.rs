@@ -1,0 +1,138 @@
+//! Property tests for the canonical query fingerprint.
+//!
+//! The plan cache is only sound if the fingerprint is invariant under the
+//! two transformations that do not change a conjunctive query's meaning —
+//! variable renaming and atom reordering — and only *useful* if
+//! structurally different queries get different keys. Both directions are
+//! exercised here on randomly generated 3-COLOR query bodies.
+
+use projection_pushing::graph::generate::random_graph;
+use projection_pushing::query::{fingerprint, parse_query};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The 3-COLOR query text of a random graph: `q(<free>) :- edge(...), ...`
+/// with vertex `u` named by `names(u)`.
+fn color_text(edges: &[(usize, usize)], free: &[usize], names: impl Fn(usize) -> String) -> String {
+    let head: Vec<String> = free.iter().map(|&v| names(v)).collect();
+    let body: Vec<String> = edges
+        .iter()
+        .map(|&(u, v)| format!("edge({}, {})", names(u), names(v)))
+        .collect();
+    format!("q({}) :- {}", head.join(", "), body.join(", "))
+}
+
+/// A connected-ish random edge set on `order` vertices.
+fn random_edges(order: usize, extra: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let max = order * (order - 1) / 2;
+    let m = (order - 1 + extra).min(max);
+    random_graph(order, m, rng).edges().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Renaming every variable and permuting the atoms leaves the
+    /// fingerprint unchanged — the invariance the plan cache relies on.
+    #[test]
+    fn invariant_under_renaming_and_atom_permutation(
+        order in 3usize..10,
+        extra in 0usize..10,
+        free_count in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = random_edges(order, extra, &mut rng);
+        prop_assume!(!edges.is_empty());
+        let free: Vec<usize> = (0..free_count.min(order)).collect();
+
+        let original = color_text(&edges, &free, |v| format!("v{v}"));
+
+        // A random bijective renaming of the vertex set…
+        let mut perm: Vec<usize> = (0..order).collect();
+        perm.shuffle(&mut rng);
+        // …and a random permutation of the atoms (and of each atom's
+        // *position* in the body — not of its arguments, which would
+        // change the edge).
+        let mut shuffled = edges.clone();
+        shuffled.shuffle(&mut rng);
+        let renamed = color_text(&shuffled, &free, |v| format!("x{}", perm[v]));
+
+        let a = fingerprint(&parse_query(&original).unwrap());
+        let b = fingerprint(&parse_query(&renamed).unwrap());
+        prop_assert_eq!(a, b, "original: {}\nrenamed: {}", original, renamed);
+    }
+
+    /// Adding an edge that was not there before changes the structure,
+    /// so the fingerprint must change.
+    #[test]
+    fn extra_atom_changes_the_key(
+        order in 3usize..9,
+        extra in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = random_edges(order, extra, &mut rng);
+        prop_assume!(!edges.is_empty());
+        let base = fingerprint(&parse_query(&color_text(&edges, &[], |v| format!("v{v}"))).unwrap());
+
+        // A fresh vertex pendant on a random existing one: never isomorphic
+        // to the original body (one more variable, one more atom).
+        let anchor = edges[rng.random_range(0..edges.len())].0;
+        edges.push((anchor, order));
+        let grown = fingerprint(&parse_query(&color_text(&edges, &[], |v| format!("v{v}"))).unwrap());
+        prop_assert_ne!(base, grown);
+    }
+
+    /// The free list is part of the key: projecting a different variable
+    /// set must not collide (same body, different output schema).
+    #[test]
+    fn free_variables_change_the_key(
+        order in 3usize..9,
+        extra in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = random_edges(order, extra, &mut rng);
+        prop_assume!(!edges.is_empty());
+        let boolean = fingerprint(&parse_query(&color_text(&edges, &[], |v| format!("v{v}"))).unwrap());
+        // Project an endpoint of the first edge: vertex 0 may be isolated
+        // in `random_graph`, and isolated head variables do not parse.
+        let unary = fingerprint(
+            &parse_query(&color_text(&edges, &[edges[0].0], |v| format!("v{v}"))).unwrap(),
+        );
+        prop_assert_ne!(boolean, unary);
+    }
+}
+
+/// Structurally distinct 3-COLOR queries — non-isomorphic graph families —
+/// all receive distinct cache keys.
+#[test]
+fn distinct_structures_get_distinct_keys() {
+    use projection_pushing::graph::families;
+    let graphs = vec![
+        families::path(5),
+        families::cycle(5),
+        families::cycle(6),
+        families::complete(4),
+        families::complete(5),
+        families::ladder(3),
+        families::grid(3, 3),
+        families::augmented_path(5),
+    ];
+    let mut keys = Vec::new();
+    for g in &graphs {
+        let text = color_text(g.edges(), &[], |v| format!("v{v}"));
+        keys.push(fingerprint(&parse_query(&text).unwrap()));
+    }
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            assert_ne!(
+                keys[i], keys[j],
+                "non-isomorphic graphs {i} and {j} collided"
+            );
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end smoke test of the serving subsystem: a real TCP server on
+//! an ephemeral port, a real client, one 3-COLOR query per planning
+//! method, and the acceptance bar that wire answers are byte-identical to
+//! library-level evaluation. Also exercises admission control (saturation
+//! fast-fails with `Overloaded`) and graceful shutdown.
+
+use projection_pushing::prelude::*;
+use projection_pushing::query::{parse_query, Database};
+use projection_pushing::service::engine::EngineStats;
+use projection_pushing::workload::edge_relation;
+use projection_pushing::{evaluate, evaluate_parallel, service};
+use service::{Engine, EngineConfig, ServiceError};
+
+/// 3-COLOR of the pentagon with two free variables, so responses carry
+/// actual rows (not just a Boolean).
+const PENTAGON: &str = "q(a, b) :- edge(a, b), edge(b, c), edge(c, d), edge(d, f), edge(f, a)";
+
+fn color_db() -> Database {
+    let mut db = Database::new();
+    db.add(edge_relation(3));
+    db
+}
+
+fn all_methods() -> Vec<Method> {
+    vec![
+        Method::Naive,
+        Method::Straightforward,
+        Method::EarlyProjection,
+        Method::Reordering,
+        Method::BucketElimination(OrderHeuristic::Mcs),
+        Method::BucketElimination(OrderHeuristic::MinDegree),
+        Method::BucketElimination(OrderHeuristic::MinFill),
+    ]
+}
+
+#[test]
+fn wire_answers_match_library_evaluation_per_method() {
+    let engine = Engine::start(color_db(), EngineConfig::default());
+    let mut server =
+        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let query = parse_query(PENTAGON).unwrap();
+    let db = color_db();
+    for method in all_methods() {
+        // The engine's default seed is 0; evaluate with the same seed and
+        // an equivalent budget for byte-identical plans and rows.
+        let (expected, _) = evaluate(&query, &db, method, &Budget::unlimited(), 0).unwrap();
+        let response = client.run(&Request::new(PENTAGON, method)).unwrap();
+        assert_eq!(
+            response.rows,
+            expected.tuples().to_vec(),
+            "{} over the wire differs from the library",
+            method.name()
+        );
+        // And from the parallel executor, which is byte-identical by
+        // construction.
+        let (par, _) = evaluate_parallel(&query, &db, method, &Budget::unlimited(), 0, 2).unwrap();
+        assert_eq!(response.rows, par.tuples().to_vec());
+        assert_eq!(response.columns, vec!["a", "b"]);
+    }
+
+    // Re-running the lineup hits the cache for every method: no
+    // re-planning on the hot path.
+    let before: EngineStats = client.stats().unwrap();
+    for method in all_methods() {
+        let response = client.run(&Request::new(PENTAGON, method)).unwrap();
+        assert!(response.cache_hit, "{} should be cached", method.name());
+        assert_eq!(response.plan_micros, 0, "cache hits must not re-plan");
+    }
+    let after: EngineStats = client.stats().unwrap();
+    assert_eq!(
+        after.cache.hits,
+        before.cache.hits + all_methods().len() as u64
+    );
+    assert_eq!(after.cache.misses, before.cache.misses);
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn saturated_server_sheds_load_with_overloaded() {
+    // One worker and a one-slot queue: concurrent clients must observe
+    // typed overload errors, not unbounded queueing.
+    let engine = Engine::start(
+        color_db(),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_inflight: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let server = service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let addr = server.local_addr();
+
+    // K6: slow enough under `straightforward` to pile up concurrent work.
+    let atoms: Vec<String> = (0..6)
+        .flat_map(|i| ((i + 1)..6).map(move |j| format!("edge(v{i}, v{j})")))
+        .collect();
+    let slow = format!("q() :- {}", atoms.join(", "));
+
+    let mut joins = Vec::new();
+    for _ in 0..8 {
+        let slow = slow.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.run(&Request::new(slow, Method::Straightforward))
+        }));
+    }
+    let results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let overloaded = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServiceError::Overloaded { .. })))
+        .count();
+    let succeeded = results.iter().filter(|r| r.is_ok()).count();
+    assert!(
+        overloaded > 0,
+        "8 concurrent requests against in-flight cap 2 must shed load"
+    );
+    assert!(succeeded > 0, "admitted requests must still be answered");
+    assert_eq!(engine.handle().stats().rejected as usize, overloaded);
+
+    drop(server); // Drop also shuts the server down gracefully.
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_and_then_refuses() {
+    let engine = Engine::start(color_db(), EngineConfig::default());
+    let mut server =
+        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let handle = engine.handle();
+
+    // A request completes normally before shutdown…
+    let ok = client.run(&Request::new(PENTAGON, Method::EarlyProjection));
+    assert!(ok.is_ok());
+
+    // …the engine drains and refuses afterwards.
+    server.shutdown();
+    engine.shutdown();
+    assert!(matches!(
+        handle.execute(Request::new(PENTAGON, Method::EarlyProjection)),
+        Err(ServiceError::ShuttingDown)
+    ));
+}
+
+/// The real binary round-trips too: `ppr serve` on an ephemeral port,
+/// `ppr client` against it.
+#[test]
+fn ppr_binary_serve_and_client_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_ppr"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn ppr serve");
+
+    // The server reports its bound (ephemeral) address on stderr. Keep
+    // draining the pipe afterwards: closing it would EPIPE any later
+    // server log line and kill the process mid-test.
+    let stderr = serve.stderr.take().expect("stderr");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("ppr-service listening on ") {
+                let _ = tx.send(rest.trim().to_string());
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("serve never reported its address");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ppr"))
+        .args([
+            "client",
+            "--connect",
+            &addr,
+            "--rule",
+            "q(x, y) :- edge(x, y), edge(y, x)",
+            "--method",
+            "bucket",
+        ])
+        .output()
+        .expect("run ppr client");
+    let _ = serve.kill();
+    let _ = serve.wait();
+
+    assert!(out.status.success(), "client failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Ordered pairs of distinct colors in K3.
+    assert!(stdout.contains("rows: 6"), "unexpected output: {stdout}");
+}

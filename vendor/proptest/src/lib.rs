@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this crate reimplements
 //! the small slice of the `proptest` API the workspace's tests use: the
-//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros, a [`Strategy`]
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] macros, a [`Strategy`]
 //! trait with `prop_map`, strategies for integer ranges, tuples,
 //! `collection::vec`, and `bool::ANY`, and [`ProptestConfig::with_cases`].
 //!
@@ -235,7 +235,7 @@ pub mod collection {
 /// Everything tests import (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
     pub use crate::{ProptestConfig, Strategy, TestCaseError};
 }
 
@@ -366,6 +366,32 @@ macro_rules! prop_assert_eq {
                 format!($($fmt)+),
                 l,
                 r
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+),
+                l
             )));
         }
     }};
