@@ -28,11 +28,17 @@
 //! the ordered free colors are folded into the final digest.
 //!
 //! Like every refinement-based invariant, the map is sound (isomorphic
-//! queries always collide) and complete only in practice: WL-equivalent
-//! non-isomorphic queries — or a 2⁻¹²⁸ hash collision — would share a key.
-//! The plan cache trades that vanishing risk for never re-planning a hot
-//! query; the property tests in `tests/fingerprint.rs` pin both directions
-//! on the paper's workload generators.
+//! queries always collide) but **not complete**: non-isomorphic queries
+//! that 1-WL refinement cannot separate are *constructible* (CFI-style
+//! gadgets, strongly regular graphs), so a shared key is not a
+//! vanishing-probability event the way a raw 2⁻¹²⁸ hash collision is. A
+//! cache keyed by the fingerprint alone would serve one such query the
+//! other's plan and return wrong rows. The plan cache therefore stores a
+//! cheap [`QueryShape`] beside every entry and re-verifies it on each
+//! hit, falling back to a fresh plan on mismatch — collisions cost a
+//! re-plan, never correctness. The property tests in
+//! `tests/fingerprint.rs` pin the invariance directions on the paper's
+//! workload generators.
 
 use crate::cq::ConjunctiveQuery;
 use ppr_relalg::AttrId;
@@ -45,6 +51,50 @@ pub struct Fingerprint(pub u128);
 impl std::fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A cheap structural summary of a query, used to double-check that two
+/// queries sharing a [`Fingerprint`] really are structurally compatible
+/// before reusing a cached plan. It is not a canonical form — just the
+/// invariants a 1-WL collision would most plausibly violate, comparable
+/// in O(atoms) — so a mismatch proves non-isomorphism while a match only
+/// fails to disprove it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryShape {
+    /// Sorted `(relation, arity, occurrence count)` triples over the atoms.
+    pub relations: Vec<(String, usize, usize)>,
+    /// Number of distinct variables.
+    pub num_vars: usize,
+    /// The free list length (0 for Boolean queries, whose single emulated
+    /// projection variable is a parser artifact, matching [`fingerprint`]).
+    pub num_free: usize,
+    /// Logical Boolean flag.
+    pub boolean: bool,
+}
+
+impl QueryShape {
+    /// Computes the shape of `query`. Invariant under variable renaming
+    /// and atom reordering, like the fingerprint itself.
+    pub fn of(query: &ConjunctiveQuery) -> QueryShape {
+        let mut counts: FxHashMap<(&str, usize), usize> = FxHashMap::default();
+        for atom in &query.atoms {
+            *counts
+                .entry((atom.relation.as_str(), atom.arity()))
+                .or_insert(0) += 1;
+        }
+        let mut relations: Vec<(String, usize, usize)> = counts
+            .into_iter()
+            .map(|((rel, arity), count)| (rel.to_string(), arity, count))
+            .collect();
+        relations.sort_unstable();
+        let boolean = query.is_boolean();
+        QueryShape {
+            relations,
+            num_vars: query.all_vars().len(),
+            num_free: if boolean { 0 } else { query.free.len() },
+            boolean,
+        }
     }
 }
 
@@ -329,6 +379,30 @@ mod tests {
         let c4 = parse_query("q() :- e(a,b), e(b,c), e(c,d), e(d,a)").unwrap();
         let pair = parse_query("q() :- e(a,b), e(b,a), e(c,d), e(d,c)").unwrap();
         assert_ne!(fingerprint(&c4), fingerprint(&pair));
+    }
+
+    #[test]
+    fn shape_is_invariant_under_renaming_and_reordering() {
+        let a = parse_query("q(x) :- e(x, y), f(y, z)").unwrap();
+        let b = parse_query("q(u) :- f(w, t), e(u, w)").unwrap();
+        assert_eq!(QueryShape::of(&a), QueryShape::of(&b));
+    }
+
+    #[test]
+    fn shape_separates_structural_differences() {
+        let base = QueryShape::of(&parse_query("q(x) :- e(x, y), e(y, z)").unwrap());
+        // Different relation multiset.
+        let rel = QueryShape::of(&parse_query("q(x) :- e(x, y), f(y, z)").unwrap());
+        assert_ne!(base, rel);
+        // Different variable count.
+        let vars = QueryShape::of(&parse_query("q(x) :- e(x, y), e(y, x)").unwrap());
+        assert_ne!(base, vars);
+        // Different free-list length.
+        let free = QueryShape::of(&parse_query("q(x, y) :- e(x, y), e(y, z)").unwrap());
+        assert_ne!(base, free);
+        // Boolean flag.
+        let boolean = QueryShape::of(&parse_query("q() :- e(x, y), e(y, z)").unwrap());
+        assert_ne!(base, boolean);
     }
 
     #[test]

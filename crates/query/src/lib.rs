@@ -29,7 +29,7 @@ pub mod vars;
 
 pub use atom::Atom;
 pub use cq::{ConjunctiveQuery, Database};
-pub use fingerprint::{fingerprint, Fingerprint};
+pub use fingerprint::{fingerprint, Fingerprint, QueryShape};
 pub use joingraph::JoinGraph;
 pub use parse::{parse_query, parse_relation};
 pub use vars::Vars;

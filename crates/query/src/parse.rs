@@ -74,6 +74,7 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
         let mut out = Vec::with_capacity(head_vars.len());
         for v in &head_vars {
             match vars.get(v) {
+                Some(id) if out.contains(&id) => return err(format!("head variable {v} repeats")),
                 Some(id) => out.push(id),
                 None => return err(format!("head variable {v} not used in body")),
             }
@@ -261,6 +262,15 @@ mod tests {
     fn repeated_variables_allowed() {
         let q = parse_query("q(x) :- e(x, x)").unwrap();
         assert_eq!(q.atoms[0].args[0], q.atoms[0].args[1]);
+    }
+
+    #[test]
+    fn rejects_repeated_head_variable() {
+        // `ConjunctiveQuery::new` asserts distinct free variables; the
+        // parser must turn that into a typed error, not a panic (the
+        // service feeds untrusted wire text straight into parse_query).
+        let e = parse_query("q(x, x) :- e(x, y)").unwrap_err();
+        assert!(e.0.contains("head variable x repeats"));
     }
 
     #[test]

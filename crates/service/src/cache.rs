@@ -4,10 +4,20 @@
 //! amortize: for the structural methods it is pure query analysis
 //! (independent of the data), so a compiled [`Plan`] is reusable for every
 //! future request whose query is *isomorphic* to the one that built it.
-//! The cache key is therefore ([`Fingerprint`], [`Method`]) — the
-//! fingerprint already quotients out variable renaming and atom order —
-//! and the value is an `Arc<Plan>` shared with however many requests are
-//! concurrently executing it.
+//! The cache key is therefore ([`Fingerprint`], [`Method`], planner seed)
+//! — the fingerprint quotients out variable renaming and atom order, and
+//! the seed is part of the key because it breaks planner ties, so plans
+//! built under different seeds may legitimately differ — and the value is
+//! an `Arc<Plan>` shared with however many requests are concurrently
+//! executing it.
+//!
+//! The fingerprint is a 1-WL refinement invariant, so non-isomorphic
+//! queries *can* share a key (see `ppr_query::fingerprint`). Every entry
+//! therefore also stores the [`QueryShape`] of the query that built it,
+//! and a lookup only hits when the incoming query's shape matches; a
+//! mismatch counts as a miss (plus a `collisions` counter) and the fresh
+//! plan displaces the colliding entry. Collisions cost a re-plan, never
+//! a wrong answer.
 //!
 //! Eviction is strict LRU over an intrusive doubly-linked list threaded
 //! through a slab, so `get`/`insert` are O(1) and the cache never scans.
@@ -18,17 +28,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ppr_core::methods::Method;
-use ppr_query::Fingerprint;
+use ppr_query::{Fingerprint, QueryShape};
 use ppr_relalg::Plan;
 use rustc_hash::FxHashMap;
 
-/// Cache key: canonical query identity × planning method.
-pub type CacheKey = (Fingerprint, Method);
+/// Cache key: canonical query identity × planning method × planner seed.
+pub type CacheKey = (Fingerprint, Method, u64);
 
 const NIL: usize = usize::MAX;
 
 struct Node {
     key: CacheKey,
+    shape: QueryShape,
     plan: Arc<Plan>,
     prev: usize,
     next: usize,
@@ -79,6 +90,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Lookups whose key matched but whose [`QueryShape`] did not — a
+    /// fingerprint collision between structurally different queries. Each
+    /// is also counted as a miss.
+    pub collisions: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum entries.
@@ -104,6 +119,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl PlanCache {
@@ -122,18 +138,28 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
     /// Looks up `key`, counting a hit (and refreshing recency) or a miss.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Plan>> {
+    /// A key match whose stored [`QueryShape`] differs from `shape` is a
+    /// fingerprint collision between structurally different queries: it is
+    /// counted as a miss (plus `collisions`) and returns `None`, so the
+    /// caller re-plans instead of running the wrong query's plan.
+    pub fn get(&self, key: &CacheKey, shape: &QueryShape) -> Option<Arc<Plan>> {
         let mut inner = self.inner.lock().expect("cache lock");
         match inner.map.get(key).copied() {
-            Some(i) => {
+            Some(i) if inner.nodes[i].shape == *shape => {
                 inner.unlink(i);
                 inner.push_front(i);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(inner.nodes[i].plan.clone())
+            }
+            Some(_) => {
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -143,12 +169,18 @@ impl PlanCache {
     }
 
     /// Inserts `plan` under `key`, evicting the least-recently-used entry
-    /// at capacity. If a racing request inserted the key first, the
-    /// existing plan wins (and is returned), so all concurrent requests
-    /// for one query execute the same plan.
-    pub fn insert(&self, key: CacheKey, plan: Arc<Plan>) -> Arc<Plan> {
+    /// at capacity. If a racing request inserted the key first *for the
+    /// same shape*, the existing plan wins (and is returned), so all
+    /// concurrent requests for one query execute the same plan; a
+    /// different shape (fingerprint collision) displaces the entry so the
+    /// cache never serves a structurally different query's plan.
+    pub fn insert(&self, key: CacheKey, shape: QueryShape, plan: Arc<Plan>) -> Arc<Plan> {
         let mut inner = self.inner.lock().expect("cache lock");
         if let Some(&i) = inner.map.get(&key) {
+            if inner.nodes[i].shape != shape {
+                inner.nodes[i].shape = shape;
+                inner.nodes[i].plan = plan.clone();
+            }
             inner.unlink(i);
             inner.push_front(i);
             return inner.nodes[i].plan.clone();
@@ -165,6 +197,7 @@ impl PlanCache {
             Some(i) => {
                 inner.nodes[i] = Node {
                     key,
+                    shape,
                     plan: plan.clone(),
                     prev: NIL,
                     next: NIL,
@@ -174,6 +207,7 @@ impl PlanCache {
             None => {
                 inner.nodes.push(Node {
                     key,
+                    shape,
                     plan: plan.clone(),
                     prev: NIL,
                     next: NIL,
@@ -192,6 +226,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
             len: self.inner.lock().expect("cache lock").map.len(),
             capacity: self.capacity,
         }
@@ -201,10 +236,19 @@ impl PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ppr_query::parse_query;
     use ppr_relalg::{AttrId, Relation, Schema};
 
     fn key(n: u128) -> CacheKey {
-        (Fingerprint(n), Method::Straightforward)
+        (Fingerprint(n), Method::Straightforward, 0)
+    }
+
+    fn shape() -> QueryShape {
+        QueryShape::of(&parse_query("q(x) :- e(x, y)").unwrap())
+    }
+
+    fn other_shape() -> QueryShape {
+        QueryShape::of(&parse_query("q(x) :- e(x, y), e(y, z)").unwrap())
     }
 
     fn plan(tag: u32) -> Arc<Plan> {
@@ -222,9 +266,9 @@ mod tests {
     #[test]
     fn hit_miss_counters() {
         let c = PlanCache::new(4);
-        assert!(c.get(&key(1)).is_none());
-        c.insert(key(1), plan(1));
-        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(1), &shape()).is_none());
+        c.insert(key(1), shape(), plan(1));
+        assert!(c.get(&key(1), &shape()).is_some());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 1, 0, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
@@ -233,21 +277,68 @@ mod tests {
     #[test]
     fn method_is_part_of_the_key() {
         let c = PlanCache::new(4);
-        c.insert((Fingerprint(7), Method::Straightforward), plan(1));
-        assert!(c.get(&(Fingerprint(7), Method::EarlyProjection)).is_none());
-        assert!(c.get(&(Fingerprint(7), Method::Straightforward)).is_some());
+        c.insert(
+            (Fingerprint(7), Method::Straightforward, 0),
+            shape(),
+            plan(1),
+        );
+        assert!(c
+            .get(&(Fingerprint(7), Method::EarlyProjection, 0), &shape())
+            .is_none());
+        assert!(c
+            .get(&(Fingerprint(7), Method::Straightforward, 0), &shape())
+            .is_some());
+    }
+
+    #[test]
+    fn seed_is_part_of_the_key() {
+        // The seed breaks planner ties, so plans built under different
+        // seeds may differ and must not share an entry.
+        let c = PlanCache::new(4);
+        c.insert(
+            (Fingerprint(7), Method::Straightforward, 0),
+            shape(),
+            plan(1),
+        );
+        assert!(c
+            .get(&(Fingerprint(7), Method::Straightforward, 1), &shape())
+            .is_none());
+        assert!(c
+            .get(&(Fingerprint(7), Method::Straightforward, 0), &shape())
+            .is_some());
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_collision_not_a_hit() {
+        // Two structurally different queries sharing a fingerprint (forced
+        // here by reusing the key) must never share a plan.
+        let c = PlanCache::new(4);
+        c.insert(key(1), shape(), plan(10));
+        assert!(c.get(&key(1), &other_shape()).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.collisions), (0, 1, 1));
+        // Inserting the colliding query's plan displaces the entry…
+        let got = c.insert(key(1), other_shape(), plan(20));
+        assert_eq!(scan_name(&got), "r20");
+        assert_eq!(c.stats().len, 1);
+        // …so the new shape now hits and the old one misses.
+        assert!(c.get(&key(1), &other_shape()).is_some());
+        assert!(c.get(&key(1), &shape()).is_none());
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let c = PlanCache::new(2);
-        c.insert(key(1), plan(1));
-        c.insert(key(2), plan(2));
-        assert!(c.get(&key(1)).is_some()); // 2 is now LRU
-        c.insert(key(3), plan(3));
-        assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
-        assert!(c.get(&key(1)).is_some());
-        assert!(c.get(&key(3)).is_some());
+        c.insert(key(1), shape(), plan(1));
+        c.insert(key(2), shape(), plan(2));
+        assert!(c.get(&key(1), &shape()).is_some()); // 2 is now LRU
+        c.insert(key(3), shape(), plan(3));
+        assert!(
+            c.get(&key(2), &shape()).is_none(),
+            "LRU entry should be evicted"
+        );
+        assert!(c.get(&key(1), &shape()).is_some());
+        assert!(c.get(&key(3), &shape()).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.stats().len, 2);
     }
@@ -255,8 +346,8 @@ mod tests {
     #[test]
     fn insert_race_keeps_first_plan() {
         let c = PlanCache::new(4);
-        let first = c.insert(key(1), plan(10));
-        let second = c.insert(key(1), plan(20));
+        let first = c.insert(key(1), shape(), plan(10));
+        let second = c.insert(key(1), shape(), plan(20));
         assert_eq!(scan_name(&first), "r10");
         assert_eq!(scan_name(&second), "r10", "existing entry must win");
         assert_eq!(c.stats().len, 1);
@@ -266,14 +357,14 @@ mod tests {
     fn eviction_slot_reuse_is_sound() {
         let c = PlanCache::new(2);
         for i in 0..100u128 {
-            c.insert(key(i), plan(i as u32));
+            c.insert(key(i), shape(), plan(i as u32));
         }
         let s = c.stats();
         assert_eq!(s.len, 2);
         assert_eq!(s.evictions, 98);
-        assert!(c.get(&key(99)).is_some());
-        assert!(c.get(&key(98)).is_some());
-        assert!(c.get(&key(0)).is_none());
+        assert!(c.get(&key(99), &shape()).is_some());
+        assert!(c.get(&key(98), &shape()).is_some());
+        assert!(c.get(&key(0), &shape()).is_none());
     }
 
     #[test]
@@ -285,8 +376,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u128 {
                     let k = key((t * 4 + i) % 16);
-                    if c.get(&k).is_none() {
-                        c.insert(k, plan(i as u32));
+                    if c.get(&k, &shape()).is_none() {
+                        c.insert(k, shape(), plan(i as u32));
                     }
                 }
             }));

@@ -13,8 +13,10 @@
 //! 2. **Parse + fingerprint** — the worker parses the Datalog-ish text,
 //!    checks every atom against the database, and computes the canonical
 //!    [`ppr_query::fingerprint`].
-//! 3. **Plan** — cache hit returns the shared `Arc<Plan>`; a miss builds
-//!    the plan (the only non-executor CPU cost) and publishes it. Repeated
+//! 3. **Plan** — cache hit (same fingerprint, method, and effective
+//!    planner seed, with the stored query shape re-verified against the
+//!    incoming query) returns the shared `Arc<Plan>`; a miss builds the
+//!    plan (the only non-executor CPU cost) and publishes it. Repeated
 //!    queries — under any variable renaming or atom order — never re-plan.
 //! 4. **Execute** — serial or partitioned-parallel executor under the
 //!    request budget clamped by the server maximum.
@@ -28,7 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ppr_core::methods::{build_plan, Method};
-use ppr_query::{fingerprint, parse_query, ConjunctiveQuery, Database};
+use ppr_query::{fingerprint, parse_query, ConjunctiveQuery, Database, QueryShape};
 use ppr_relalg::{exec, parallel, Budget, ExecStats, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -268,11 +270,30 @@ impl Engine {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        let result = process(shared, &job.request);
+        // Panic isolation: requests come off the wire, and a panic
+        // escaping `process` would kill this worker *and* leak its
+        // in-flight slot — enough such requests would empty the pool and
+        // leave later admitted requests waiting forever. Known-bad inputs
+        // are rejected with typed errors before they can panic; this is
+        // the backstop for the unknown ones.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process(shared, &job.request)
+        }))
+        .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload.as_ref()))));
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.inflight.fetch_sub(1, Ordering::AcqRel);
         // A vanished caller (client disconnected mid-request) is fine.
         let _ = job.reply.send(result);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 
@@ -300,18 +321,23 @@ fn process(shared: &Shared, request: &Request) -> Result<Response, ServiceError>
     let query = parse_query(&request.query).map_err(|e| ServiceError::Parse(e.0))?;
     check_relations(&query, &shared.db)?;
 
-    let key = (fingerprint(&query), request.method);
-    let (plan, cache_hit, plan_micros) = match shared.cache.get(&key) {
+    // The effective seed is part of the cache key: it breaks planner
+    // ties, so a request carrying an explicit seed must not be answered
+    // with a plan built under a different one.
+    let seed = request.seed.unwrap_or(shared.default_seed);
+    let key = (fingerprint(&query), request.method, seed);
+    let shape = QueryShape::of(&query);
+    let (plan, cache_hit, plan_micros) = match shared.cache.get(&key, &shape) {
         Some(plan) => (plan, true, 0),
         None => {
             let started = Instant::now();
-            let mut rng = StdRng::seed_from_u64(request.seed.unwrap_or(shared.default_seed));
+            let mut rng = StdRng::seed_from_u64(seed);
             let built = Arc::new(build_plan(request.method, &query, &shared.db, &mut rng));
             let micros = started.elapsed().as_micros() as u64;
             // A racing worker may have published the same key first; the
             // cache keeps the existing plan so concurrent identical
             // requests all run one plan.
-            (shared.cache.insert(key, built), false, micros)
+            (shared.cache.insert(key, shape, built), false, micros)
         }
     };
 
@@ -414,6 +440,50 @@ mod tests {
             Method::Straightforward,
         ));
         assert!(matches!(arity, Err(ServiceError::MissingRelation(_))));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn repeated_head_variable_is_a_typed_error_and_workers_survive() {
+        // `q(x, x) :- …` used to reach ConjunctiveQuery::new's "free
+        // variables repeat" assert and kill a worker (leaking its
+        // in-flight slot); it must be a Parse error, and the pool must
+        // keep serving afterwards.
+        let cfg = EngineConfig {
+            workers: 1,
+            ..small_cfg()
+        };
+        let engine = Engine::start(three_color_db(), cfg);
+        let h = engine.handle();
+        for _ in 0..3 {
+            let bad = h.execute(Request::new(
+                "q(x, x) :- edge(x, y)",
+                Method::Straightforward,
+            ));
+            assert!(matches!(bad, Err(ServiceError::Parse(_))), "{bad:?}");
+        }
+        let ok = h.execute(pentagon_request(Method::Straightforward));
+        assert!(ok.is_ok(), "the lone worker must still be alive: {ok:?}");
+        assert_eq!(h.stats().inflight, 0, "no in-flight slots leaked");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn explicit_seed_does_not_reuse_default_seed_plan() {
+        let engine = Engine::start(three_color_db(), small_cfg());
+        let h = engine.handle();
+        let m = Method::Reordering;
+        let first = h.execute(pentagon_request(m)).unwrap();
+        assert!(!first.cache_hit);
+        // Same query under an explicit seed: the plan may legitimately
+        // differ (the seed breaks planner ties), so it must re-plan, and
+        // repeating that seed must then hit its own entry.
+        let mut seeded = pentagon_request(m);
+        seeded.seed = Some(42);
+        let second = h.execute(seeded.clone()).unwrap();
+        assert!(!second.cache_hit, "different seed must not hit the cache");
+        let third = h.execute(seeded).unwrap();
+        assert!(third.cache_hit, "same seed must hit its own entry");
         engine.shutdown();
     }
 

@@ -8,10 +8,13 @@
 //! evaluation. This crate is that serving layer:
 //!
 //! * [`cache::PlanCache`] — an LRU cache from
-//!   ([`ppr_query::Fingerprint`], [`ppr_core::methods::Method`]) to
-//!   compiled [`ppr_relalg::Plan`]s with hit/miss/eviction counters. The fingerprint is canonical under
-//!   variable renaming and atom reordering, so syntactic variants of a hot
-//!   query share one cached plan.
+//!   ([`ppr_query::Fingerprint`], [`ppr_core::methods::Method`], planner
+//!   seed) to compiled [`ppr_relalg::Plan`]s with hit/miss/eviction
+//!   counters. The fingerprint is canonical under variable renaming and
+//!   atom reordering, so syntactic variants of a hot query share one
+//!   cached plan; every hit re-verifies a cheap [`ppr_query::QueryShape`]
+//!   so a fingerprint collision between structurally different queries
+//!   costs a re-plan, never a wrong answer.
 //! * [`engine::Engine`] — a worker pool executing requests over the
 //!   serial or partitioned-parallel executor, with per-request tuple/time
 //!   budgets clamped by a server-side maximum, **admission control**
@@ -72,6 +75,9 @@ pub enum ServiceError {
     Protocol(String),
     /// Client-side transport failure.
     Io(String),
+    /// A worker panicked while processing the request (caught and
+    /// isolated; the worker survives and the in-flight slot is released).
+    Internal(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -87,6 +93,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Exec(e) => write!(f, "execution error: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::Io(m) => write!(f, "io error: {m}"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

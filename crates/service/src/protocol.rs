@@ -12,7 +12,7 @@
 //!      materializations=1 join_stages=1 max_arity=2 threads=1 cols=x
 //!      rows=3 data=1;2;3                       (single line on the wire)
 //! → stats
-//! ← ok served=2 rejected=0 inflight=0 hits=1 misses=1 evictions=0 cache_len=1
+//! ← ok served=2 rejected=0 inflight=0 hits=1 misses=1 evictions=0 collisions=0 cache_len=1
 //! → ping
 //! ← ok pong
 //! ← err kind=overloaded inflight=68 capacity=68
@@ -187,6 +187,7 @@ fn encode_error(e: &ServiceError) -> String {
         ServiceError::Exec(other) => format!("err kind=exec msg={other}"),
         ServiceError::Protocol(m) => format!("err kind=protocol msg={m}"),
         ServiceError::Io(m) => format!("err kind=io msg={m}"),
+        ServiceError::Internal(m) => format!("err kind=internal msg={m}"),
     }
 }
 
@@ -317,6 +318,7 @@ fn decode_error(rest: &str) -> ServiceError {
         }
         "exec" => ServiceError::Exec(RelalgError::InvalidPlan(msg)),
         "io" => ServiceError::Io(msg),
+        "internal" => ServiceError::Internal(msg),
         _ => ServiceError::Protocol(if msg.is_empty() {
             format!("unknown error kind `{kind}`")
         } else {
@@ -328,13 +330,14 @@ fn decode_error(rest: &str) -> ServiceError {
 /// Encodes the `stats` reply.
 pub fn encode_stats(s: &EngineStats) -> String {
     format!(
-        "ok served={} rejected={} inflight={} hits={} misses={} evictions={} cache_len={}",
+        "ok served={} rejected={} inflight={} hits={} misses={} evictions={} collisions={} cache_len={}",
         s.served,
         s.rejected,
         s.inflight,
         s.cache.hits,
         s.cache.misses,
         s.cache.evictions,
+        s.cache.collisions,
         s.cache.len
     )
 }
@@ -363,6 +366,7 @@ pub fn decode_stats(line: &str) -> Result<EngineStats, ServiceError> {
             "hits" => s.cache.hits = parse_num(k, v)?,
             "misses" => s.cache.misses = parse_num(k, v)?,
             "evictions" => s.cache.evictions = parse_num(k, v)?,
+            "collisions" => s.cache.collisions = parse_num(k, v)?,
             "cache_len" => s.cache.len = parse_num(k, v)?,
             _ => return perr(format!("unknown key `{k}`")),
         }
@@ -494,6 +498,7 @@ mod tests {
                 kind: BudgetKind::WallClock,
                 tuples_flowed: 99,
             }),
+            ServiceError::Internal("worker panicked".into()),
         ];
         for e in cases {
             let line = encode_result(&Err(e.clone()));
@@ -530,6 +535,7 @@ mod tests {
                 hits: 7,
                 misses: 3,
                 evictions: 1,
+                collisions: 1,
                 len: 2,
                 capacity: 0, // not on the wire
             },

@@ -52,12 +52,30 @@ impl Server {
                         let stop = accept_stop.clone();
                         let handle =
                             std::thread::spawn(move || serve_connection(stream, engine, stop));
-                        accept_conns.lock().expect("connection list").push(handle);
+                        let mut conns = accept_conns.lock().expect("connection list");
+                        // Reap finished connection threads here so a
+                        // long-lived server does not accumulate one
+                        // JoinHandle per connection ever accepted.
+                        let mut i = 0;
+                        while i < conns.len() {
+                            if conns[i].is_finished() {
+                                let _ = conns.swap_remove(i).join();
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        conns.push(handle);
                     }
+                    // Accept errors (ECONNABORTED, EMFILE, …) are
+                    // transient: a peer resetting mid-handshake or fd
+                    // pressure must not permanently stop the server from
+                    // accepting while it appears healthy. Back off and
+                    // retry; shutdown is signalled through `stop`, never
+                    // through accept errors.
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL);
                     }
-                    Err(_) => break,
+                    Err(_) => std::thread::sleep(POLL),
                 }
             }
         });

@@ -406,11 +406,12 @@ fn cmd_client(flags: &Flags) {
             s.served, s.rejected, s.inflight
         );
         println!(
-            "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} cached",
+            "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} collisions, {} cached",
             s.cache.hits,
             s.cache.misses,
             s.cache.hit_rate() * 100.0,
             s.cache.evictions,
+            s.cache.collisions,
             s.cache.len
         );
         return;
