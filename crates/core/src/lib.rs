@@ -26,7 +26,7 @@
 //!   the `semijoin_usefulness` experiment shows both that and the 2-COLOR
 //!   counterpoint.
 //! * [`yannakakis`] — GYO acyclicity test and Yannakakis semijoin
-//!   evaluation, the classical acyclic special case (§1, [35]).
+//!   evaluation, the classical acyclic special case (§1, \[35\]).
 
 pub mod convert;
 pub mod jet;

@@ -1,4 +1,4 @@
-//! Mini-bucket elimination (Dechter [12]), the approximation the paper
+//! Mini-bucket elimination (Dechter \[12\]), the approximation the paper
 //! lists as a promising direction (§7).
 //!
 //! Exact bucket elimination joins *all* relations in a bucket, which costs

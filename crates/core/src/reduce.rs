@@ -1,4 +1,4 @@
-//! Semijoin pre-reduction (Wong–Youssefi [34]).
+//! Semijoin pre-reduction (Wong–Youssefi \[34\]).
 //!
 //! The paper's §2 observes that on its 3-COLOR workloads "projecting out a
 //! column from our relation yields a relation with all possible tuples.

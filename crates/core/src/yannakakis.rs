@@ -1,6 +1,6 @@
 //! Acyclic queries: GYO reduction and Yannakakis evaluation.
 //!
-//! The paper's structural program began with acyclic joins ([35]): for an
+//! The paper's structural program began with acyclic joins (\[35\]): for an
 //! acyclic query a project-join order exists whose intermediate results
 //! stay linear in the database size. The classic algorithm is Yannakakis':
 //! build a join tree by GYO reduction, make the relations pairwise

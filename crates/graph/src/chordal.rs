@@ -1,4 +1,4 @@
-//! Chordality testing (Tarjan & Yannakakis [31]).
+//! Chordality testing (Tarjan & Yannakakis \[31\]).
 //!
 //! A graph is chordal iff it has a *perfect elimination order* — one whose
 //! elimination adds no fill edges — and MCS run on a chordal graph always

@@ -292,6 +292,31 @@ pub fn fingerprint(query: &ConjunctiveQuery) -> Fingerprint {
     Fingerprint(((hi as u128) << 64) | lo as u128)
 }
 
+/// A query's cache-lookup identity: the canonical [`Fingerprint`] plus
+/// the [`QueryShape`] that double-checks it on every hit. The serving
+/// layer keys both its caches (compiled plans and materialized results)
+/// on the fingerprint and re-verifies the shape — 1-WL collisions between
+/// non-isomorphic queries are constructible, so a fingerprint alone must
+/// never vouch for a cached answer. Computing the pair once per request
+/// keeps the two caches agreeing on what "the same query" means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryIdentity {
+    /// Canonical fingerprint (invariant under renaming and reordering).
+    pub fingerprint: Fingerprint,
+    /// Cheap structural summary verified on every cache hit.
+    pub shape: QueryShape,
+}
+
+impl QueryIdentity {
+    /// Computes both halves of the identity for `query`.
+    pub fn of(query: &ConjunctiveQuery) -> QueryIdentity {
+        QueryIdentity {
+            fingerprint: fingerprint(query),
+            shape: QueryShape::of(query),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

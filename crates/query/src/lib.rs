@@ -16,7 +16,7 @@
 //!   treewidth characterizes the power of projection pushing + join
 //!   reordering (Theorem 1).
 //! * [`canonical`] — the Chandra–Merlin canonical database of a query.
-//! * [`fingerprint`] — a canonical 128-bit hash invariant under variable
+//! * [`mod@fingerprint`] — a canonical 128-bit hash invariant under variable
 //!   renaming and atom reordering, the plan-cache key of `ppr-service`.
 
 pub mod atom;
@@ -29,7 +29,7 @@ pub mod vars;
 
 pub use atom::Atom;
 pub use cq::{ConjunctiveQuery, Database};
-pub use fingerprint::{fingerprint, Fingerprint, QueryShape};
+pub use fingerprint::{fingerprint, Fingerprint, QueryIdentity, QueryShape};
 pub use joingraph::JoinGraph;
 pub use parse::{parse_query, parse_relation};
 pub use vars::Vars;

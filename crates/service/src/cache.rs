@@ -4,10 +4,15 @@
 //! amortize: for the structural methods it is pure query analysis
 //! (independent of the data), so a compiled [`Plan`] is reusable for every
 //! future request whose query is *isomorphic* to the one that built it.
-//! The cache key is therefore ([`Fingerprint`], [`Method`], planner seed)
-//! — the fingerprint quotients out variable renaming and atom order, and
-//! the seed is part of the key because it breaks planner ties, so plans
-//! built under different seeds may legitimately differ — and the value is
+//! The cache key is [`CacheKey`]: database name + [`DbVersion`],
+//! [`Fingerprint`], [`Method`], and planner seed. The fingerprint
+//! quotients out variable renaming and atom order; the seed is part of
+//! the key because it breaks planner ties, so plans built under different
+//! seeds may legitimately differ; and the database identity is part of
+//! the key because a compiled plan *embeds* `Arc<Relation>` handles in
+//! its scan leaves — a plan built at version N scans version-N data, so
+//! a catalog mutation must naturally invalidate it (the bumped version
+//! makes a fresh key; the stale entry ages out of the LRU). The value is
 //! an `Arc<Plan>` shared with however many requests are concurrently
 //! executing it.
 //!
@@ -32,8 +37,23 @@ use ppr_query::{Fingerprint, QueryShape};
 use ppr_relalg::Plan;
 use rustc_hash::FxHashMap;
 
-/// Cache key: canonical query identity × planning method × planner seed.
-pub type CacheKey = (Fingerprint, Method, u64);
+use crate::catalog::DbVersion;
+
+/// Cache key: data identity (database name + version) × canonical query
+/// identity × planning method × planner seed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Database name the plan's scans are bound to.
+    pub db: String,
+    /// Database version the plan's scans are bound to.
+    pub version: DbVersion,
+    /// Canonical query fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Planning method.
+    pub method: Method,
+    /// Effective planner seed.
+    pub seed: u64,
+}
 
 const NIL: usize = usize::MAX;
 
@@ -188,30 +208,25 @@ impl PlanCache {
         if inner.map.len() >= self.capacity {
             let lru = inner.tail;
             inner.unlink(lru);
-            let old_key = inner.nodes[lru].key;
+            let old_key = inner.nodes[lru].key.clone();
             inner.map.remove(&old_key);
             inner.free.push(lru);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        let node = Node {
+            key: key.clone(),
+            shape,
+            plan: plan.clone(),
+            prev: NIL,
+            next: NIL,
+        };
         let i = match inner.free.pop() {
             Some(i) => {
-                inner.nodes[i] = Node {
-                    key,
-                    shape,
-                    plan: plan.clone(),
-                    prev: NIL,
-                    next: NIL,
-                };
+                inner.nodes[i] = node;
                 i
             }
             None => {
-                inner.nodes.push(Node {
-                    key,
-                    shape,
-                    plan: plan.clone(),
-                    prev: NIL,
-                    next: NIL,
-                });
+                inner.nodes.push(node);
                 inner.nodes.len() - 1
             }
         };
@@ -240,7 +255,17 @@ mod tests {
     use ppr_relalg::{AttrId, Relation, Schema};
 
     fn key(n: u128) -> CacheKey {
-        (Fingerprint(n), Method::Straightforward, 0)
+        keyed(n, Method::Straightforward, 0)
+    }
+
+    fn keyed(n: u128, method: Method, seed: u64) -> CacheKey {
+        CacheKey {
+            db: "default".to_string(),
+            version: DbVersion(1),
+            fingerprint: Fingerprint(n),
+            method,
+            seed,
+        }
     }
 
     fn shape() -> QueryShape {
@@ -277,16 +302,12 @@ mod tests {
     #[test]
     fn method_is_part_of_the_key() {
         let c = PlanCache::new(4);
-        c.insert(
-            (Fingerprint(7), Method::Straightforward, 0),
-            shape(),
-            plan(1),
-        );
+        c.insert(keyed(7, Method::Straightforward, 0), shape(), plan(1));
         assert!(c
-            .get(&(Fingerprint(7), Method::EarlyProjection, 0), &shape())
+            .get(&keyed(7, Method::EarlyProjection, 0), &shape())
             .is_none());
         assert!(c
-            .get(&(Fingerprint(7), Method::Straightforward, 0), &shape())
+            .get(&keyed(7, Method::Straightforward, 0), &shape())
             .is_some());
     }
 
@@ -295,17 +316,31 @@ mod tests {
         // The seed breaks planner ties, so plans built under different
         // seeds may differ and must not share an entry.
         let c = PlanCache::new(4);
-        c.insert(
-            (Fingerprint(7), Method::Straightforward, 0),
-            shape(),
-            plan(1),
-        );
+        c.insert(keyed(7, Method::Straightforward, 0), shape(), plan(1));
         assert!(c
-            .get(&(Fingerprint(7), Method::Straightforward, 1), &shape())
+            .get(&keyed(7, Method::Straightforward, 1), &shape())
             .is_none());
         assert!(c
-            .get(&(Fingerprint(7), Method::Straightforward, 0), &shape())
+            .get(&keyed(7, Method::Straightforward, 0), &shape())
             .is_some());
+    }
+
+    #[test]
+    fn database_and_version_are_part_of_the_key() {
+        // Plans embed `Arc<Relation>` scans, so a plan is only valid for
+        // the exact database snapshot it was built against.
+        let c = PlanCache::new(4);
+        c.insert(key(7), shape(), plan(1));
+        let mut bumped = key(7);
+        bumped.version = DbVersion(2);
+        assert!(
+            c.get(&bumped, &shape()).is_none(),
+            "a version bump must re-plan"
+        );
+        let mut other_db = key(7);
+        other_db.db = "graphs".to_string();
+        assert!(c.get(&other_db, &shape()).is_none());
+        assert!(c.get(&key(7), &shape()).is_some());
     }
 
     #[test]

@@ -3,8 +3,11 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use ppr_relalg::Value;
+
+use crate::catalog::DbVersion;
 use crate::engine::{EngineStats, Request, Response};
-use crate::protocol;
+use crate::protocol::{self, Ack, Command};
 use crate::ServiceError;
 
 /// A connected client. One request is in flight at a time per client;
@@ -37,10 +40,75 @@ impl Client {
         Ok(reply)
     }
 
+    fn ack(&mut self, cmd: &Command) -> Result<Ack, ServiceError> {
+        let reply = self.round_trip(&protocol::encode_command(cmd))?;
+        protocol::decode_ack(&reply)
+    }
+
     /// Evaluates a query on the server.
     pub fn run(&mut self, request: &Request) -> Result<Response, ServiceError> {
         let reply = self.round_trip(&protocol::encode_request(request))?;
         protocol::decode_result(&reply)
+    }
+
+    /// Selects this connection's session database: subsequent [`run`]
+    /// requests without an explicit db target it. Returns the database's
+    /// current version.
+    ///
+    /// [`run`]: Client::run
+    pub fn use_db(&mut self, db: &str) -> Result<DbVersion, ServiceError> {
+        let ack = self.ack(&Command::Use(db.to_string()))?;
+        ack.version
+            .ok_or_else(|| ServiceError::Protocol("use ack without version".into()))
+    }
+
+    /// Creates a new empty database on the server.
+    pub fn create_db(&mut self, db: &str) -> Result<DbVersion, ServiceError> {
+        let ack = self.ack(&Command::Create(db.to_string()))?;
+        ack.version
+            .ok_or_else(|| ServiceError::Protocol("create ack without version".into()))
+    }
+
+    /// Drops a database. In-flight requests holding its snapshot finish
+    /// unaffected; new requests naming it fail with
+    /// [`ServiceError::UnknownDatabase`].
+    pub fn drop_db(&mut self, db: &str) -> Result<(), ServiceError> {
+        self.ack(&Command::Drop(db.to_string())).map(|_| ())
+    }
+
+    /// Bulk-loads one relation of `db`, replacing any existing relation
+    /// of that name, and returns the database's new version. Every
+    /// mutation bumps the version, invalidating cached plans and results.
+    pub fn load(
+        &mut self,
+        db: &str,
+        rel: &str,
+        tuples: Vec<Box<[Value]>>,
+    ) -> Result<DbVersion, ServiceError> {
+        let ack = self.ack(&Command::Load {
+            db: db.to_string(),
+            rel: rel.to_string(),
+            tuples,
+        })?;
+        ack.version
+            .ok_or_else(|| ServiceError::Protocol("load ack without version".into()))
+    }
+
+    /// Appends one tuple to a relation of `db` (creating the relation on
+    /// first `add`) and returns the database's new version.
+    pub fn add(
+        &mut self,
+        db: &str,
+        rel: &str,
+        tuple: Box<[Value]>,
+    ) -> Result<DbVersion, ServiceError> {
+        let ack = self.ack(&Command::Add {
+            db: db.to_string(),
+            rel: rel.to_string(),
+            tuple,
+        })?;
+        ack.version
+            .ok_or_else(|| ServiceError::Protocol("add ack without version".into()))
     }
 
     /// Fetches engine + cache counters.
@@ -66,6 +134,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::Catalog;
     use crate::engine::{Engine, EngineConfig};
     use crate::server::Server;
     use ppr_core::methods::Method;
@@ -74,7 +143,7 @@ mod tests {
     fn serve() -> (Server, std::net::SocketAddr, Engine) {
         let mut db = Database::new();
         db.add(ppr_workload::edge_relation(3));
-        let engine = Engine::start(db, EngineConfig::default());
+        let engine = Engine::start(Catalog::with_default(db), EngineConfig::default());
         let server = Server::start("127.0.0.1:0", engine.handle()).expect("bind");
         let addr = server.local_addr();
         (server, addr, engine)
@@ -89,18 +158,21 @@ mod tests {
         let req = Request::new("q(x, y) :- edge(x, y), edge(y, x)", Method::EarlyProjection);
         let first = client.run(&req).unwrap();
         assert!(!first.cache_hit);
+        assert!(!first.result_cache_hit);
         assert_eq!(first.columns, vec!["x", "y"]);
         // K3 is symmetric: every ordered pair of distinct colors.
         assert_eq!(first.rows.len(), 6);
 
         let second = client.run(&req).unwrap();
-        assert!(second.cache_hit, "second request must hit the plan cache");
+        assert!(second.cache_hit, "repeat request must skip planning");
+        assert!(second.result_cache_hit, "…via the result cache");
         assert_eq!(first.rows, second.rows);
 
         let stats = client.stats().unwrap();
         assert_eq!(stats.served, 2);
-        assert_eq!(stats.cache.hits, 1);
-        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.results.hits, 1);
+        assert_eq!(stats.results.misses, 1);
+        assert_eq!(stats.cache.misses, 1, "only the cold request planned");
 
         let bad = client.run(&Request::new("nope", Method::Naive));
         assert!(matches!(bad, Err(ServiceError::Parse(_))));
@@ -118,8 +190,82 @@ mod tests {
         assert!(!c1.run(&req).unwrap().cache_hit);
         assert!(
             c2.run(&req).unwrap().cache_hit,
-            "cache is engine-wide, not per-connection"
+            "caches are engine-wide, not per-connection"
         );
+        server.shutdown();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn session_database_lifecycle_over_tcp() {
+        let (mut server, addr, engine) = serve();
+        let mut client = Client::connect(addr).unwrap();
+
+        let v1 = client.create_db("graphs").unwrap();
+        let v2 = client
+            .load(
+                "graphs",
+                "e",
+                vec![
+                    vec![1, 2].into_boxed_slice(),
+                    vec![2, 3].into_boxed_slice(),
+                    vec![3, 1].into_boxed_slice(),
+                ],
+            )
+            .unwrap();
+        assert!(v2 > v1, "load must bump the version");
+
+        // `use` routes subsequent runs at the session database.
+        client.use_db("graphs").unwrap();
+        let req = Request::query("q() :- e(x,y), e(y,z), e(z,x)").method(Method::Straightforward);
+        let triangle = client.run(&req).unwrap();
+        assert!(!triangle.rows.is_empty(), "the 3-cycle is a triangle");
+
+        // Another connection has its own session: the same run without a
+        // db targets `default`, which has no relation `e`.
+        let mut other = Client::connect(addr).unwrap();
+        assert!(matches!(
+            other.run(&req),
+            Err(ServiceError::MissingRelation(_))
+        ));
+        // …but an explicit db= reaches it from any connection.
+        let explicit = other.run(&req.clone().on("graphs")).unwrap();
+        assert_eq!(explicit.rows, triangle.rows);
+
+        // Mutations invalidate by version bump.
+        let v3 = client
+            .add("graphs", "e", vec![9, 9].into_boxed_slice())
+            .unwrap();
+        assert!(v3 > v2);
+        assert!(!client.run(&req).unwrap().result_cache_hit);
+
+        // Drop: the session falls back to default, named access fails.
+        client.drop_db("graphs").unwrap();
+        assert!(matches!(
+            other.run(&req.clone().on("graphs")),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(matches!(
+            client.run(&req),
+            Err(ServiceError::MissingRelation(_))
+        ));
+
+        // Errors from catalog verbs are typed.
+        assert!(matches!(
+            client.use_db("graphs"),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(matches!(
+            client.add("default", "edge", vec![1].into_boxed_slice()),
+            Err(ServiceError::Catalog(_))
+        ));
+        // An empty load is unrepresentable on the wire: the protocol
+        // rejects it before the catalog ever sees it.
+        assert!(matches!(
+            client.load("default", "edge", vec![]),
+            Err(ServiceError::Protocol(_))
+        ));
+
         server.shutdown();
         engine.shutdown();
     }

@@ -1,25 +1,36 @@
-//! The request engine: worker pool, admission control, plan cache.
+//! The request engine: worker pool, admission control, two-level cache.
 //!
-//! One [`Engine`] owns a fixed [`Database`] (the paper's workloads run
-//! many large queries over one tiny database, so the database is server
-//! state and queries are the traffic), a [`PlanCache`], and a pool of
-//! worker threads draining a bounded queue. The life of a request:
+//! One [`Engine`] owns a [`Catalog`] of versioned databases (the paper's
+//! workloads run many large queries over tiny databases, so databases are
+//! server state and queries are the traffic — but unlike PR 2's single
+//! frozen database, the catalog is mutable over the wire), a
+//! [`ResultCache`], a [`PlanCache`], and a pool of worker threads
+//! draining a bounded queue. The life of a request:
 //!
 //! 1. **Admission** — [`EngineHandle::execute`] fast-fails with
 //!    [`ServiceError::Overloaded`] when the in-flight cap or the bounded
 //!    queue is full. Nothing ever waits for queue space: under overload
 //!    the server sheds load in O(1) rather than building an unbounded
 //!    backlog.
-//! 2. **Parse + fingerprint** — the worker parses the Datalog-ish text,
-//!    checks every atom against the database, and computes the canonical
-//!    [`ppr_query::fingerprint`].
-//! 3. **Plan** — cache hit (same fingerprint, method, and effective
-//!    planner seed, with the stored query shape re-verified against the
-//!    incoming query) returns the shared `Arc<Plan>`; a miss builds the
-//!    plan (the only non-executor CPU cost) and publishes it. Repeated
-//!    queries — under any variable renaming or atom order — never re-plan.
-//! 4. **Execute** — serial or partitioned-parallel executor under the
-//!    request budget clamped by the server maximum.
+//! 2. **Snapshot** — the worker resolves the request's database name
+//!    against the catalog, pinning one `(Arc<Database>, DbVersion)`
+//!    snapshot for the whole request; concurrent mutations publish new
+//!    versions beside it and never tear an evaluation.
+//! 3. **Parse + identity** — parse the Datalog-ish text, check every atom
+//!    against the snapshot, compute the canonical
+//!    [`ppr_query::QueryIdentity`] once for both caches.
+//! 4. **Result cache** — a hit on `(db, version, fingerprint, method,
+//!    seed)` returns the cached rows with **zero execution**; any catalog
+//!    mutation bumped the version and so naturally invalidated every
+//!    older entry.
+//! 5. **Plan cache / plan** — on a result miss, a plan-cache hit returns
+//!    the shared `Arc<Plan>`; a miss builds the plan and publishes it.
+//!    The plan key carries the same `(db, version)` prefix, because plans
+//!    embed `Arc<Relation>` scans of the snapshot they were built on.
+//! 6. **Execute + publish** — serial or partitioned-parallel executor
+//!    under the request budget clamped by the server maximum; a
+//!    successful result is offered to the result cache (byte-budgeted,
+//!    LRU).
 //!
 //! Shutdown is graceful: the queue closes, workers drain every admitted
 //! request (each waiting client still gets its answer), then exit.
@@ -29,23 +40,37 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ppr_core::methods::{build_plan, Method};
-use ppr_query::{fingerprint, parse_query, ConjunctiveQuery, Database, QueryShape};
+use ppr_core::methods::{build_plan, Method, OrderHeuristic};
+use ppr_query::{ConjunctiveQuery, Database, QueryIdentity};
 use ppr_relalg::{exec, parallel, Budget, ExecStats, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::{CacheStats, PlanCache};
+use crate::cache::{CacheKey, CacheStats, PlanCache};
+use crate::catalog::{Catalog, DEFAULT_DB};
 use crate::queue::{BoundedQueue, PushError};
+use crate::result_cache::{CachedResult, ResultCache, ResultCacheStats, ResultKey};
 use crate::ServiceError;
 
 /// One query request, embedded or decoded from the wire.
+///
+/// Build one with the fluent constructors —
+/// `Request::query("q(x) :- edge(x, y)").method(m).on("graphs")` — or
+/// start from [`Request::new`] and set fields. The struct is
+/// `#[non_exhaustive]`: future protocol extensions add fields without a
+/// breaking change, so downstream code uses the builders (or field
+/// mutation), never struct literals.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Request {
     /// Datalog-ish rule text, e.g. `q(x) :- e(x, y), e(y, x)`.
     pub query: String,
     /// Planning method.
     pub method: Method,
+    /// Database to run against; `None` targets
+    /// [`crate::catalog::DEFAULT_DB`] (or the connection's
+    /// `use`-selected session database on the wire).
+    pub db: Option<String>,
     /// Tuple-flow budget override (clamped by the server maximum).
     pub max_tuples: Option<u64>,
     /// Wall-clock budget override in milliseconds (clamped likewise).
@@ -56,36 +81,105 @@ pub struct Request {
 }
 
 impl Request {
-    /// A request with no overrides.
+    /// A request for `query` with `method` and no overrides.
     pub fn new(query: impl Into<String>, method: Method) -> Self {
         Request {
             query: query.into(),
             method,
+            db: None,
             max_tuples: None,
             timeout_ms: None,
             seed: None,
         }
     }
+
+    /// Starts a builder for `query` with the default method
+    /// (bucket elimination under the MCS order — the paper's winner).
+    pub fn query(query: impl Into<String>) -> Self {
+        Request::new(query, Method::BucketElimination(OrderHeuristic::Mcs))
+    }
+
+    /// Selects the planning method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Targets a named catalog database instead of the default.
+    pub fn on(mut self, db: impl Into<String>) -> Self {
+        self.db = Some(db.into());
+        self
+    }
+
+    /// Overrides the tuple-flow budget (clamped by the server maximum).
+    pub fn max_tuples(mut self, max: u64) -> Self {
+        self.max_tuples = Some(max);
+        self
+    }
+
+    /// Overrides the wall-clock budget (clamped by the server maximum).
+    /// Stored with millisecond granularity, matching the wire protocol.
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.timeout_ms = Some(limit.as_millis() as u64);
+        self
+    }
+
+    /// Pins the planner tie-breaking seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
 }
 
 /// A successful evaluation.
+///
+/// `#[non_exhaustive]`: responses grow fields (as `result_cache_hit` did)
+/// without breaking downstream constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Response {
-    /// Output column names (the query's free variables, in order).
+    /// Output column names (the query's free variables, in order). On a
+    /// result-cache hit these are the column names of the query that
+    /// originally produced the rows (same positions under renaming).
     pub columns: Vec<String>,
     /// Result rows, byte-identical to library-level evaluation of the
-    /// same query, method, and budget.
+    /// same query, method, and database snapshot — whether executed cold
+    /// or served from the result cache.
     pub rows: Vec<Box<[Value]>>,
-    /// Executor statistics for this request.
+    /// Executor statistics. On a result-cache hit, the stats of the
+    /// execution that originally produced the rows.
     pub stats: ExecStats,
-    /// Whether the plan came from the cache (no re-planning happened).
+    /// Whether the request skipped re-planning (plan-cache hit, or a
+    /// result-cache hit, which never consults the planner at all).
     pub cache_hit: bool,
-    /// Time spent building the plan (0 on cache hits).
+    /// Whether the rows came from the result cache (zero execution).
+    pub result_cache_hit: bool,
+    /// Time spent building the plan (0 on either kind of hit).
     pub plan_micros: u64,
 }
 
+impl Response {
+    /// An empty cold-execution response — the decoding seed for the wire
+    /// layer and the only way to construct one outside this crate (the
+    /// struct is `#[non_exhaustive]`).
+    pub fn empty() -> Response {
+        Response {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            stats: ExecStats::default(),
+            cache_hit: false,
+            result_cache_hit: false,
+            plan_micros: 0,
+        }
+    }
+}
+
 /// Engine sizing and limits.
+///
+/// `#[non_exhaustive]`: start from [`EngineConfig::default`] and set
+/// fields — struct literals would break on the next added knob.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Worker threads executing requests.
     pub workers: usize,
@@ -96,6 +190,9 @@ pub struct EngineConfig {
     pub max_inflight: usize,
     /// Plan-cache entries.
     pub cache_capacity: usize,
+    /// Result-cache byte budget; 0 disables result caching (every request
+    /// executes, as in PR 2).
+    pub result_cache_bytes: usize,
     /// Threads per request inside the executor: 1 = serial pipelined
     /// executor, else [`parallel::execute_parallel`] (0 = all cores).
     pub exec_threads: usize,
@@ -112,6 +209,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             max_inflight: 0,
             cache_capacity: 256,
+            result_cache_bytes: 8 << 20,
             exec_threads: 1,
             max_budget: Budget::tuples(u64::MAX).with_timeout(Duration::from_secs(60)),
             default_seed: 0,
@@ -125,8 +223,9 @@ struct Job {
 }
 
 struct Shared {
-    db: Database,
+    catalog: Arc<Catalog>,
     cache: PlanCache,
+    results: ResultCache,
     queue: BoundedQueue<Job>,
     accepting: AtomicBool,
     inflight: AtomicUsize,
@@ -149,6 +248,8 @@ pub struct EngineStats {
     pub inflight: usize,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Result-cache counters.
+    pub results: ResultCacheStats,
 }
 
 /// Cloneable submission handle; the [`Engine`] keeps thread ownership.
@@ -195,6 +296,14 @@ impl EngineHandle {
         }
     }
 
+    /// The engine's catalog — the mutation surface the wire verbs
+    /// (`create` / `load` / `add` / `drop`) act on. Mutations are O(tiny
+    /// database), so they run on the caller's thread, not the worker
+    /// queue; admission control governs query execution only.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.shared.catalog.clone()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -202,6 +311,7 @@ impl EngineHandle {
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             inflight: self.shared.inflight.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
+            results: self.shared.results.stats(),
         }
     }
 }
@@ -214,8 +324,10 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Spawns the worker pool over `db`.
-    pub fn start(db: Database, cfg: EngineConfig) -> Engine {
+    /// Spawns the worker pool over `catalog`. To serve one fixed database
+    /// the way PR 2's `Engine::start(db, cfg)` did, pass
+    /// [`Catalog::with_default`]`(db)`.
+    pub fn start(catalog: Catalog, cfg: EngineConfig) -> Engine {
         let workers = cfg.workers.max(1);
         let max_inflight = if cfg.max_inflight == 0 {
             workers + cfg.queue_capacity
@@ -223,8 +335,9 @@ impl Engine {
             cfg.max_inflight
         };
         let shared = Arc::new(Shared {
-            db,
+            catalog: Arc::new(catalog),
             cache: PlanCache::new(cfg.cache_capacity),
+            results: ResultCache::new(cfg.result_cache_bytes),
             queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
             accepting: AtomicBool::new(true),
             inflight: AtomicUsize::new(0),
@@ -297,8 +410,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Validates every atom against the server database before planning, so a
-/// bad request fails with a typed error instead of a worker panic.
+/// Validates every atom against the snapshot database before planning, so
+/// a bad request fails with a typed error instead of a worker panic.
 fn check_relations(query: &ConjunctiveQuery, db: &Database) -> Result<(), ServiceError> {
     for atom in &query.atoms {
         match db.get(&atom.relation) {
@@ -318,26 +431,66 @@ fn check_relations(query: &ConjunctiveQuery, db: &Database) -> Result<(), Servic
 }
 
 fn process(shared: &Shared, request: &Request) -> Result<Response, ServiceError> {
-    let query = parse_query(&request.query).map_err(|e| ServiceError::Parse(e.0))?;
-    check_relations(&query, &shared.db)?;
+    let db_name = request.db.as_deref().unwrap_or(DEFAULT_DB);
+    // One snapshot for the whole request: concurrent catalog mutations
+    // publish new versions beside it and never tear this evaluation.
+    let snapshot = shared
+        .catalog
+        .snapshot(db_name)
+        .ok_or_else(|| ServiceError::UnknownDatabase(db_name.to_string()))?;
 
-    // The effective seed is part of the cache key: it breaks planner
+    let query = ppr_query::parse_query(&request.query).map_err(|e| ServiceError::Parse(e.0))?;
+    check_relations(&query, &snapshot.db)?;
+
+    // The effective seed is part of both cache keys: it breaks planner
     // ties, so a request carrying an explicit seed must not be answered
-    // with a plan built under a different one.
+    // with a plan (or rows) built under a different one.
     let seed = request.seed.unwrap_or(shared.default_seed);
-    let key = (fingerprint(&query), request.method, seed);
-    let shape = QueryShape::of(&query);
-    let (plan, cache_hit, plan_micros) = match shared.cache.get(&key, &shape) {
+    let identity = QueryIdentity::of(&query);
+
+    // Result cache first: a hit is rows with zero execution. The budget
+    // is deliberately not part of the key — budgets bound execution work,
+    // and a hit does none.
+    let result_key = ResultKey {
+        db: db_name.to_string(),
+        version: snapshot.version,
+        fingerprint: identity.fingerprint,
+        method: request.method,
+        seed,
+    };
+    if let Some(cached) = shared.results.get(&result_key, &identity.shape) {
+        return Ok(Response {
+            columns: cached.columns.clone(),
+            rows: cached.rows.clone(),
+            stats: cached.stats.clone(),
+            cache_hit: true,
+            result_cache_hit: true,
+            plan_micros: 0,
+        });
+    }
+
+    let plan_key = CacheKey {
+        db: db_name.to_string(),
+        version: snapshot.version,
+        fingerprint: identity.fingerprint,
+        method: request.method,
+        seed,
+    };
+    let (plan, cache_hit, plan_micros) = match shared.cache.get(&plan_key, &identity.shape) {
         Some(plan) => (plan, true, 0),
         None => {
             let started = Instant::now();
             let mut rng = StdRng::seed_from_u64(seed);
-            let built = Arc::new(build_plan(request.method, &query, &shared.db, &mut rng));
+            let built = Arc::new(build_plan(request.method, &query, &snapshot.db, &mut rng));
             let micros = started.elapsed().as_micros() as u64;
             // A racing worker may have published the same key first; the
             // cache keeps the existing plan so concurrent identical
             // requests all run one plan.
-            (shared.cache.insert(key, shape, built), false, micros)
+            (
+                shared.cache.insert(plan_key, identity.shape.clone(), built),
+                false,
+                micros,
+            )
         }
     };
 
@@ -358,12 +511,23 @@ fn process(shared: &Shared, request: &Request) -> Result<Response, ServiceError>
     }
     .map_err(ServiceError::Exec)?;
 
-    let columns = query.free.iter().map(|&f| query.vars.name(f)).collect();
+    let columns: Vec<String> = query.free.iter().map(|&f| query.vars.name(f)).collect();
+    let rows = rel.tuples().to_vec();
+    shared.results.insert(
+        result_key,
+        identity.shape,
+        Arc::new(CachedResult {
+            columns: columns.clone(),
+            rows: rows.clone(),
+            stats: stats.clone(),
+        }),
+    );
     Ok(Response {
         columns,
-        rows: rel.tuples().to_vec(),
+        rows,
         stats,
         cache_hit,
+        result_cache_hit: false,
         plan_micros,
     })
 }
@@ -373,18 +537,26 @@ mod tests {
     use super::*;
     use ppr_relalg::RelalgError;
 
-    fn three_color_db() -> Database {
+    fn three_color_catalog() -> Catalog {
         let mut db = Database::new();
         db.add(ppr_workload::edge_relation(3));
-        db
+        Catalog::with_default(db)
     }
 
     fn small_cfg() -> EngineConfig {
         EngineConfig {
             workers: 2,
             queue_capacity: 8,
-            ..EngineConfig::default()
+            ..Default::default()
         }
+    }
+
+    /// Plan-cache-focused tests disable the result cache so every request
+    /// reaches the planner layer.
+    fn plan_only_cfg() -> EngineConfig {
+        let mut cfg = small_cfg();
+        cfg.result_cache_bytes = 0;
+        cfg
     }
 
     const PENTAGON: &str = "q() :- e(a,b), e(b,c), e(c,d), e(d,f), e(f,a)";
@@ -395,7 +567,7 @@ mod tests {
 
     #[test]
     fn answers_match_library_evaluation() {
-        let engine = Engine::start(three_color_db(), small_cfg());
+        let engine = Engine::start(three_color_catalog(), small_cfg());
         let h = engine.handle();
         for method in Method::paper_lineup() {
             let resp = h.execute(pentagon_request(method)).unwrap();
@@ -405,8 +577,40 @@ mod tests {
     }
 
     #[test]
-    fn repeated_query_hits_cache_even_renamed() {
-        let engine = Engine::start(three_color_db(), small_cfg());
+    fn builder_composes_a_request() {
+        let req = Request::query("q(x) :- edge(x, y)")
+            .method(Method::EarlyProjection)
+            .on("graphs")
+            .max_tuples(1000)
+            .timeout(Duration::from_millis(250))
+            .seed(7);
+        assert_eq!(req.method, Method::EarlyProjection);
+        assert_eq!(req.db.as_deref(), Some("graphs"));
+        assert_eq!(req.max_tuples, Some(1000));
+        assert_eq!(req.timeout_ms, Some(250));
+        assert_eq!(req.seed, Some(7));
+        // The no-argument form targets the default database and the
+        // paper's winning method.
+        let plain = Request::query("q() :- edge(x, y)");
+        assert_eq!(plain.db, None);
+        assert_eq!(plain.method, Method::BucketElimination(OrderHeuristic::Mcs));
+    }
+
+    #[test]
+    fn unknown_database_is_a_typed_error() {
+        let engine = Engine::start(three_color_catalog(), small_cfg());
+        let h = engine.handle();
+        let out = h.execute(Request::query("q() :- edge(x, y)").on("nope"));
+        assert!(
+            matches!(out, Err(ServiceError::UnknownDatabase(_))),
+            "{out:?}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn repeated_query_hits_plan_cache_even_renamed() {
+        let engine = Engine::start(three_color_catalog(), plan_only_cfg());
         let h = engine.handle();
         let m = Method::BucketElimination(ppr_core::methods::OrderHeuristic::Mcs);
         let first = h.execute(pentagon_request(m)).unwrap();
@@ -428,8 +632,62 @@ mod tests {
     }
 
     #[test]
+    fn repeated_query_hits_result_cache_even_renamed() {
+        let engine = Engine::start(three_color_catalog(), small_cfg());
+        let h = engine.handle();
+        let m = Method::EarlyProjection;
+        let first = h.execute(pentagon_request(m)).unwrap();
+        assert!(!first.result_cache_hit);
+        let second = h.execute(pentagon_request(m)).unwrap();
+        assert!(second.result_cache_hit, "identical query must reuse rows");
+        assert_eq!(second.rows, first.rows);
+        assert_eq!(second.plan_micros, 0);
+        // A renamed variant shares the fingerprint, so it reuses the rows
+        // without executing either.
+        let renamed = Request::new(
+            "q() :- edge(v,w), edge(u,v), edge(z,u), edge(y,z), edge(w,y)",
+            m,
+        );
+        let third = h.execute(renamed).unwrap();
+        assert!(third.result_cache_hit);
+        assert_eq!(third.rows, first.rows);
+        let stats = h.stats();
+        assert_eq!(stats.results.hits, 2);
+        assert_eq!(stats.results.misses, 1);
+        // The plan cache saw only the cold request.
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.hits, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn mutation_invalidates_results_by_version() {
+        let engine = Engine::start(three_color_catalog(), small_cfg());
+        let h = engine.handle();
+        let req = || Request::query("q(x, y) :- edge(x, y), edge(y, x)");
+        let cold = h.execute(req()).unwrap();
+        assert!(!cold.result_cache_hit);
+        assert!(h.execute(req()).unwrap().result_cache_hit);
+
+        // `edge` is the color-disequality relation; adding the pair
+        // (4, 5)/(5, 4) legalizes a fourth color and changes the answer.
+        h.catalog()
+            .add(DEFAULT_DB, "edge", vec![4, 5].into())
+            .unwrap();
+        h.catalog()
+            .add(DEFAULT_DB, "edge", vec![5, 4].into())
+            .unwrap();
+        let fresh = h.execute(req()).unwrap();
+        assert!(!fresh.result_cache_hit, "version bump must invalidate");
+        assert!(!fresh.cache_hit, "plans embed scans, so they re-plan too");
+        assert!(fresh.rows.len() > cold.rows.len(), "new data must show up");
+        assert!(h.execute(req()).unwrap().result_cache_hit, "then re-caches");
+        engine.shutdown();
+    }
+
+    #[test]
     fn parse_and_missing_relation_errors_are_typed() {
-        let engine = Engine::start(three_color_db(), small_cfg());
+        let engine = Engine::start(three_color_catalog(), small_cfg());
         let h = engine.handle();
         let bad = h.execute(Request::new("not a rule", Method::Straightforward));
         assert!(matches!(bad, Err(ServiceError::Parse(_))));
@@ -449,11 +707,9 @@ mod tests {
         // variables repeat" assert and kill a worker (leaking its
         // in-flight slot); it must be a Parse error, and the pool must
         // keep serving afterwards.
-        let cfg = EngineConfig {
-            workers: 1,
-            ..small_cfg()
-        };
-        let engine = Engine::start(three_color_db(), cfg);
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        let engine = Engine::start(three_color_catalog(), cfg);
         let h = engine.handle();
         for _ in 0..3 {
             let bad = h.execute(Request::new(
@@ -470,7 +726,7 @@ mod tests {
 
     #[test]
     fn explicit_seed_does_not_reuse_default_seed_plan() {
-        let engine = Engine::start(three_color_db(), small_cfg());
+        let engine = Engine::start(three_color_catalog(), plan_only_cfg());
         let h = engine.handle();
         let m = Method::Reordering;
         let first = h.execute(pentagon_request(m)).unwrap();
@@ -478,8 +734,7 @@ mod tests {
         // Same query under an explicit seed: the plan may legitimately
         // differ (the seed breaks planner ties), so it must re-plan, and
         // repeating that seed must then hit its own entry.
-        let mut seeded = pentagon_request(m);
-        seeded.seed = Some(42);
+        let seeded = pentagon_request(m).seed(42);
         let second = h.execute(seeded.clone()).unwrap();
         assert!(!second.cache_hit, "different seed must not hit the cache");
         let third = h.execute(seeded).unwrap();
@@ -491,10 +746,9 @@ mod tests {
     fn budget_override_is_enforced_and_clamped() {
         let mut cfg = small_cfg();
         cfg.max_budget = Budget::tuples(1_000_000);
-        let engine = Engine::start(three_color_db(), cfg);
+        let engine = Engine::start(three_color_catalog(), cfg);
         let h = engine.handle();
-        let mut req = pentagon_request(Method::Straightforward);
-        req.max_tuples = Some(3);
+        let req = pentagon_request(Method::Straightforward).max_tuples(3);
         let out = h.execute(req);
         assert!(
             matches!(
@@ -514,9 +768,9 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             max_inflight: 2,
-            ..EngineConfig::default()
+            ..Default::default()
         };
-        let engine = Engine::start(three_color_db(), cfg);
+        let engine = Engine::start(three_color_catalog(), cfg);
         let h = engine.handle();
         let slow = || {
             // K7 with straightforward join order: plenty of tuple flow.
@@ -553,7 +807,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_admitted_requests() {
-        let engine = Engine::start(three_color_db(), small_cfg());
+        let engine = Engine::start(three_color_catalog(), small_cfg());
         let h = engine.handle();
         let resp = h
             .execute(pentagon_request(Method::EarlyProjection))

@@ -7,42 +7,61 @@
 //! small queries, where planning cost is amortized across repeated
 //! evaluation. This crate is that serving layer:
 //!
-//! * [`cache::PlanCache`] — an LRU cache from
-//!   ([`ppr_query::Fingerprint`], [`ppr_core::methods::Method`], planner
-//!   seed) to compiled [`ppr_relalg::Plan`]s with hit/miss/eviction
-//!   counters. The fingerprint is canonical under variable renaming and
-//!   atom reordering, so syntactic variants of a hot query share one
-//!   cached plan; every hit re-verifies a cheap [`ppr_query::QueryShape`]
-//!   so a fingerprint collision between structurally different queries
-//!   costs a re-plan, never a wrong answer.
+//! * [`catalog::Catalog`] — a named collection of databases, each with a
+//!   monotonically increasing [`catalog::DbVersion`] bumped by every
+//!   mutation (`create` / `load` / `add` / `drop`). Snapshots are
+//!   copy-on-write `Arc`s: in-flight requests keep a consistent view
+//!   while writers publish new versions beside them — writers never block
+//!   readers.
+//! * [`result_cache::ResultCache`] — a byte-budgeted LRU from
+//!   (database, version, [`ppr_query::Fingerprint`], method, seed) to
+//!   complete result sets. Because the database version is in the key, a
+//!   catalog mutation naturally invalidates every older entry; no
+//!   explicit invalidation protocol exists or is needed.
+//! * [`cache::PlanCache`] — an LRU cache over the same key shape to
+//!   compiled [`ppr_relalg::Plan`]s with hit/miss/eviction counters. The
+//!   fingerprint is canonical under variable renaming and atom
+//!   reordering, so syntactic variants of a hot query share one cached
+//!   plan; every hit (in both caches) re-verifies a cheap
+//!   [`ppr_query::QueryShape`] so a fingerprint collision between
+//!   structurally different queries costs a re-plan, never a wrong
+//!   answer.
 //! * [`engine::Engine`] — a worker pool executing requests over the
 //!   serial or partitioned-parallel executor, with per-request tuple/time
 //!   budgets clamped by a server-side maximum, **admission control**
 //!   (bounded queue + max in-flight; saturation fast-fails with
 //!   [`ServiceError::Overloaded`] instead of queueing unboundedly), and
-//!   graceful drain-and-shutdown.
+//!   graceful drain-and-shutdown. Requests are built fluently:
+//!   `Request::query("q() :- e(x,y)").method(m).on("graphs")`.
 //! * [`protocol`] — a newline-delimited wire format carrying the
 //!   Datalog-ish query text [`ppr_query::parse_query`] accepts, method
-//!   selection, and budget overrides; responses carry status, rows, and
-//!   [`ppr_relalg::ExecStats`] including the cache-hit flag.
+//!   selection, budget overrides, database targeting, and the catalog
+//!   verbs `use` / `create` / `load` / `add` / `drop`; responses carry
+//!   status, rows, and [`ppr_relalg::ExecStats`] including cache-hit
+//!   flags.
 //! * [`server::Server`] / [`client::Client`] — a `std::net` TCP server
 //!   (thread per connection; no async runtime — the engine's own queue is
 //!   the concurrency limiter, so blocking I/O threads stay cheap) and a
-//!   blocking client.
+//!   blocking client. Each connection carries a session database selected
+//!   with `use`, the default for requests that don't name one.
 //!
 //! Everything is std-only; the engine is equally usable embedded (via
 //! [`engine::EngineHandle::execute`]) and over TCP.
 
 pub mod cache;
+pub mod catalog;
 pub mod client;
 pub mod engine;
 pub mod protocol;
 mod queue;
+pub mod result_cache;
 pub mod server;
 
 pub use cache::{CacheStats, PlanCache};
+pub use catalog::{Catalog, CatalogError, DbSnapshot, DbVersion, DEFAULT_DB};
 pub use client::Client;
 pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response};
+pub use result_cache::{ResultCache, ResultCacheStats};
 pub use server::Server;
 
 use ppr_relalg::RelalgError;
@@ -63,9 +82,15 @@ pub enum ServiceError {
     ShuttingDown,
     /// The query text did not parse.
     Parse(String),
-    /// The query referenced a relation the server's database does not
-    /// have (or with the wrong arity).
+    /// The query referenced a relation the target database does not have
+    /// (or with the wrong arity).
     MissingRelation(String),
+    /// The request (or a `use` verb) named a database the catalog does
+    /// not have.
+    UnknownDatabase(String),
+    /// A catalog mutation failed: the database already exists, a tuple's
+    /// arity disagrees with the relation, or a `load` carried no tuples.
+    Catalog(String),
     /// The wire protocol named an unknown method.
     UnknownMethod(String),
     /// Execution failed — budget exhaustion ([`RelalgError::BudgetExceeded`])
@@ -89,6 +114,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "server is shutting down"),
             ServiceError::Parse(m) => write!(f, "parse error: {m}"),
             ServiceError::MissingRelation(m) => write!(f, "missing relation: {m}"),
+            ServiceError::UnknownDatabase(m) => write!(f, "unknown database: {m}"),
+            ServiceError::Catalog(m) => write!(f, "catalog error: {m}"),
             ServiceError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
             ServiceError::Exec(e) => write!(f, "execution error: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
@@ -103,5 +130,14 @@ impl std::error::Error for ServiceError {}
 impl From<std::io::Error> for ServiceError {
     fn from(e: std::io::Error) -> Self {
         ServiceError::Io(e.to_string())
+    }
+}
+
+impl From<CatalogError> for ServiceError {
+    fn from(e: CatalogError) -> Self {
+        match e {
+            CatalogError::UnknownDatabase(name) => ServiceError::UnknownDatabase(name),
+            other => ServiceError::Catalog(other.to_string()),
+        }
     }
 }

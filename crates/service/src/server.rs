@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::engine::EngineHandle;
-use crate::protocol::{self, Command, MAX_LINE};
+use crate::protocol::{self, Ack, Command, MAX_LINE};
 use crate::ServiceError;
 
 /// How often blocked I/O re-checks the stop flag.
@@ -134,12 +134,15 @@ fn serve_connection(stream: TcpStream, engine: EngineHandle, stop: Arc<AtomicBoo
 
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // The connection's session database, set by `use`; `run` lines
+    // without an explicit `db=` target it (engine default otherwise).
+    let mut session_db: Option<String> = None;
     loop {
         // Process every complete line already buffered before reading more.
         while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = pending.drain(..=nl).collect();
             let line = String::from_utf8_lossy(&line[..nl]);
-            let reply = handle_line(&line, &engine);
+            let reply = handle_line(&line, &engine, &mut session_db);
             if writer
                 .write_all(reply.as_bytes())
                 .and_then(|_| writer.write_all(b"\n"))
@@ -165,14 +168,82 @@ fn serve_connection(stream: TcpStream, engine: EngineHandle, stop: Arc<AtomicBoo
     }
 }
 
-fn handle_line(line: &str, engine: &EngineHandle) -> String {
+fn handle_line(line: &str, engine: &EngineHandle, session_db: &mut Option<String>) -> String {
     if line.trim().is_empty() {
         return protocol::encode_result(&Err(ServiceError::Protocol("empty line".into())));
     }
     match protocol::decode_command(line) {
         Ok(Command::Ping) => "ok pong".to_string(),
         Ok(Command::Stats) => protocol::encode_stats(&engine.stats()),
-        Ok(Command::Run(request)) => protocol::encode_result(&engine.execute(request)),
+        Ok(Command::Run(mut request)) => {
+            if request.db.is_none() {
+                request.db = session_db.clone();
+            }
+            protocol::encode_result(&engine.execute(request))
+        }
+        // Catalog verbs run on the connection thread, not the worker
+        // queue: mutations are O(tiny database), and admission control
+        // exists to bound query execution, not metadata traffic.
+        Ok(Command::Use(db)) => {
+            let ack = match engine.catalog().snapshot(&db) {
+                Some(snap) => {
+                    *session_db = Some(db.clone());
+                    Ok(Ack {
+                        db,
+                        version: Some(snap.version),
+                    })
+                }
+                None => Err(ServiceError::UnknownDatabase(db)),
+            };
+            protocol::encode_ack(&ack)
+        }
+        Ok(Command::Create(db)) => {
+            let ack = engine
+                .catalog()
+                .create(&db)
+                .map(|version| Ack {
+                    db,
+                    version: Some(version),
+                })
+                .map_err(ServiceError::from);
+            protocol::encode_ack(&ack)
+        }
+        Ok(Command::Drop(db)) => {
+            let ack = engine
+                .catalog()
+                .drop_db(&db)
+                .map(|()| {
+                    // A dropped session database falls back to the default.
+                    if session_db.as_deref() == Some(db.as_str()) {
+                        *session_db = None;
+                    }
+                    Ack { db, version: None }
+                })
+                .map_err(ServiceError::from);
+            protocol::encode_ack(&ack)
+        }
+        Ok(Command::Load { db, rel, tuples }) => {
+            let ack = engine
+                .catalog()
+                .load(&db, &rel, tuples)
+                .map(|version| Ack {
+                    db,
+                    version: Some(version),
+                })
+                .map_err(ServiceError::from);
+            protocol::encode_ack(&ack)
+        }
+        Ok(Command::Add { db, rel, tuple }) => {
+            let ack = engine
+                .catalog()
+                .add(&db, &rel, tuple)
+                .map(|version| Ack {
+                    db,
+                    version: Some(version),
+                })
+                .map_err(ServiceError::from);
+            protocol::encode_ack(&ack)
+        }
         Err(e) => protocol::encode_result(&Err(e)),
     }
 }

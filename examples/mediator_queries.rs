@@ -12,7 +12,6 @@
 //! cargo run --release --example mediator_queries
 //! ```
 
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use projection_pushing::relalg::{AttrId, Relation, Schema};
 
@@ -60,7 +59,12 @@ fn main() {
         "method", "time (ms)", "tuples flowed", "arity"
     );
     for method in Method::paper_lineup() {
-        match evaluate(&query, &db, method, &Budget::tuples(200_000_000), 3) {
+        match Eval::new(&query, &db)
+            .method(method)
+            .budget(Budget::tuples(200_000_000))
+            .seed(3)
+            .run()
+        {
             Ok((rel, stats)) => println!(
                 "{:<18} {:>10.2} {:>14} {:>8}   → {} reachable final ports",
                 method.name(),

@@ -11,7 +11,6 @@
 //! ```
 
 use projection_pushing::core::minimize::{equivalent, minimize};
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 
 fn main() {
@@ -47,14 +46,12 @@ fn main() {
     let db = random_digraph_db(40, 160);
     let budget = Budget::tuples(200_000_000);
     for (label, q) in [("original", &query), ("core", &core)] {
-        let (rel, stats) = evaluate(
-            q,
-            &db,
-            Method::BucketElimination(OrderHeuristic::Mcs),
-            &budget,
-            1,
-        )
-        .expect("within budget");
+        let (rel, stats) = Eval::new(q, &db)
+            .method(Method::BucketElimination(OrderHeuristic::Mcs))
+            .budget(budget.clone())
+            .seed(1)
+            .run()
+            .expect("within budget");
         println!(
             "{label:<9} → {} result tuples, {} tuples flowed, {:.2} ms",
             rel.len(),

@@ -16,21 +16,16 @@
 //! cargo run --release --example nqueens
 //! ```
 
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use projection_pushing::relalg::{AttrId, Relation, Schema, Value};
 
 fn main() {
     for n in 4..=7usize {
         let (query, db) = nqueens_query(n);
-        let (rel, stats) = evaluate(
-            &query,
-            &db,
-            Method::BucketElimination(OrderHeuristic::Mcs),
-            &Budget::unlimited(),
-            0,
-        )
-        .expect("small boards fit any budget");
+        let (rel, stats) = Eval::new(&query, &db)
+            .method(Method::BucketElimination(OrderHeuristic::Mcs))
+            .run()
+            .expect("small boards fit any budget");
         println!(
             "n = {n}: {} solutions ({} tuples flowed, max arity {}, {:.2} ms)",
             rel.len(),

@@ -5,7 +5,6 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +29,10 @@ fn main() {
         "method", "time (ms)", "tuples flowed", "arity", "colorable"
     );
     for method in Method::paper_lineup() {
-        let (rel, stats) = evaluate(&query, &db, method, &Budget::unlimited(), 7)
+        let (rel, stats) = Eval::new(&query, &db)
+            .method(method)
+            .seed(7)
+            .run()
             .expect("small instance fits any budget");
         println!(
             "{:<18} {:>10.2} {:>14} {:>8} {:>9}",

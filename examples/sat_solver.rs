@@ -9,7 +9,6 @@
 //! cargo run --release --example sat_solver
 //! ```
 
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use projection_pushing::workload::{random_sat, sat_query};
 use rand::rngs::StdRng;
@@ -30,14 +29,11 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(seed);
         let instance = random_sat(n, m, 3, &mut rng);
         let (query, db) = sat_query(&instance, 0.0, &mut rng);
-        let (rel, stats) = evaluate(
-            &query,
-            &db,
-            Method::BucketElimination(OrderHeuristic::Mcs),
-            &Budget::unlimited(),
-            seed,
-        )
-        .expect("within budget");
+        let (rel, stats) = Eval::new(&query, &db)
+            .method(Method::BucketElimination(OrderHeuristic::Mcs))
+            .seed(seed)
+            .run()
+            .expect("within budget");
         let engine_sat = !rel.is_empty();
         let dpll_sat = instance.is_satisfiable();
         if engine_sat == dpll_sat {

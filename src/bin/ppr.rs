@@ -11,9 +11,13 @@
 //! ppr width  (--random N,D | --family NAME,ORDER | --edges FILE) [--seed S]
 //! ppr serve  [--listen HOST:PORT] [--rel '…'] [--rel-file name=path.csv]
 //!            [--colors K] [--workers N] [--queue N] [--cache N]
-//!            [--exec-threads N] [--max-tuples N] [--timeout-ms T]
+//!            [--result-cache-bytes N] [--exec-threads N] [--max-tuples N]
+//!            [--timeout-ms T]
 //! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
-//!            [--max-tuples N] [--timeout-ms T] [--seed S] [--stats] [--ping]
+//!            [--db NAME | --use NAME] [--max-tuples N] [--timeout-ms T]
+//!            [--seed S] [--stats] [--ping]
+//! ppr client [--connect HOST:PORT] (--create NAME | --drop NAME |
+//!            --load 'DB REL 1,2;2,3' | --add 'DB REL 1,2')
 //! ```
 //!
 //! Methods: `naive`, `straightforward`, `early`, `reorder`, `bucket`
@@ -360,24 +364,24 @@ fn serve_database(flags: &Flags) -> Database {
 }
 
 fn cmd_serve(flags: &Flags) {
-    use projection_pushing::service::{Engine, EngineConfig, Server};
+    use projection_pushing::service::{Catalog, Engine, EngineConfig, Server};
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7171");
     let db = serve_database(flags);
     eprintln!("database: {:?}", db.names());
-    let cfg = EngineConfig {
-        workers: flags.num("workers", 4usize),
-        queue_capacity: flags.num("queue", 64usize),
-        cache_capacity: flags.num("cache", 256usize),
-        exec_threads: flags.num("exec-threads", 1usize),
-        max_budget: Budget::tuples(flags.num("max-tuples", u64::MAX))
-            .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000))),
-        ..EngineConfig::default()
-    };
-    let engine = Engine::start(db, cfg);
+    let mut cfg = EngineConfig::default();
+    cfg.workers = flags.num("workers", 4usize);
+    cfg.queue_capacity = flags.num("queue", 64usize);
+    cfg.cache_capacity = flags.num("cache", 256usize);
+    cfg.result_cache_bytes = flags.num("result-cache-bytes", cfg.result_cache_bytes);
+    cfg.exec_threads = flags.num("exec-threads", 1usize);
+    cfg.max_budget = Budget::tuples(flags.num("max-tuples", u64::MAX))
+        .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000)));
+    let engine = Engine::start(Catalog::with_default(db), cfg);
     let server = Server::start(listen, engine.handle())
         .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
     eprintln!(
-        "protocol: `run method=bucket rule=q(x) :- edge(x, y)` per line; also `stats`, `ping`"
+        "protocol: `run method=bucket rule=q(x) :- edge(x, y)` per line; also \
+         `use`/`create`/`drop`/`load`/`add` for databases, `stats`, `ping`"
     );
     // Last line before serving: scripts (and the e2e test) wait for it,
     // then may close their end of the stderr pipe.
@@ -387,6 +391,25 @@ fn cmd_serve(flags: &Flags) {
     loop {
         std::thread::park();
     }
+}
+
+/// Parses the `--load` / `--add` argument shape `DB REL 1,2;2,3`.
+fn parse_mutation(spec: &str) -> (String, String, Vec<Box<[u32]>>) {
+    let mut parts = spec.split_whitespace();
+    let (Some(db), Some(rel), Some(data), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        die("expected 'DB REL 1,2;2,3'");
+    };
+    let tuples: Vec<Box<[u32]>> = data
+        .split(';')
+        .map(|tup| {
+            tup.split(',')
+                .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad value {v}"))))
+                .collect()
+        })
+        .collect();
+    (db.to_string(), rel.to_string(), tuples)
 }
 
 fn cmd_client(flags: &Flags) {
@@ -406,7 +429,7 @@ fn cmd_client(flags: &Flags) {
             s.served, s.rejected, s.inflight
         );
         println!(
-            "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} collisions, {} cached",
+            "plans: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} collisions, {} cached",
             s.cache.hits,
             s.cache.misses,
             s.cache.hit_rate() * 100.0,
@@ -414,25 +437,76 @@ fn cmd_client(flags: &Flags) {
             s.cache.collisions,
             s.cache.len
         );
+        println!(
+            "results: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} cached ({} bytes of {})",
+            s.results.hits,
+            s.results.misses,
+            s.results.hit_rate() * 100.0,
+            s.results.evictions,
+            s.results.len,
+            s.results.bytes,
+            s.results.capacity_bytes
+        );
         return;
     }
-    let rule = flags
-        .get("rule")
-        .unwrap_or_else(|| die("need --rule (or --stats / --ping)"));
+    // Catalog verbs: one mutation per invocation, acknowledged with the
+    // database's new version.
+    if let Some(name) = flags.get("create") {
+        let v = client
+            .create_db(name)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!("created {name} (version {v})");
+        return;
+    }
+    if let Some(name) = flags.get("drop") {
+        client.drop_db(name).unwrap_or_else(|e| die(&e.to_string()));
+        println!("dropped {name}");
+        return;
+    }
+    if let Some(spec) = flags.get("load") {
+        let (db, rel, tuples) = parse_mutation(spec);
+        let n = tuples.len();
+        let v = client
+            .load(&db, &rel, tuples)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!("loaded {n} tuples into {db}.{rel} (version {v})");
+        return;
+    }
+    if let Some(spec) = flags.get("add") {
+        let (db, rel, mut tuples) = parse_mutation(spec);
+        if tuples.len() != 1 {
+            die("--add takes exactly one tuple");
+        }
+        let v = client
+            .add(&db, &rel, tuples.pop().unwrap())
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!("added to {db}.{rel} (version {v})");
+        return;
+    }
+    let rule = flags.get("rule").unwrap_or_else(|| {
+        die("need --rule (or --stats / --ping / --create / --drop / --load / --add)")
+    });
     let method = match flags.get("method") {
         Some(name) => Method::parse(name).unwrap_or_else(|| die(&format!("unknown method {name}"))),
         None => Method::BucketElimination(OrderHeuristic::Mcs),
     };
+    // --use selects a session database first (exercising the session
+    // path); --db pins the database on the request itself.
+    if let Some(name) = flags.get("use") {
+        client.use_db(name).unwrap_or_else(|e| die(&e.to_string()));
+    }
     let mut request = Request::new(rule, method);
+    request.db = flags.get("db").map(str::to_string);
     request.max_tuples = flags.get("max-tuples").map(|_| flags.num("max-tuples", 0));
     request.timeout_ms = flags.get("timeout-ms").map(|_| flags.num("timeout-ms", 0));
     request.seed = flags.get("seed").map(|_| flags.num("seed", 0));
     match client.run(&request) {
         Ok(resp) => {
             println!(
-                "rows: {}  cache_hit: {}  plan: {} us  exec: {} us  tuples flowed: {}",
+                "rows: {}  cache_hit: {}  result_hit: {}  plan: {} us  exec: {} us  tuples flowed: {}",
                 resp.rows.len(),
                 resp.cache_hit,
+                resp.result_cache_hit,
                 resp.plan_micros,
                 resp.stats.elapsed.as_micros(),
                 resp.stats.tuples_flowed

@@ -12,20 +12,29 @@
 //! treewidth + 1; induced width = treewidth).
 //!
 //! This crate re-exports the workspace and offers a compact high-level
-//! API:
+//! API around the [`Eval`] builder:
 //!
 //! ```
 //! use projection_pushing::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
 //!
 //! // A 5-cycle is 3-colorable…
 //! let pentagon = graph::families::cycle(5);
-//! assert!(evaluate_3color(&pentagon, Method::BucketElimination(OrderHeuristic::Mcs), 0).unwrap());
-//! // …but K4 is not.
-//! let k4 = graph::families::complete(4);
-//! assert!(!evaluate_3color(&k4, Method::Straightforward, 0).unwrap());
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let (q, db) = color_query(&pentagon, &ColorQueryOptions::boolean(), &mut rng);
+//! let (rows, stats) = Eval::new(&q, &db)
+//!     .method(Method::BucketElimination(OrderHeuristic::Mcs))
+//!     .run()
+//!     .unwrap();
+//! assert!(!rows.is_empty());
+//! assert!(stats.tuples_flowed > 0);
+//! // …or, for the common yes/no question:
+//! assert!(Eval::new(&q, &db).nonempty().unwrap());
 //! ```
 //!
-//! For long-lived query serving — a fingerprint-keyed plan cache,
+//! For long-lived query serving — a multi-database [`service::Catalog`]
+//! with versioned result caching, a fingerprint-keyed plan cache,
 //! admission control, and a TCP line protocol (`ppr serve` / `ppr
 //! client`) — see the [`service`] crate.
 
@@ -48,18 +57,118 @@ use ppr_relalg::{exec, Budget, ExecStats, Relation};
 
 /// Everything a typical user needs.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use crate::evaluate_parallel;
-    pub use crate::{evaluate, evaluate_3color, graph, Method, OrderHeuristic};
+    #[allow(deprecated)]
+    pub use crate::{evaluate, evaluate_3color};
+    pub use crate::{graph, Eval, Method, OrderHeuristic};
     pub use ppr_core::methods::{build_plan, emit_sql};
     pub use ppr_query::{Atom, ConjunctiveQuery, Database, Vars};
     pub use ppr_relalg::parallel::execute_parallel;
     pub use ppr_relalg::{Budget, Plan};
-    pub use ppr_service::{Client, Engine, EngineConfig, Request, Server, ServiceError};
+    pub use ppr_service::{Catalog, Client, Engine, EngineConfig, Request, Server, ServiceError};
     pub use ppr_workload::{color_query, ColorQueryOptions, InstanceSpec, QueryShape};
+}
+
+/// One evaluation of a conjunctive query over a database, configured
+/// fluently.
+///
+/// Defaults: bucket elimination under the MCS order (the paper's winning
+/// method), seed 0, one executor thread, unlimited budget.
+///
+/// ```
+/// # use projection_pushing::prelude::*;
+/// # use rand::rngs::StdRng;
+/// # use rand::SeedableRng;
+/// # let g = graph::families::cycle(5);
+/// # let mut rng = StdRng::seed_from_u64(0);
+/// # let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
+/// let (rows, stats) = Eval::new(&q, &db)
+///     .method(Method::EarlyProjection)
+///     .seed(7)
+///     .threads(4)
+///     .budget(Budget::tuples(1_000_000))
+///     .run()
+///     .unwrap();
+/// # let _ = (rows, stats);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Eval<'a> {
+    query: &'a ConjunctiveQuery,
+    db: &'a Database,
+    method: Method,
+    seed: u64,
+    threads: usize,
+    budget: Budget,
+}
+
+impl<'a> Eval<'a> {
+    /// An evaluation of `query` over `db` with the defaults above.
+    pub fn new(query: &'a ConjunctiveQuery, db: &'a Database) -> Eval<'a> {
+        Eval {
+            query,
+            db,
+            method: Method::BucketElimination(OrderHeuristic::Mcs),
+            seed: 0,
+            threads: 1,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Selects the planning method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Pins the planner tie-breaking seed (default 0). The seed is part
+    /// of determinism: same query, database, method, and seed produce
+    /// byte-identical rows.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Executor threads: `1` (default) runs the serial pipelined
+    /// executor, any other value the partitioned-parallel executor
+    /// (`0` = all cores). Rows are byte-identical either way.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bounds execution by tuples flowed and/or wall clock (default
+    /// unlimited). Exhaustion is an error, never a truncated result.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Plans and executes, returning the result relation and execution
+    /// statistics.
+    pub fn run(&self) -> ppr_relalg::Result<(Relation, ExecStats)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let plan = build_plan(self.method, self.query, self.db, &mut rng);
+        if self.threads == 1 {
+            exec::execute(&plan, &self.budget)
+        } else {
+            ppr_relalg::parallel::execute_parallel(&plan, &self.budget, self.threads)
+        }
+    }
+
+    /// Runs and reports only whether the result is non-empty — the
+    /// natural question for Boolean (decision) queries like k-COLOR.
+    pub fn nonempty(&self) -> ppr_relalg::Result<bool> {
+        self.run().map(|(rel, _)| !rel.is_empty())
+    }
 }
 
 /// Evaluates `query` over `db` with `method` under `budget`. Returns the
 /// result relation and execution statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(query, db).method(m).seed(s).budget(b).run()`"
+)]
 pub fn evaluate(
     query: &ConjunctiveQuery,
     db: &Database,
@@ -67,15 +176,18 @@ pub fn evaluate(
     budget: &Budget,
     seed: u64,
 ) -> ppr_relalg::Result<(Relation, ExecStats)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let plan = build_plan(method, query, db, &mut rng);
-    exec::execute(&plan, budget)
+    Eval::new(query, db)
+        .method(method)
+        .budget(budget.clone())
+        .seed(seed)
+        .run()
 }
 
-/// [`evaluate`] on the partitioned parallel executor with `threads` worker
+/// [`Eval`] on the partitioned parallel executor with `threads` worker
 /// threads (`0` = all cores, `1` = one worker). The result relation is
-/// byte-identical to [`evaluate`]'s; only wall-clock time and the
+/// byte-identical to the serial executor's; only wall-clock time and the
 /// thread-related [`ExecStats`] fields differ.
+#[deprecated(since = "0.2.0", note = "use `Eval::new(query, db).threads(n).run()`")]
 pub fn evaluate_parallel(
     query: &ConjunctiveQuery,
     db: &Database,
@@ -84,6 +196,10 @@ pub fn evaluate_parallel(
     seed: u64,
     threads: usize,
 ) -> ppr_relalg::Result<(Relation, ExecStats)> {
+    // `threads == 1` historically still meant the parallel executor with
+    // one worker (rows are byte-identical to serial either way), so this
+    // wrapper keeps calling it directly rather than routing through the
+    // builder's serial shortcut.
     let mut rng = StdRng::seed_from_u64(seed);
     let plan = build_plan(method, query, db, &mut rng);
     ppr_relalg::parallel::execute_parallel(&plan, budget, threads)
@@ -91,6 +207,10 @@ pub fn evaluate_parallel(
 
 /// Decides 3-colorability of `graph` by evaluating the paper's Boolean
 /// project-join query with `method`. `Ok(true)` means colorable.
+#[deprecated(
+    since = "0.2.0",
+    note = "build the query with `workload::color_query` and use `Eval::new(&q, &db).method(m).seed(s).nonempty()`"
+)]
 pub fn evaluate_3color(
     graph: &ppr_graph::Graph,
     method: Method,
@@ -99,35 +219,46 @@ pub fn evaluate_3color(
     let mut rng = StdRng::seed_from_u64(seed);
     let (q, db) =
         ppr_workload::color_query(graph, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
-    let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed)?;
-    Ok(!rel.is_empty())
+    Eval::new(&q, &db).method(method).seed(seed).nonempty()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn three_color(g: &ppr_graph::Graph, method: Method, seed: u64) -> bool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (q, db) =
+            ppr_workload::color_query(g, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
+        Eval::new(&q, &db)
+            .method(method)
+            .seed(seed)
+            .nonempty()
+            .unwrap()
+    }
+
     #[test]
     fn three_colorability_decisions() {
         let c5 = graph::families::cycle(5);
         let k4 = graph::families::complete(4);
         for method in Method::paper_lineup() {
-            assert!(evaluate_3color(&c5, method, 1).unwrap(), "{method:?}");
-            assert!(!evaluate_3color(&k4, method, 1).unwrap(), "{method:?}");
+            assert!(three_color(&c5, method, 1), "{method:?}");
+            assert!(!three_color(&k4, method, 1), "{method:?}");
         }
     }
 
     #[test]
-    fn evaluate_parallel_matches_serial() {
+    fn eval_threads_match_serial() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = graph::families::augmented_ladder(4);
         let (q, db) =
             ppr_workload::color_query(&g, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
-        let method = Method::BucketElimination(OrderHeuristic::Mcs);
-        let (serial, _) = evaluate(&q, &db, method, &Budget::unlimited(), 7).unwrap();
-        for threads in [1usize, 4] {
-            let (par, stats) =
-                evaluate_parallel(&q, &db, method, &Budget::unlimited(), 7, threads).unwrap();
+        let eval = Eval::new(&q, &db)
+            .method(Method::BucketElimination(OrderHeuristic::Mcs))
+            .seed(7);
+        let (serial, _) = eval.run().unwrap();
+        for threads in [2usize, 4] {
+            let (par, stats) = eval.clone().threads(threads).run().unwrap();
             assert_eq!(serial.schema(), par.schema());
             assert_eq!(serial.tuples(), par.tuples());
             assert!(stats.threads_used >= 1);
@@ -135,23 +266,36 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_returns_stats() {
+    fn eval_returns_stats_and_respects_budget() {
         let mut rng = StdRng::seed_from_u64(0);
         let g = graph::families::ladder(4);
         let (q, db) =
             ppr_workload::color_query(&g, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
-        let (rel, stats) = evaluate(
-            &q,
-            &db,
-            Method::BucketElimination(OrderHeuristic::Mcs),
-            &Budget::unlimited(),
-            0,
-        )
-        .unwrap();
+        let (rel, stats) = Eval::new(&q, &db).run().unwrap();
         assert!(!rel.is_empty());
         assert!(stats.tuples_flowed > 0);
         // Ladder treewidth is 2; MCS is a heuristic, so allow one extra
         // column for unlucky tie-breaking.
         assert!(stats.max_intermediate_arity <= 4);
+
+        let starved = Eval::new(&q, &db).budget(Budget::tuples(1)).run();
+        assert!(starved.is_err(), "budget exhaustion must be an error");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_the_builder() {
+        let c5 = graph::families::cycle(5);
+        let method = Method::BucketElimination(OrderHeuristic::Mcs);
+        assert!(evaluate_3color(&c5, method, 1).unwrap());
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let (q, db) =
+            ppr_workload::color_query(&c5, &ppr_workload::ColorQueryOptions::boolean(), &mut rng);
+        let (old, _) = evaluate(&q, &db, method, &Budget::unlimited(), 1).unwrap();
+        let (new, _) = Eval::new(&q, &db).method(method).seed(1).run().unwrap();
+        assert_eq!(old.tuples(), new.tuples());
+        let (par, _) = evaluate_parallel(&q, &db, method, &Budget::unlimited(), 1, 2).unwrap();
+        assert_eq!(old.tuples(), par.tuples());
     }
 }

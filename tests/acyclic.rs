@@ -3,7 +3,6 @@
 //! instances.
 
 use projection_pushing::core::yannakakis::{gyo_join_tree, is_acyclic, yannakakis};
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -43,9 +42,11 @@ proptest! {
         };
         let (q, db) = color_query(&g, &opts, &mut rng);
         let yk = yannakakis(&q, &db).expect("tree queries are acyclic");
-        let (be, _) = evaluate(
-            &q, &db, Method::BucketElimination(OrderHeuristic::Mcs), &Budget::unlimited(), seed,
-        ).unwrap();
+        let (be, _) = Eval::new(&q, &db)
+            .method(Method::BucketElimination(OrderHeuristic::Mcs))
+            .seed(seed)
+            .run()
+            .unwrap();
         // Align column order before comparing.
         let yk_aligned = projection_pushing::relalg::ops::project_distinct(&yk, be.schema().attrs());
         prop_assert!(yk_aligned.set_eq(&be));

@@ -1,7 +1,6 @@
 //! Budget semantics across the stack: budget errors are clean, monotone,
 //! and leave results untouched when they do not trip.
 
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use projection_pushing::relalg::{budget::BudgetKind, RelalgError};
 use proptest::prelude::*;
@@ -18,7 +17,12 @@ fn hard_instance(seed: u64) -> (ConjunctiveQuery, Database) {
 #[test]
 fn tuple_budget_reports_flow() {
     let (q, db) = hard_instance(1);
-    let err = evaluate(&q, &db, Method::Straightforward, &Budget::tuples(100), 1).unwrap_err();
+    let err = Eval::new(&q, &db)
+        .method(Method::Straightforward)
+        .budget(Budget::tuples(100))
+        .seed(1)
+        .run()
+        .unwrap_err();
     match err {
         RelalgError::BudgetExceeded {
             kind,
@@ -38,7 +42,11 @@ fn zero_timeout_trips_on_hard_instances() {
     // The clock is only polled every 2^16 tuples, so tiny instances may
     // finish; this one flows millions of tuples with the straightforward
     // method and must hit the wall-clock check.
-    let result = evaluate(&q, &db, Method::Straightforward, &budget, 1);
+    let result = Eval::new(&q, &db)
+        .method(Method::Straightforward)
+        .budget(budget)
+        .seed(1)
+        .run();
     match result {
         Err(RelalgError::BudgetExceeded { kind, .. }) => {
             assert!(matches!(kind, BudgetKind::WallClock | BudgetKind::Tuples));
@@ -62,11 +70,18 @@ proptest! {
         let g = projection_pushing::graph::generate::random_graph(8, 14, &mut rng);
         prop_assume!(!g.edges().is_empty());
         let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
-        let small = evaluate(&q, &db, Method::EarlyProjection, &Budget::tuples(cap), seed);
+        let small = Eval::new(&q, &db)
+            .method(Method::EarlyProjection)
+            .budget(Budget::tuples(cap))
+            .seed(seed)
+            .run();
         if let Ok((rel_small, _)) = small {
-            let (rel_big, _) = evaluate(
-                &q, &db, Method::EarlyProjection, &Budget::tuples(cap * 10), seed,
-            ).expect("larger budget cannot fail where smaller succeeded");
+            let (rel_big, _) = Eval::new(&q, &db)
+                .method(Method::EarlyProjection)
+                .budget(Budget::tuples(cap * 10))
+                .seed(seed)
+                .run()
+                .expect("larger budget cannot fail where smaller succeeded");
             prop_assert!(rel_small.set_eq(&rel_big));
         }
     }
@@ -76,8 +91,11 @@ proptest! {
     fn tripped_budgets_report_at_least_cap(seed in 0u64..100) {
         let (q, db) = hard_instance(seed);
         let cap = 500u64;
-        if let Err(RelalgError::BudgetExceeded { tuples_flowed, .. }) =
-            evaluate(&q, &db, Method::Straightforward, &Budget::tuples(cap), seed)
+        if let Err(RelalgError::BudgetExceeded { tuples_flowed, .. }) = Eval::new(&q, &db)
+            .method(Method::Straightforward)
+            .budget(Budget::tuples(cap))
+            .seed(seed)
+            .run()
         {
             prop_assert!(tuples_flowed >= cap);
         }

@@ -2,7 +2,6 @@
 //! exactly the same result as the unoptimized baseline, and the Boolean
 //! answer must match an independent reference solver.
 
-use projection_pushing::evaluate;
 use projection_pushing::prelude::*;
 use projection_pushing::workload::{color::is_colorable, random_sat, sat_query};
 use proptest::prelude::*;
@@ -35,7 +34,7 @@ proptest! {
         let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
         let expected = is_colorable(&g, 3);
         for method in all_methods() {
-            let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed).unwrap();
+            let (rel, _) = Eval::new(&q, &db).method(method).seed(seed).run().unwrap();
             prop_assert_eq!(!rel.is_empty(), expected, "{} disagrees", method.name());
         }
     }
@@ -50,10 +49,13 @@ proptest! {
         let g = projection_pushing::graph::generate::random_graph(order, m, &mut rng);
         prop_assume!(!g.edges().is_empty());
         let (q, db) = color_query(&g, &ColorQueryOptions::non_boolean(), &mut rng);
-        let (baseline, _) =
-            evaluate(&q, &db, Method::Straightforward, &Budget::unlimited(), seed).unwrap();
+        let (baseline, _) = Eval::new(&q, &db)
+            .method(Method::Straightforward)
+            .seed(seed)
+            .run()
+            .unwrap();
         for method in all_methods() {
-            let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed).unwrap();
+            let (rel, _) = Eval::new(&q, &db).method(method).seed(seed).run().unwrap();
             prop_assert!(rel.set_eq(&baseline), "{} differs", method.name());
         }
     }
@@ -67,7 +69,7 @@ proptest! {
         let (q, db) = sat_query(&inst, 0.0, &mut rng);
         let expected = inst.is_satisfiable();
         for method in [Method::Straightforward, Method::BucketElimination(OrderHeuristic::Mcs)] {
-            let (rel, _) = evaluate(&q, &db, method, &Budget::unlimited(), seed).unwrap();
+            let (rel, _) = Eval::new(&q, &db).method(method).seed(seed).run().unwrap();
             prop_assert_eq!(!rel.is_empty(), expected, "{} disagrees", method.name());
         }
     }
@@ -79,9 +81,11 @@ proptest! {
         let inst = random_sat(n, m, 2, &mut rng);
         let (q, db) = sat_query(&inst, 0.0, &mut rng);
         let expected = inst.is_satisfiable();
-        let (rel, _) = evaluate(
-            &q, &db, Method::BucketElimination(OrderHeuristic::Mcs), &Budget::unlimited(), seed,
-        ).unwrap();
+        let (rel, _) = Eval::new(&q, &db)
+            .method(Method::BucketElimination(OrderHeuristic::Mcs))
+            .seed(seed)
+            .run()
+            .unwrap();
         prop_assert_eq!(!rel.is_empty(), expected);
     }
 
@@ -117,9 +121,15 @@ fn structured_families_answers() {
         families::augmented_ladder(4),
         families::augmented_circular_ladder(4),
     ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (q, db) = color_query(&g, &ColorQueryOptions::boolean(), &mut rng);
         for method in all_methods() {
             assert!(
-                projection_pushing::evaluate_3color(&g, method, 3).unwrap(),
+                Eval::new(&q, &db)
+                    .method(method)
+                    .seed(3)
+                    .nonempty()
+                    .unwrap(),
                 "{} on order-{} family",
                 method.name(),
                 g.order()

@@ -1,15 +1,17 @@
 //! End-to-end smoke test of the serving subsystem: a real TCP server on
 //! an ephemeral port, a real client, one 3-COLOR query per planning
 //! method, and the acceptance bar that wire answers are byte-identical to
-//! library-level evaluation. Also exercises admission control (saturation
-//! fast-fails with `Overloaded`) and graceful shutdown.
+//! library-level evaluation. Also exercises the catalog verbs (`create` /
+//! `use` / `load` / `add` / `drop`) with version-based result-cache
+//! invalidation, admission control (saturation fast-fails with
+//! `Overloaded`), and graceful shutdown.
 
 use projection_pushing::prelude::*;
 use projection_pushing::query::{parse_query, Database};
 use projection_pushing::service::engine::EngineStats;
 use projection_pushing::workload::edge_relation;
-use projection_pushing::{evaluate, evaluate_parallel, service};
-use service::{Engine, EngineConfig, ServiceError};
+use projection_pushing::{service, Eval};
+use service::{Catalog, Engine, EngineConfig, ServiceError};
 
 /// 3-COLOR of the pentagon with two free variables, so responses carry
 /// actual rows (not just a Boolean).
@@ -19,6 +21,10 @@ fn color_db() -> Database {
     let mut db = Database::new();
     db.add(edge_relation(3));
     db
+}
+
+fn color_catalog() -> Catalog {
+    Catalog::with_default(color_db())
 }
 
 fn all_methods() -> Vec<Method> {
@@ -35,7 +41,7 @@ fn all_methods() -> Vec<Method> {
 
 #[test]
 fn wire_answers_match_library_evaluation_per_method() {
-    let engine = Engine::start(color_db(), EngineConfig::default());
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
     let mut server =
         service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
@@ -46,7 +52,7 @@ fn wire_answers_match_library_evaluation_per_method() {
     for method in all_methods() {
         // The engine's default seed is 0; evaluate with the same seed and
         // an equivalent budget for byte-identical plans and rows.
-        let (expected, _) = evaluate(&query, &db, method, &Budget::unlimited(), 0).unwrap();
+        let (expected, _) = Eval::new(&query, &db).method(method).run().unwrap();
         let response = client.run(&Request::new(PENTAGON, method)).unwrap();
         assert_eq!(
             response.rows,
@@ -56,25 +62,108 @@ fn wire_answers_match_library_evaluation_per_method() {
         );
         // And from the parallel executor, which is byte-identical by
         // construction.
-        let (par, _) = evaluate_parallel(&query, &db, method, &Budget::unlimited(), 0, 2).unwrap();
+        let (par, _) = Eval::new(&query, &db)
+            .method(method)
+            .threads(2)
+            .run()
+            .unwrap();
         assert_eq!(response.rows, par.tuples().to_vec());
         assert_eq!(response.columns, vec!["a", "b"]);
     }
 
-    // Re-running the lineup hits the cache for every method: no
-    // re-planning on the hot path.
+    // Re-running the lineup is served from the result cache for every
+    // method: no re-planning, no re-execution, byte-identical rows.
     let before: EngineStats = client.stats().unwrap();
     for method in all_methods() {
-        let response = client.run(&Request::new(PENTAGON, method)).unwrap();
-        assert!(response.cache_hit, "{} should be cached", method.name());
-        assert_eq!(response.plan_micros, 0, "cache hits must not re-plan");
+        let cold = client.run(&Request::new(PENTAGON, method)).unwrap();
+        assert!(cold.cache_hit, "{} should be cached", method.name());
+        assert!(cold.result_cache_hit, "{} should hit rows", method.name());
+        assert_eq!(cold.plan_micros, 0, "cache hits must not re-plan");
     }
     let after: EngineStats = client.stats().unwrap();
     assert_eq!(
-        after.cache.hits,
-        before.cache.hits + all_methods().len() as u64
+        after.results.hits,
+        before.results.hits + all_methods().len() as u64
     );
-    assert_eq!(after.cache.misses, before.cache.misses);
+    assert_eq!(after.results.misses, before.results.misses);
+    assert_eq!(after.cache.misses, before.cache.misses, "no re-planning");
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn catalog_mutations_invalidate_result_cache_over_the_wire() {
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
+    let mut server =
+        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Build a fresh 2-colorability database over the wire.
+    let v0 = client.create_db("two").expect("create");
+    let pairs = vec![vec![0, 1].into_boxed_slice(), vec![1, 0].into_boxed_slice()];
+    let v1 = client.load("two", "edge", pairs).expect("load");
+    assert!(v1 > v0, "load must bump the version");
+    client.use_db("two").expect("use");
+
+    // The 4-cycle is 2-colorable; its colorings under two colors are the
+    // two alternating assignments.
+    let square = "q(a, b) :- edge(a, b), edge(b, c), edge(c, d), edge(d, a)";
+    let req = Request::query(square).method(Method::BucketElimination(OrderHeuristic::Mcs));
+    let cold = client.run(&req).unwrap();
+    assert!(!cold.result_cache_hit);
+    assert_eq!(cold.rows.len(), 2);
+
+    // Cached replay is byte-identical to the cold execution.
+    let warm = client.run(&req).unwrap();
+    assert!(warm.result_cache_hit, "repeat must hit the result cache");
+    assert!(warm.cache_hit);
+    assert_eq!(warm.rows, cold.rows, "cached rows must be byte-identical");
+    assert_eq!(warm.columns, cold.columns);
+
+    // `add` bumps the version: the very next run misses both caches and
+    // sees the new data (a third color enlarges the answer set).
+    let v2 = client
+        .add("two", "edge", vec![0, 2].into_boxed_slice())
+        .expect("add");
+    assert!(v2 > v1, "add must bump the version");
+    for t in [[2, 0], [1, 2], [2, 1]] {
+        client
+            .add("two", "edge", t.to_vec().into_boxed_slice())
+            .expect("add");
+    }
+    let fresh = client.run(&req).unwrap();
+    assert!(
+        !fresh.result_cache_hit,
+        "version bump must invalidate results"
+    );
+    assert!(
+        !fresh.cache_hit,
+        "plans bind snapshot scans, so they re-plan"
+    );
+    assert!(
+        fresh.rows.len() > cold.rows.len(),
+        "new tuples must show up"
+    );
+
+    // …and the new version then caches in its own right.
+    assert!(client.run(&req).unwrap().result_cache_hit);
+
+    // `load` (replace) also bumps and invalidates: back to two colors,
+    // back to the original answers.
+    let pairs = vec![vec![0, 1].into_boxed_slice(), vec![1, 0].into_boxed_slice()];
+    let v3 = client.load("two", "edge", pairs).expect("reload");
+    assert!(v3 > v2);
+    let reloaded = client.run(&req).unwrap();
+    assert!(!reloaded.result_cache_hit, "load must invalidate results");
+    assert_eq!(reloaded.rows, cold.rows);
+
+    // Dropping the database ends the story: named access now fails.
+    client.drop_db("two").expect("drop");
+    assert!(matches!(
+        client.run(&req.clone().on("two")),
+        Err(ServiceError::UnknownDatabase(_))
+    ));
 
     server.shutdown();
     engine.shutdown();
@@ -83,16 +172,14 @@ fn wire_answers_match_library_evaluation_per_method() {
 #[test]
 fn saturated_server_sheds_load_with_overloaded() {
     // One worker and a one-slot queue: concurrent clients must observe
-    // typed overload errors, not unbounded queueing.
-    let engine = Engine::start(
-        color_db(),
-        EngineConfig {
-            workers: 1,
-            queue_capacity: 1,
-            max_inflight: 2,
-            ..EngineConfig::default()
-        },
-    );
+    // typed overload errors, not unbounded queueing. The result cache is
+    // off so every request really executes.
+    let mut cfg = EngineConfig::default();
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    cfg.max_inflight = 2;
+    cfg.result_cache_bytes = 0;
+    let engine = Engine::start(color_catalog(), cfg);
     let server = service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
     let addr = server.local_addr();
 
@@ -129,7 +216,7 @@ fn saturated_server_sheds_load_with_overloaded() {
 
 #[test]
 fn shutdown_is_graceful_and_then_refuses() {
-    let engine = Engine::start(color_db(), EngineConfig::default());
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
     let mut server =
         service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
@@ -149,7 +236,7 @@ fn shutdown_is_graceful_and_then_refuses() {
 }
 
 /// The real binary round-trips too: `ppr serve` on an ephemeral port,
-/// `ppr client` against it.
+/// `ppr client` against it — including the catalog verbs.
 #[test]
 fn ppr_binary_serve_and_client_round_trip() {
     use std::io::{BufRead, BufReader};
@@ -179,18 +266,32 @@ fn ppr_binary_serve_and_client_round_trip() {
         .recv_timeout(std::time::Duration::from_secs(30))
         .expect("serve never reported its address");
 
-    let out = Command::new(env!("CARGO_BIN_EXE_ppr"))
-        .args([
-            "client",
-            "--connect",
-            &addr,
-            "--rule",
-            "q(x, y) :- edge(x, y), edge(y, x)",
-            "--method",
-            "bucket",
-        ])
-        .output()
-        .expect("run ppr client");
+    let client = |args: &[&str]| {
+        let mut full = vec!["client", "--connect", &addr];
+        full.extend_from_slice(args);
+        Command::new(env!("CARGO_BIN_EXE_ppr"))
+            .args(&full)
+            .output()
+            .expect("run ppr client")
+    };
+
+    let out = client(&[
+        "--rule",
+        "q(x, y) :- edge(x, y), edge(y, x)",
+        "--method",
+        "bucket",
+    ]);
+    // Build a second database over the wire and query it by name.
+    let created = client(&["--create", "g2"]);
+    let loaded = client(&["--load", "g2 edge 0,1;1,0"]);
+    let named = client(&[
+        "--db",
+        "g2",
+        "--rule",
+        "q(x, y) :- edge(x, y), edge(y, x)",
+        "--method",
+        "bucket",
+    ]);
     let _ = serve.kill();
     let _ = serve.wait();
 
@@ -198,4 +299,14 @@ fn ppr_binary_serve_and_client_round_trip() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Ordered pairs of distinct colors in K3.
     assert!(stdout.contains("rows: 6"), "unexpected output: {stdout}");
+
+    assert!(created.status.success(), "create failed: {created:?}");
+    assert!(loaded.status.success(), "load failed: {loaded:?}");
+    assert!(named.status.success(), "named run failed: {named:?}");
+    let named_out = String::from_utf8_lossy(&named.stdout);
+    // Only the pair {0,1} in both orders.
+    assert!(
+        named_out.contains("rows: 2"),
+        "unexpected output: {named_out}"
+    );
 }
