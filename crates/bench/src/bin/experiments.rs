@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures from the command line.
 //!
 //! ```text
-//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--plot] [--threads N]
+//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--plot] [--threads N] [--pipeline N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          sat3 sat2 theorems
@@ -9,6 +9,11 @@
 //!          ablation-distinct ablation-join ablation-parallel
 //!          serve-throughput semijoin all
 //! ```
+//!
+//! `--pipeline N` only affects `serve-throughput`: it keeps `N` tagged
+//! requests in flight on one v2 connection (1 = the serial v1 protocol)
+//! and, when `N > 1`, also measures a pipeline-1 baseline so the report
+//! records the speedup.
 //!
 //! `--threads N` switches every sweep to the partitioned parallel executor
 //! with `N` worker threads (`0` = all cores; results are byte-identical to
@@ -51,6 +56,9 @@ fn main() {
             }
             "--threads" => {
                 cfg.threads = next_val(&args, &mut i);
+            }
+            "--pipeline" => {
+                cfg.pipeline = next_val(&args, &mut i);
             }
             "--plot" => {
                 plot = true;
@@ -204,7 +212,8 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: experiments <fig1..fig9|sat3|sat2|theorems|ablation-*|all> \
-         [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--threads N]"
+         [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--threads N] \
+         [--pipeline N]"
     );
     std::process::exit(2)
 }

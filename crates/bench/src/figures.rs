@@ -29,6 +29,10 @@ pub struct Config {
     /// Executor threads: 1 = serial pipelined executor, other values run
     /// the partitioned parallel executor (0 = all cores).
     pub threads: usize,
+    /// Client pipeline depth for `serve-throughput`: 1 drives the serial
+    /// v1 protocol, >1 keeps that many tagged requests in flight on one
+    /// v2 connection (and also measures a pipeline-1 baseline).
+    pub pipeline: usize,
 }
 
 impl Default for Config {
@@ -39,6 +43,7 @@ impl Default for Config {
             max_tuples: 20_000_000,
             full: false,
             threads: 1,
+            pipeline: 1,
         }
     }
 }
@@ -906,6 +911,7 @@ mod tests {
             max_tuples: 2_000_000,
             full: false,
             threads: 1,
+            pipeline: 1,
         }
     }
 
@@ -985,6 +991,7 @@ mod tests {
             max_tuples: 2_000_000,
             full: false,
             threads: 2,
+            pipeline: 1,
         };
         let mut out = Vec::new();
         let rows = ablation_parallel(&mut out, &cfg);

@@ -1,60 +1,123 @@
 //! Serving-layer throughput benchmark (`experiments serve-throughput`).
 //!
 //! Stands up a real [`ppr_service::Server`] on an ephemeral TCP port and
-//! drives it with the figure-4 workload (3-COLOR queries over random
-//! graphs at density 3) in two phases. A **cold pass** first runs each
-//! distinct query once, populating the plan and result caches; the timed
-//! **repeated-query phase** then hammers the same mix from concurrent
-//! clients, so its numbers measure the hot serving path itself: protocol,
-//! admission, result cache, executor. Reported per method: requests/sec,
-//! p50/p95 latency, the plan-cache hit rate, and the repeated-phase
-//! result-cache hit rate (the fraction of responses served without any
-//! execution at all).
+//! drives it over **one connection per method** — per-connection
+//! throughput is exactly what protocol pipelining changes, and a single
+//! client isolates that effect (concurrent serial clients already overlap
+//! their round trips across connections). The workload is the paper's
+//! many-small-queries regime: 3-COLOR queries over tiny paths, where
+//! per-request round-trip latency rather than execution dominates.
+//!
+//! Three phases per method, all over the same request list:
+//!
+//! 1. **warmup** (untimed) — throwaway seeds; absorbs first-touch costs.
+//! 2. **cold** (timed) — every request carries a fresh planner seed, and
+//!    both the plan cache and the result cache key on the seed, so every
+//!    request plans and executes.
+//! 3. **warm** (timed) — the cold requests replayed verbatim, so rows
+//!    come straight from the result cache.
+//!
+//! With `--pipeline N > 1` the connection speaks protocol v2 and keeps up
+//! to `N` tagged requests in flight (double-buffered half-`N` bursts); a
+//! pipeline-1 baseline connection to the **same server** is then also
+//! measured, its repetitions interleaved with the pipelined ones so both
+//! sides see the same host conditions, and the report records the
+//! cold/warm speedups (disjoint seed ranges keep the shared caches
+//! honest). Each timed phase is measured
+//! [`REPS`] times (fresh seeds per cold repetition) and the best
+//! repetition is reported. Per phase the report captures
+//! requests/sec, p50/p95 client-observed latency, the plan-cache hit rate
+//! (from engine counter deltas at the phase boundaries), the result-cache
+//! hit rate, and the deepest client window actually reached.
 
 use std::time::Instant;
 
 use ppr_core::methods::{Method, OrderHeuristic};
+use ppr_graph::{families, Graph};
 use ppr_query::Database;
-use ppr_service::{Catalog, Client, Engine, EngineConfig, Request, Server};
-use ppr_workload::{edge_relation, InstanceSpec, QueryShape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ppr_service::{
+    Catalog, Client, Engine, EngineConfig, EngineStats, Pipeline, Request, Server, Ticket,
+};
+use ppr_workload::edge_relation;
 
 use crate::figures::Config;
 use crate::harness::host_cpus;
 
-/// One method's measured serving throughput.
+/// One phase's measured serving numbers.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Requests that completed with rows.
+    pub ok: usize,
+    /// Requests that failed (budget, overload, transport).
+    pub errors: usize,
+    /// Wall-clock duration of the phase in milliseconds.
+    pub elapsed_ms: f64,
+    /// Completed requests per second.
+    pub reqs_per_sec: f64,
+    /// Median client-observed latency in milliseconds. Under pipelining
+    /// this includes time deliberately spent in flight behind the window,
+    /// so it is *expected* to exceed the serial figure while throughput
+    /// improves.
+    pub p50_ms: f64,
+    /// 95th-percentile client-observed latency in milliseconds.
+    pub p95_ms: f64,
+    /// Plan-cache hit rate over this phase (engine counter deltas). The
+    /// cold phase's fresh seeds miss by construction, and warm requests
+    /// are answered by the result cache before the planner is consulted,
+    /// so this workload keeps it near zero in both timed phases.
+    pub plan_cache_hit_rate: f64,
+    /// Fraction of this phase's responses served from the result cache.
+    pub result_cache_hit_rate: f64,
+    /// Deepest client window reached: tagged requests in flight at once
+    /// (1 for the serial driver).
+    pub window_depth: usize,
+}
+
+/// One method's measured serving throughput (cold and warm phases).
 #[derive(Debug, Clone)]
 pub struct ServeRow {
     /// Planning method requested over the wire.
     pub method: Method,
-    /// Repeated-phase requests that completed with rows.
-    pub ok: usize,
-    /// Repeated-phase requests that failed (budget, overload, transport).
-    pub errors: usize,
-    /// Wall-clock duration of the repeated phase in milliseconds.
-    pub elapsed_ms: f64,
-    /// Completed requests per second in the repeated phase.
-    pub reqs_per_sec: f64,
-    /// Median request latency in milliseconds.
-    pub p50_ms: f64,
-    /// 95th-percentile request latency in milliseconds.
-    pub p95_ms: f64,
-    /// Plan-cache hit rate over the whole run (cold pass included).
-    pub cache_hit_rate: f64,
-    /// Fraction of repeated-phase responses served from the result cache.
-    pub result_cache_hit_rate: f64,
+    /// Client pipeline depth driving the timed phases (1 = serial v1).
+    pub pipeline: usize,
+    /// Timed cold phase: fresh seeds, both caches miss on every request.
+    pub cold: PhaseStats,
+    /// Timed warm phase: the cold requests replayed, result-cache hits.
+    pub warm: PhaseStats,
     /// Executor threads the responses reported using (max observed).
     pub threads_used: u64,
+    /// Interleaved same-server pipeline-1 cold baseline (`pipeline > 1`).
+    pub baseline_cold: Option<PhaseStats>,
+    /// Interleaved same-server pipeline-1 warm baseline (`pipeline > 1`).
+    pub baseline_warm: Option<PhaseStats>,
+    /// Cold reqs/sec over the baseline's (only when `pipeline > 1`).
+    pub speedup_cold: Option<f64>,
+    /// Warm reqs/sec over the baseline's (only when `pipeline > 1`).
+    pub speedup_warm: Option<f64>,
 }
 
-/// Fixed drive shape: clients × requests-per-client per method.
-const CLIENTS: usize = 4;
-const REQUESTS_PER_CLIENT: usize = 30;
+/// Untimed requests absorbing first-touch costs before the cold phase.
+const WARMUP: usize = 64;
+
+/// Repetitions of each timed phase; the best one is reported. Single
+/// 20–50 ms runs on a shared host are dominated by scheduler noise, and
+/// the noise is one-sided (stalls only slow a run down), so best-of is
+/// the stable estimator of what the serving path can actually do. Every
+/// cold repetition uses its own seed range and stays honestly cold.
+const REPS: usize = 7;
+
+/// Timed requests per phase.
+fn requests_per_phase(cfg: &Config) -> usize {
+    if cfg.full {
+        8192
+    } else {
+        2048
+    }
+}
 
 /// Renders the 3-COLOR query of `graph` as wire text: one `edge` atom per
 /// graph edge, Boolean head.
-fn color_query_text(graph: &ppr_graph::Graph) -> String {
+fn color_query_text(graph: &Graph) -> String {
     let atoms: Vec<String> = graph
         .edges()
         .iter()
@@ -63,167 +126,395 @@ fn color_query_text(graph: &ppr_graph::Graph) -> String {
     format!("q() :- {}", atoms.join(", "))
 }
 
-/// The figure-4 query mix: one random graph per seed.
-fn workload_queries(cfg: &Config) -> Vec<String> {
-    let order = if cfg.full { 12 } else { 10 };
-    (0..cfg.seeds.max(1))
-        .map(|seed| {
-            let spec = InstanceSpec {
-                shape: QueryShape::Random {
-                    order,
-                    density: 3.0,
-                },
-                seed,
-                free_fraction: 0.0,
-            };
-            let mut rng = StdRng::seed_from_u64(seed);
-            color_query_text(&spec.graph(&mut rng))
+/// The many-small-queries mix: 3-COLOR over one- and two-edge paths.
+/// Tiny on purpose — this is the regime where round-trip overhead rather
+/// than execution dominates, which is exactly the cost pipelining
+/// removes; larger instances belong to the figure sweeps, not here.
+fn tiny_query_mix() -> Vec<String> {
+    vec![
+        color_query_text(&families::path(2)),
+        color_query_text(&families::path(3)),
+    ]
+}
+
+/// `count` requests cycling over `queries`, each with its own planner
+/// seed starting at `seed_base`. Distinct seeds are what make a phase
+/// cold: both the plan cache and the result cache key on the seed, so no
+/// request can hit an entry left by an earlier one.
+fn phase_requests(
+    queries: &[String],
+    method: Method,
+    count: usize,
+    seed_base: u64,
+) -> Vec<Request> {
+    (0..count)
+        .map(|i| {
+            let mut request = Request::new(queries[i % queries.len()].clone(), method);
+            request.seed = Some(seed_base + i as u64);
+            request
         })
         .collect()
 }
 
-/// Measures one method against a fresh server.
-fn drive_method(cfg: &Config, method: Method, queries: &[String]) -> ServeRow {
-    let mut db = Database::new();
-    db.add(edge_relation(3));
-    let mut engine_cfg = EngineConfig::default();
-    engine_cfg.workers = 4;
-    engine_cfg.queue_capacity = 256;
-    engine_cfg.exec_threads = cfg.threads.max(1);
-    engine_cfg.max_budget = cfg.budget();
-    let engine = Engine::start(Catalog::with_default(db), engine_cfg);
-    let mut server = Server::start("127.0.0.1:0", engine.handle()).expect("bind ephemeral port");
-    let addr = server.local_addr();
+/// Raw per-phase tallies before percentile/rate reduction.
+#[derive(Default)]
+struct PhaseRaw {
+    latencies_ms: Vec<f64>,
+    errors: usize,
+    result_hits: usize,
+    threads_used: u64,
+    elapsed_ms: f64,
+    window_depth: usize,
+}
 
-    // Cold pass: each distinct query once, populating both caches so the
-    // timed phase below measures the hot path.
-    {
-        let mut client = Client::connect(addr).expect("connect");
-        for query in queries {
-            let _ = client.run(&Request::new(query.clone(), method));
+/// The per-method connection: serial v1 [`Client`] or v2 [`Pipeline`].
+enum Driver {
+    Serial(Client),
+    Piped(Pipeline, usize),
+}
+
+impl Driver {
+    fn connect(addr: std::net::SocketAddr, depth: usize) -> Driver {
+        if depth > 1 {
+            Driver::Piped(Pipeline::connect(addr).expect("pipeline connect"), depth)
+        } else {
+            Driver::Serial(Client::connect(addr).expect("connect"))
         }
     }
 
-    // Repeated-query phase: concurrent clients cycling over the same mix.
-    let started = Instant::now();
-    let mut workers = Vec::new();
-    for c in 0..CLIENTS {
-        let queries: Vec<String> = queries.to_vec();
-        workers.push(std::thread::spawn(move || {
-            let mut client = Client::connect(addr).expect("connect");
-            let mut latencies_ms = Vec::with_capacity(REQUESTS_PER_CLIENT);
-            let mut errors = 0usize;
-            let mut result_hits = 0usize;
-            let mut threads_used = 0u64;
-            for i in 0..REQUESTS_PER_CLIENT {
-                let query = &queries[(c + i) % queries.len()];
-                let t0 = Instant::now();
-                match client.run(&Request::new(query.clone(), method)) {
-                    Ok(resp) => {
-                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-                        result_hits += resp.result_cache_hit as usize;
-                        threads_used = threads_used.max(resp.stats.threads_used);
-                    }
-                    Err(_) => errors += 1,
-                }
-            }
-            (latencies_ms, errors, result_hits, threads_used)
-        }));
-    }
-    let mut latencies = Vec::new();
-    let mut errors = 0;
-    let mut result_hits = 0;
-    let mut threads_used = 0;
-    for h in workers {
-        let (l, e, r, t) = h.join().expect("client thread");
-        latencies.extend(l);
-        errors += e;
-        result_hits += r;
-        threads_used = threads_used.max(t);
-    }
-    let elapsed = started.elapsed();
-
-    let hit_rate = engine.handle().stats().cache.hit_rate();
-    server.shutdown();
-    engine.shutdown();
-
-    latencies.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            f64::NAN
-        } else {
-            latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+    fn run_phase(&mut self, requests: &[Request]) -> PhaseRaw {
+        match self {
+            Driver::Serial(client) => run_serial_phase(client, requests),
+            Driver::Piped(pipe, depth) => run_piped_phase(pipe, *depth, requests),
         }
-    };
-    let ok = latencies.len();
-    ServeRow {
-        method,
-        ok,
-        errors,
-        elapsed_ms: elapsed.as_secs_f64() * 1e3,
-        reqs_per_sec: ok as f64 / elapsed.as_secs_f64(),
-        p50_ms: pct(0.50),
-        p95_ms: pct(0.95),
-        cache_hit_rate: hit_rate,
-        result_cache_hit_rate: if ok == 0 {
-            0.0
-        } else {
-            result_hits as f64 / ok as f64
-        },
-        threads_used,
     }
 }
 
-/// Runs the throughput sweep: one row per method over the same query mix.
+fn run_serial_phase(client: &mut Client, requests: &[Request]) -> PhaseRaw {
+    let mut raw = PhaseRaw {
+        window_depth: 1,
+        ..PhaseRaw::default()
+    };
+    let started = Instant::now();
+    for request in requests {
+        let t0 = Instant::now();
+        match client.run(request) {
+            Ok(resp) => {
+                raw.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                raw.result_hits += resp.result_cache_hit as usize;
+                raw.threads_used = raw.threads_used.max(resp.stats.threads_used);
+            }
+            Err(_) => raw.errors += 1,
+        }
+    }
+    raw.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    raw
+}
+
+/// Double-buffered half-window bursts: submit chunk `k+1` before
+/// redeeming chunk `k`'s tickets, so the server never drains while the
+/// client is writing and at most `depth` requests are in flight.
+fn run_piped_phase(pipe: &mut Pipeline, depth: usize, requests: &[Request]) -> PhaseRaw {
+    let mut raw = PhaseRaw::default();
+    let burst = (depth.min(pipe.window()) / 2).max(1);
+    let started = Instant::now();
+    let mut outstanding: Vec<(Ticket, Instant)> = Vec::new();
+    for chunk in requests.chunks(burst) {
+        let submitted: Vec<(Ticket, Instant)> = chunk
+            .iter()
+            .map(|request| {
+                (
+                    pipe.submit(request).expect("pipelined submit"),
+                    Instant::now(),
+                )
+            })
+            .collect();
+        raw.window_depth = raw.window_depth.max(pipe.in_flight());
+        for (ticket, t0) in outstanding.drain(..) {
+            redeem(pipe, ticket, t0, &mut raw);
+        }
+        outstanding = submitted;
+    }
+    for (ticket, t0) in outstanding {
+        redeem(pipe, ticket, t0, &mut raw);
+    }
+    raw.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    raw
+}
+
+fn redeem(pipe: &mut Pipeline, ticket: Ticket, t0: Instant, raw: &mut PhaseRaw) {
+    match pipe.wait(ticket) {
+        Ok(resp) => {
+            raw.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            raw.result_hits += resp.result_cache_hit as usize;
+            raw.threads_used = raw.threads_used.max(resp.stats.threads_used);
+        }
+        Err(_) => raw.errors += 1,
+    }
+}
+
+/// Reduces raw tallies to reported numbers; the engine-stat snapshots
+/// bracket the phase, so their cache-counter deltas are the phase's own
+/// plan-cache traffic.
+fn finish_phase(mut raw: PhaseRaw, before: &EngineStats, after: &EngineStats) -> PhaseStats {
+    raw.latencies_ms.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if raw.latencies_ms.is_empty() {
+            0.0
+        } else {
+            raw.latencies_ms[((raw.latencies_ms.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let ok = raw.latencies_ms.len();
+    let plan_hits = after.cache.hits - before.cache.hits;
+    let plan_total = plan_hits + (after.cache.misses - before.cache.misses);
+    PhaseStats {
+        ok,
+        errors: raw.errors,
+        elapsed_ms: raw.elapsed_ms,
+        reqs_per_sec: if raw.elapsed_ms > 0.0 {
+            ok as f64 / (raw.elapsed_ms / 1e3)
+        } else {
+            0.0
+        },
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        plan_cache_hit_rate: if plan_total == 0 {
+            0.0
+        } else {
+            plan_hits as f64 / plan_total as f64
+        },
+        result_cache_hit_rate: if ok == 0 {
+            0.0
+        } else {
+            raw.result_hits as f64 / ok as f64
+        },
+        window_depth: raw.window_depth,
+    }
+}
+
+/// Best-of-[`REPS`] cold/warm phases for one connection, interleaved by
+/// the caller with the other connection's repetitions.
+#[derive(Default)]
+struct BestPhases {
+    cold: Option<PhaseStats>,
+    warm: Option<PhaseStats>,
+    threads_used: u64,
+}
+
+impl BestPhases {
+    /// Runs one cold+warm repetition on `driver` and keeps it if it beat
+    /// the repetitions so far. `cold` must carry seeds no other phase has
+    /// used, so every request misses both caches.
+    fn repetition(
+        &mut self,
+        driver: &mut Driver,
+        handle: &ppr_service::EngineHandle,
+        cold: &[Request],
+    ) {
+        // Stat snapshots settle before each is read: every reply of the
+        // prior phase has been redeemed, and workers bump cache counters
+        // strictly before invoking the reply callback.
+        let before = handle.stats();
+        let cold_raw = driver.run_phase(cold);
+        let mid = handle.stats();
+        let warm_raw = driver.run_phase(cold);
+        let after = handle.stats();
+
+        self.threads_used = self
+            .threads_used
+            .max(cold_raw.threads_used)
+            .max(warm_raw.threads_used);
+        let better = |best: &Option<PhaseStats>, candidate: &PhaseStats| {
+            best.as_ref()
+                .is_none_or(|b| candidate.reqs_per_sec > b.reqs_per_sec)
+        };
+        let cold_stats = finish_phase(cold_raw, &before, &mid);
+        let warm_stats = finish_phase(warm_raw, &mid, &after);
+        if better(&self.cold, &cold_stats) {
+            self.cold = Some(cold_stats);
+        }
+        if better(&self.warm, &warm_stats) {
+            self.warm = Some(warm_stats);
+        }
+    }
+}
+
+/// Measures one method against a fresh server. When `depth > 1` the
+/// pipeline-1 baseline shares the server and **alternates repetitions**
+/// with the pipelined connection: both sides then see the same host
+/// conditions, so a machine-wide slowdown cannot masquerade as (or hide)
+/// a protocol speedup. The two connections use disjoint seed ranges, so
+/// neither can warm the other's cold phase.
+fn drive_method(
+    cfg: &Config,
+    method: Method,
+    depth: usize,
+    queries: &[String],
+    count: usize,
+) -> ServeRow {
+    let mut db = Database::new();
+    db.add(edge_relation(3));
+    let mut engine_cfg = EngineConfig::default();
+    engine_cfg.workers = 2;
+    engine_cfg.queue_capacity = 256;
+    engine_cfg.exec_threads = cfg.threads.max(1);
+    engine_cfg.max_budget = cfg.budget();
+    // Size both caches for the workload: every cold request inserts a
+    // fresh-seed plan and result, and the warm phase needs the whole
+    // repetition resident. Undersized caches would measure LRU churn on
+    // top of the serving path.
+    engine_cfg.cache_capacity = 4 * requests_per_phase(cfg);
+    engine_cfg.result_cache_bytes = 64 << 20;
+    let engine = Engine::start(Catalog::with_default(db), engine_cfg);
+    let handle = engine.handle();
+    let mut server = Server::start("127.0.0.1:0", engine.handle()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut driver = Driver::connect(addr, depth);
+    let _ = driver.run_phase(&phase_requests(queries, method, WARMUP, 1_000_000));
+    let mut baseline_driver = (depth > 1).then(|| {
+        let mut d = Driver::connect(addr, 1);
+        let _ = d.run_phase(&phase_requests(queries, method, WARMUP, 1_500_000));
+        d
+    });
+
+    let mut main = BestPhases::default();
+    let mut base = BestPhases::default();
+    for rep in 0..REPS {
+        let cold = phase_requests(queries, method, count, 2_000_000 + (rep * count) as u64);
+        main.repetition(&mut driver, &handle, &cold);
+        if let Some(d) = baseline_driver.as_mut() {
+            let cold = phase_requests(queries, method, count, 5_000_000 + (rep * count) as u64);
+            base.repetition(d, &handle, &cold);
+        }
+    }
+    drop(driver);
+    drop(baseline_driver);
+
+    server.shutdown();
+    engine.shutdown();
+
+    let (cold, warm) = (main.cold.expect("REPS >= 1"), main.warm.expect("REPS >= 1"));
+    let speedup = |phase: &PhaseStats, base: &Option<PhaseStats>| {
+        base.as_ref().map(|b| {
+            if b.reqs_per_sec > 0.0 {
+                phase.reqs_per_sec / b.reqs_per_sec
+            } else {
+                0.0
+            }
+        })
+    };
+    ServeRow {
+        method,
+        pipeline: depth,
+        threads_used: main.threads_used.max(base.threads_used),
+        speedup_cold: speedup(&cold, &base.cold),
+        speedup_warm: speedup(&warm, &base.warm),
+        cold,
+        warm,
+        baseline_cold: base.cold,
+        baseline_warm: base.warm,
+    }
+}
+
+/// Runs the throughput sweep: one row per method over the same query mix,
+/// plus an interleaved pipeline-1 baseline per method when `cfg.pipeline`
+/// asks for depth.
 pub fn serve_throughput_rows(cfg: &Config) -> Vec<ServeRow> {
-    let queries = workload_queries(cfg);
+    let queries = tiny_query_mix();
+    let count = requests_per_phase(cfg);
+    let depth = cfg.pipeline.max(1);
     [
         Method::Straightforward,
         Method::EarlyProjection,
         Method::BucketElimination(OrderHeuristic::Mcs),
     ]
     .into_iter()
-    .map(|m| drive_method(cfg, m, &queries))
+    .map(|method| drive_method(cfg, method, depth, &queries, count))
     .collect()
 }
 
 /// Prints the TSV (kept separate from measurement so the harness persists
-/// the JSON artifact before touching stdout).
+/// the JSON artifact before touching stdout). Baseline phases print as
+/// extra `pipeline=1` lines under their method.
 pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
     writeln!(
         w,
-        "method\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tcache_hit_rate\tresult_cache_hit_rate\tthreads_used"
+        "method\tpipeline\tphase\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tplan_cache_hit_rate\tresult_cache_hit_rate\twindow_depth\tspeedup"
     )
     .expect("write");
     for r in rows {
-        writeln!(
-            w,
-            "{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}",
-            r.method.name(),
-            r.ok,
-            r.errors,
-            r.reqs_per_sec,
-            r.p50_ms,
-            r.p95_ms,
-            r.cache_hit_rate,
-            r.result_cache_hit_rate,
-            r.threads_used
-        )
-        .expect("write");
+        let mut line = |phase: &str, pipeline: usize, p: &PhaseStats, speedup: Option<f64>| {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}",
+                r.method.name(),
+                pipeline,
+                phase,
+                p.ok,
+                p.errors,
+                p.reqs_per_sec,
+                p.p50_ms,
+                p.p95_ms,
+                p.plan_cache_hit_rate,
+                p.result_cache_hit_rate,
+                p.window_depth,
+                speedup.map_or_else(|| "-".to_string(), |s| format!("{s:.2}")),
+            )
+            .expect("write");
+        };
+        line("cold", r.pipeline, &r.cold, r.speedup_cold);
+        line("warm", r.pipeline, &r.warm, r.speedup_warm);
+        if let Some(b) = &r.baseline_cold {
+            line("cold", 1, b, None);
+        }
+        if let Some(b) = &r.baseline_warm {
+            line("warm", 1, b, None);
+        }
     }
 }
 
 /// Machine-readable report for `results/BENCH_serve.json` (hand-rolled,
 /// like the parallel report — no JSON dependency in the tree).
 pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
+    fn phase_json(p: &PhaseStats) -> String {
+        format!(
+            "{{\"ok\": {}, \"errors\": {}, \"elapsed_ms\": {:.1}, \"reqs_per_sec\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"plan_cache_hit_rate\": {:.3}, \
+             \"result_cache_hit_rate\": {:.3}, \"window_depth\": {}}}",
+            p.ok,
+            p.errors,
+            p.elapsed_ms,
+            p.reqs_per_sec,
+            p.p50_ms,
+            p.p95_ms,
+            p.plan_cache_hit_rate,
+            p.result_cache_hit_rate,
+            p.window_depth
+        )
+    }
+    fn opt_phase(p: &Option<PhaseStats>) -> String {
+        p.as_ref().map_or_else(|| "null".to_string(), phase_json)
+    }
+    fn opt_num(x: Option<f64>) -> String {
+        x.map_or_else(|| "null".to_string(), |v| format!("{v:.2}"))
+    }
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"serve_throughput\",\n");
     s.push_str(&format!("  \"host\": {{\"cpus\": {}}},\n", host_cpus()));
+    s.push_str(&format!("  \"pipeline\": {},\n", cfg.pipeline.max(1)));
     s.push_str(&format!(
-        "  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n"
+        "  \"requests_per_phase\": {},\n",
+        requests_per_phase(cfg)
     ));
-    s.push_str(&format!("  \"distinct_queries\": {},\n", cfg.seeds.max(1)));
-    s.push_str("  \"phases\": [\"cold_pass\", \"repeated_queries\"],\n");
+    s.push_str(&format!("  \"warmup_requests\": {WARMUP},\n"));
+    s.push_str(&format!("  \"repetitions\": {REPS},\n"));
+    s.push_str(&format!(
+        "  \"distinct_queries\": {},\n",
+        tiny_query_mix().len()
+    ));
+    s.push_str("  \"phases\": [\"warmup\", \"cold\", \"warm\"],\n");
     s.push_str(&format!("  \"timeout_ms\": {},\n", cfg.timeout.as_millis()));
     s.push_str(&format!(
         "  \"exec_threads_requested\": {},\n",
@@ -232,19 +523,19 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"method\": \"{}\", \"ok\": {}, \"errors\": {}, \"elapsed_ms\": {:.1}, \
-             \"reqs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
-             \"cache_hit_rate\": {:.3}, \"result_cache_hit_rate\": {:.3}, \"threads_used\": {}}}{}\n",
+            "    {{\"method\": \"{}\", \"pipeline\": {}, \"threads_used\": {},\n     \
+             \"cold\": {},\n     \"warm\": {},\n     \
+             \"baseline_cold\": {},\n     \"baseline_warm\": {},\n     \
+             \"speedup_cold\": {}, \"speedup_warm\": {}}}{}\n",
             r.method.name(),
-            r.ok,
-            r.errors,
-            r.elapsed_ms,
-            r.reqs_per_sec,
-            r.p50_ms,
-            r.p95_ms,
-            r.cache_hit_rate,
-            r.result_cache_hit_rate,
+            r.pipeline,
             r.threads_used,
+            phase_json(&r.cold),
+            phase_json(&r.warm),
+            opt_phase(&r.baseline_cold),
+            opt_phase(&r.baseline_warm),
+            opt_num(r.speedup_cold),
+            opt_num(r.speedup_warm),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -265,32 +556,68 @@ mod tests {
             max_tuples: 20_000_000,
             full: false,
             threads: 1,
+            pipeline: 4,
         };
-        let queries = workload_queries(&cfg);
+        let queries = tiny_query_mix();
         assert_eq!(queries.len(), 2);
-        assert!(queries[0].starts_with("q() :- edge(v"));
+        assert!(queries.iter().all(|q| q.starts_with("q() :- edge(v")));
 
-        let row = drive_method(
-            &cfg,
-            Method::BucketElimination(OrderHeuristic::Mcs),
-            &queries,
-        );
-        assert_eq!(row.ok + row.errors, CLIENTS * REQUESTS_PER_CLIENT);
-        assert_eq!(row.errors, 0, "no request should fail on this workload");
-        assert!(row.reqs_per_sec > 0.0);
-        assert!(row.p95_ms >= row.p50_ms);
-        // The cold pass saw both distinct queries, so the repeated phase
-        // should be served (almost) entirely from the result cache.
+        // Pipelined main run with its interleaved serial baseline.
+        let row = drive_method(&cfg, Method::EarlyProjection, 4, &queries, 48);
+        let (cold, warm) = (&row.cold, &row.warm);
+        assert_eq!(cold.ok + cold.errors, 48);
+        assert_eq!(cold.errors, 0, "no request should fail on this workload");
+        assert_eq!(warm.errors, 0);
+        assert!(cold.reqs_per_sec > 0.0);
+        assert!(cold.p95_ms >= cold.p50_ms);
         assert!(
-            row.result_cache_hit_rate > 0.9,
-            "result-cache hit rate {} too low",
-            row.result_cache_hit_rate
+            cold.window_depth >= 2 && cold.window_depth <= 4,
+            "window depth {} outside the requested pipeline",
+            cold.window_depth
+        );
+        // Fresh per-request seeds keep the cold phase honest for BOTH
+        // caches (each keys on the seed)…
+        assert!(
+            cold.result_cache_hit_rate < 0.1,
+            "cold result-cache hit rate {} — phase is not cold",
+            cold.result_cache_hit_rate
+        );
+        assert!(
+            cold.plan_cache_hit_rate < 0.1,
+            "cold plan-cache hit rate {} — phase is not cold",
+            cold.plan_cache_hit_rate
+        );
+        // …and replaying the identical requests serves from the result
+        // cache without touching planner or executor.
+        assert!(
+            warm.result_cache_hit_rate > 0.9,
+            "warm result-cache hit rate {} too low",
+            warm.result_cache_hit_rate
         );
 
-        let json = serve_report_json(&cfg, &[row]);
+        // The serial baseline rode along on the same server, over the
+        // untagged v1 protocol, with its own cold seed range.
+        let scold = row.baseline_cold.as_ref().expect("baseline measured");
+        let swarm = row.baseline_warm.as_ref().expect("baseline measured");
+        assert_eq!(scold.window_depth, 1);
+        assert_eq!(scold.errors, 0);
+        assert!(scold.result_cache_hit_rate < 0.1);
+        assert!(swarm.result_cache_hit_rate > 0.9);
+        assert!(row.speedup_cold.is_some() && row.speedup_warm.is_some());
+
+        // A pipeline-1 run measures no baseline at all.
+        let serial_row = drive_method(&cfg, Method::EarlyProjection, 1, &queries, 16);
+        assert_eq!(serial_row.cold.window_depth, 1);
+        assert!(serial_row.baseline_cold.is_none());
+        assert!(serial_row.speedup_cold.is_none());
+
+        let json = serve_report_json(&cfg, &[row, serial_row]);
         assert!(json.contains("\"benchmark\": \"serve_throughput\""));
         assert!(json.contains("\"host\": {\"cpus\": "));
-        assert!(json.contains("\"result_cache_hit_rate\""));
-        assert!(json.contains("\"phases\": [\"cold_pass\", \"repeated_queries\"]"));
+        assert!(json.contains("\"plan_cache_hit_rate\""));
+        assert!(json.contains("\"window_depth\""));
+        assert!(json.contains("\"speedup_cold\""));
+        assert!(json.contains("\"baseline_cold\": null"));
+        assert!(json.contains("\"phases\": [\"warmup\", \"cold\", \"warm\"]"));
     }
 }

@@ -47,10 +47,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
-use crate::catalog::{Catalog, DEFAULT_DB};
+use crate::catalog::{Catalog, DbSnapshot, DEFAULT_DB};
 use crate::queue::{BoundedQueue, PushError};
 use crate::result_cache::{CachedResult, ResultCache, ResultCacheStats, ResultKey};
 use crate::ServiceError;
+
+/// Completion callback for an asynchronously submitted request. Invoked
+/// exactly once — with the response, or with the admission/refusal error.
+pub type ReplyFn = Box<dyn FnOnce(Result<Response, ServiceError>) + Send + 'static>;
 
 /// One query request, embedded or decoded from the wire.
 ///
@@ -219,7 +223,11 @@ impl Default for EngineConfig {
 
 struct Job {
     request: Request,
-    reply: mpsc::Sender<Result<Response, ServiceError>>,
+    /// Snapshot pinned at submission time (batch submission): the worker
+    /// skips catalog resolution and every request of the batch evaluates
+    /// against the same published version.
+    pinned: Option<(String, DbSnapshot)>,
+    reply: ReplyFn,
 }
 
 struct Shared {
@@ -259,13 +267,127 @@ pub struct EngineHandle {
 }
 
 impl EngineHandle {
+    /// The largest per-connection pipeline window that admission control
+    /// can never shed: a lone client with at most this many requests in
+    /// flight always fits both the in-flight cap and the queue outright,
+    /// so backpressure (not `Overloaded`) is what bounds it.
+    pub fn safe_window(&self) -> usize {
+        self.shared
+            .queue
+            .capacity()
+            .min(self.shared.max_inflight)
+            .max(1)
+    }
+
     /// Submits `request` and blocks until its result. Fast-fails with
     /// [`ServiceError::Overloaded`] under saturation and
     /// [`ServiceError::ShuttingDown`] during drain.
     pub fn execute(&self, request: Request) -> Result<Response, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(request, move |result| {
+            let _ = tx.send(result);
+        });
+        rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Submits `request` without waiting: `on_done` is invoked exactly
+    /// once — from a worker thread with the response, or inline with the
+    /// admission error ([`ServiceError::Overloaded`] /
+    /// [`ServiceError::ShuttingDown`]). This is the pipelining primitive:
+    /// a connection can keep many requests in flight and complete them
+    /// out of order.
+    pub fn submit<F>(&self, request: Request, on_done: F)
+    where
+        F: FnOnce(Result<Response, ServiceError>) + Send + 'static,
+    {
+        self.submit_job(Job {
+            request,
+            pinned: None,
+            reply: Box::new(on_done),
+        });
+    }
+
+    /// Submits a whole batch against one database under **one** catalog
+    /// lookup and **one** queue lock: the snapshot of `db` (the engine
+    /// default when `None`) is resolved once and pinned into every
+    /// request of the batch, so the batch evaluates against a single
+    /// published version and submission does no per-request locking.
+    /// Every callback is invoked exactly once, as in [`submit`].
+    ///
+    /// Requests carrying their own `db` field are still evaluated against
+    /// `db` — callers group requests by effective database first.
+    ///
+    /// [`submit`]: EngineHandle::submit
+    pub fn submit_batch(&self, db: Option<&str>, batch: Vec<(Request, ReplyFn)>) {
+        if batch.is_empty() {
+            return;
+        }
         let s = &self.shared;
         if !s.accepting.load(Ordering::Acquire) {
-            return Err(ServiceError::ShuttingDown);
+            for (_, reply) in batch {
+                reply(Err(ServiceError::ShuttingDown));
+            }
+            return;
+        }
+        let name = db.unwrap_or(DEFAULT_DB);
+        let Some(snapshot) = s.catalog.snapshot(name) else {
+            for (_, reply) in batch {
+                reply(Err(ServiceError::UnknownDatabase(name.to_string())));
+            }
+            return;
+        };
+        // Reserve in-flight slots for the whole batch at once; the
+        // suffix that does not fit under the cap is refused without ever
+        // touching the queue.
+        let want = batch.len();
+        let prior = s.inflight.fetch_add(want, Ordering::AcqRel);
+        let granted = s.max_inflight.saturating_sub(prior).min(want);
+        if granted < want {
+            s.inflight.fetch_sub(want - granted, Ordering::AcqRel);
+        }
+        let mut batch = batch;
+        let refused: Vec<(Request, ReplyFn)> = batch.split_off(granted);
+        let jobs: Vec<Job> = batch
+            .into_iter()
+            .map(|(request, reply)| Job {
+                request,
+                pinned: Some((name.to_string(), snapshot.clone())),
+                reply,
+            })
+            .collect();
+        match s.queue.try_push_batch(jobs) {
+            Ok(()) => {}
+            Err(PushError::Full(tail)) => {
+                for job in tail {
+                    s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    s.rejected.fetch_add(1, Ordering::Relaxed);
+                    (job.reply)(Err(ServiceError::Overloaded {
+                        inflight: prior,
+                        capacity: s.max_inflight,
+                    }));
+                }
+            }
+            Err(PushError::Closed(all)) => {
+                for job in all {
+                    s.inflight.fetch_sub(1, Ordering::AcqRel);
+                    (job.reply)(Err(ServiceError::ShuttingDown));
+                }
+            }
+        }
+        for (_, reply) in refused {
+            s.rejected.fetch_add(1, Ordering::Relaxed);
+            reply(Err(ServiceError::Overloaded {
+                inflight: prior,
+                capacity: s.max_inflight,
+            }));
+        }
+    }
+
+    fn submit_job(&self, job: Job) {
+        let s = &self.shared;
+        if !s.accepting.load(Ordering::Acquire) {
+            (job.reply)(Err(ServiceError::ShuttingDown));
+            return;
         }
         // Reserve an in-flight slot before touching the queue so the cap
         // covers queued *and* executing requests.
@@ -273,25 +395,25 @@ impl EngineHandle {
         if prior >= s.max_inflight {
             s.inflight.fetch_sub(1, Ordering::AcqRel);
             s.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(ServiceError::Overloaded {
+            (job.reply)(Err(ServiceError::Overloaded {
                 inflight: prior,
                 capacity: s.max_inflight,
-            });
+            }));
+            return;
         }
-        let (tx, rx) = mpsc::channel();
-        match s.queue.try_push(Job { request, reply: tx }) {
-            Ok(()) => rx.recv().unwrap_or(Err(ServiceError::ShuttingDown)),
-            Err(PushError::Full(_)) => {
+        match s.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => {
                 s.inflight.fetch_sub(1, Ordering::AcqRel);
                 s.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(ServiceError::Overloaded {
+                (job.reply)(Err(ServiceError::Overloaded {
                     inflight: prior,
                     capacity: s.max_inflight,
-                })
+                }));
             }
-            Err(PushError::Closed(_)) => {
+            Err(PushError::Closed(job)) => {
                 s.inflight.fetch_sub(1, Ordering::AcqRel);
-                Err(ServiceError::ShuttingDown)
+                (job.reply)(Err(ServiceError::ShuttingDown));
             }
         }
     }
@@ -381,22 +503,34 @@ impl Engine {
     }
 }
 
+/// Jobs a worker drains per queue lock. Bounded so one worker cannot
+/// hoard a burst while its siblings idle; small enough that a pipelined
+/// batch still spreads across the pool.
+const WORKER_BATCH: usize = 8;
+
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        // Panic isolation: requests come off the wire, and a panic
-        // escaping `process` would kill this worker *and* leak its
-        // in-flight slot — enough such requests would empty the pool and
-        // leave later admitted requests waiting forever. Known-bad inputs
-        // are rejected with typed errors before they can panic; this is
-        // the backstop for the unknown ones.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process(shared, &job.request)
-        }))
-        .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload.as_ref()))));
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        shared.inflight.fetch_sub(1, Ordering::AcqRel);
-        // A vanished caller (client disconnected mid-request) is fine.
-        let _ = job.reply.send(result);
+    // Batch pop: under pipelined load the queue holds whole bursts, and
+    // draining one per lock acquisition made the mutex+condvar round trip
+    // a per-request cost. A lone queued job still pops immediately —
+    // `pop_batch` never waits for a full batch.
+    while let Some(jobs) = shared.queue.pop_batch(WORKER_BATCH) {
+        for job in jobs {
+            // Panic isolation: requests come off the wire, and a panic
+            // escaping `process` would kill this worker *and* leak its
+            // in-flight slot — enough such requests would empty the pool
+            // and leave later admitted requests waiting forever.
+            // Known-bad inputs are rejected with typed errors before they
+            // can panic; this is the backstop for the unknown ones.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                process(shared, &job.request, job.pinned.as_ref())
+            }))
+            .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload.as_ref()))));
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            // The callback owns delivery; a vanished caller (client
+            // disconnected mid-request) just makes it a no-op.
+            (job.reply)(result);
+        }
     }
 }
 
@@ -430,14 +564,26 @@ fn check_relations(query: &ConjunctiveQuery, db: &Database) -> Result<(), Servic
     Ok(())
 }
 
-fn process(shared: &Shared, request: &Request) -> Result<Response, ServiceError> {
-    let db_name = request.db.as_deref().unwrap_or(DEFAULT_DB);
+fn process(
+    shared: &Shared,
+    request: &Request,
+    pinned: Option<&(String, DbSnapshot)>,
+) -> Result<Response, ServiceError> {
     // One snapshot for the whole request: concurrent catalog mutations
     // publish new versions beside it and never tear this evaluation.
-    let snapshot = shared
-        .catalog
-        .snapshot(db_name)
-        .ok_or_else(|| ServiceError::UnknownDatabase(db_name.to_string()))?;
+    // Batch submission already pinned one; single submission resolves it
+    // here.
+    let (db_name, snapshot) = match pinned {
+        Some((name, snap)) => (name.as_str(), snap.clone()),
+        None => {
+            let name = request.db.as_deref().unwrap_or(DEFAULT_DB);
+            let snap = shared
+                .catalog
+                .snapshot(name)
+                .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))?;
+            (name, snap)
+        }
+    };
 
     let query = ppr_query::parse_query(&request.query).map_err(|e| ServiceError::Parse(e.0))?;
     check_relations(&query, &snapshot.db)?;
@@ -803,6 +949,102 @@ mod tests {
         let stats = h.stats();
         assert_eq!(stats.rejected as usize, overloaded);
         engine.shutdown();
+    }
+
+    #[test]
+    fn submit_completes_out_of_band_and_batch_pins_one_snapshot() {
+        let engine = Engine::start(three_color_catalog(), small_cfg());
+        let h = engine.handle();
+
+        // Async single submission: the callback fires with the answer.
+        let (tx, rx) = mpsc::channel();
+        h.submit(pentagon_request(Method::EarlyProjection), move |r| {
+            let _ = tx.send(r);
+        });
+        let resp = rx.recv().unwrap().unwrap();
+        assert!(!resp.rows.is_empty());
+
+        // Batch submission: all requests resolve against the snapshot
+        // pinned at submit time, so a mutation racing in *after* the
+        // submit is invisible to the whole batch.
+        let reqs = ["q(x, y) :- edge(x, y), edge(y, x)"; 4];
+        let (tx, rx) = mpsc::channel();
+        let batch: Vec<(Request, ReplyFn)> = reqs
+            .iter()
+            .map(|q| {
+                let tx = tx.clone();
+                let reply: ReplyFn = Box::new(move |r| {
+                    let _ = tx.send(r);
+                });
+                (Request::query(*q), reply)
+            })
+            .collect();
+        h.submit_batch(None, batch);
+        // Mutate immediately; batched requests may still be queued, but
+        // their pinned snapshot predates this version bump.
+        h.catalog()
+            .add(DEFAULT_DB, "edge", vec![7, 8].into())
+            .unwrap();
+        let rows: Vec<_> = (0..reqs.len())
+            .map(|_| rx.recv().unwrap().unwrap().rows)
+            .collect();
+        for r in &rows {
+            assert_eq!(r, &rows[0], "one snapshot per batch");
+            assert_eq!(r.len(), 6, "pre-mutation K3 answer");
+        }
+
+        // Batch against an unknown database fails every callback.
+        let (tx, rx) = mpsc::channel();
+        let reply: ReplyFn = Box::new(move |r| {
+            let _ = tx.send(r);
+        });
+        h.submit_batch(
+            Some("nope"),
+            vec![(Request::query("q() :- edge(x, y)"), reply)],
+        );
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_beyond_inflight_cap_refuses_the_tail_only() {
+        let cfg = EngineConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_inflight: 3,
+            ..Default::default()
+        };
+        let engine = Engine::start(three_color_catalog(), cfg);
+        let h = engine.handle();
+        let (tx, rx) = mpsc::channel();
+        let batch: Vec<(Request, ReplyFn)> = (0..6)
+            .map(|_| {
+                let tx = tx.clone();
+                let reply: ReplyFn = Box::new(move |r| {
+                    let _ = tx.send(r);
+                });
+                (pentagon_request(Method::EarlyProjection), reply)
+            })
+            .collect();
+        h.submit_batch(None, batch);
+        let results: Vec<_> = (0..6).map(|_| rx.recv().unwrap()).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let overloaded = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServiceError::Overloaded { .. })))
+            .count();
+        assert_eq!(ok + overloaded, 6);
+        // 3 slots granted under the cap; of those, at least the 2 that
+        // fit the queue outright are answered (the third also lands when
+        // a worker drains in time). Everything past the cap is refused.
+        assert!(ok >= 2, "admitted requests must be answered: {ok}");
+        assert!(overloaded >= 3, "the tail over the cap must be refused");
+        assert_eq!(h.stats().rejected as usize, overloaded);
+        engine.shutdown();
+        assert_eq!(h.stats().inflight, 0, "no slots leaked");
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod server;
 
 pub use cache::{CacheStats, PlanCache};
 pub use catalog::{Catalog, CatalogError, DbSnapshot, DbVersion, DEFAULT_DB};
-pub use client::Client;
+pub use client::{Client, Pipeline, Ticket};
 pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response};
 pub use result_cache::{ResultCache, ResultCacheStats};
 pub use server::Server;

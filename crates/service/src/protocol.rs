@@ -1,61 +1,12 @@
-//! The newline-delimited wire format.
+//! The newline-delimited wire format: encoding and decoding.
 //!
-//! One request per line, one response line per request, UTF-8, no framing
-//! beyond `\n` — inspectable with `nc` and implementable in any language
-//! in a dozen lines. The grammar:
-//!
-//! ```text
-//! command   = run | use | create | drop | load | add | stats | ping
-//! run       = "run" [" db=" name] " method=" method [" max_tuples=" u64]
-//!             [" timeout_ms=" u64] [" seed=" u64] " rule=" text-to-eol
-//! use       = "use " name          ; select the connection's session db
-//! create    = "create " name       ; new empty database
-//! drop      = "drop " name         ; remove a database
-//! load      = "load " name " " name " " tuples   ; replace one relation
-//! add       = "add " name " " name " " tuple     ; append one tuple
-//! tuples    = tuple *( ";" tuple )
-//! tuple     = u32 *( "," u32 )
-//! name      = 1*( ALPHA / DIGIT / "_" / "-" / "." )
-//!
-//! reply     = ok-run | ok-ack | ok-stats | "ok pong" | err
-//! ok-run    = "ok cache_hit=" bit " result_hit=" bit " plan_us=" u64
-//!             " elapsed_us=" u64 " cpu_us=" u64 " tuples=" u64
-//!             " materializations=" u64 " join_stages=" u64
-//!             " max_arity=" u64 " threads=" u64 " cols=" names
-//!             " rows=" u64 " data=" tuples
-//! ok-ack    = "ok db=" name [" version=" u64]    ; version absent on drop
-//! err       = "err kind=" kind *( " " key "=" value ) [" msg=" text-to-eol]
-//! ```
-//!
-//! A worked session:
-//!
-//! ```text
-//! → create graphs
-//! ← ok db=graphs version=2
-//! → load graphs edge 1,2;2,3;3,1
-//! ← ok db=graphs version=3
-//! → use graphs
-//! ← ok db=graphs version=3
-//! → run method=bucket-mcs rule=q() :- edge(x,y), edge(y,z), edge(z,x)
-//! ← ok cache_hit=0 result_hit=0 plan_us=41 … cols= rows=1 data=
-//! → run method=bucket-mcs rule=q() :- edge(x,y), edge(y,z), edge(z,x)
-//! ← ok cache_hit=1 result_hit=1 plan_us=0 … cols= rows=1 data=
-//! → add graphs edge 3,2
-//! ← ok db=graphs version=4                       ; invalidates both caches
-//! → stats
-//! ← ok served=2 rejected=0 inflight=0 hits=0 misses=1 evictions=0
-//!      collisions=0 cache_len=1 r_hits=1 r_misses=1 r_evictions=0
-//!      r_collisions=0 r_oversized=0 r_len=1 r_bytes=210 r_cap=8388608
-//! ← err kind=unknown_db msg=nope                 (single line on the wire)
-//! ```
-//!
-//! `run` without `db=` targets the connection's session database (set by
-//! `use`), falling back to `default`. Result rows ride in `data=` as
-//! `;`-separated tuples of `,`-separated values (values are `u32`, so
-//! both separators are unambiguous); row order is the executor's
-//! deterministic order, which keeps responses byte-identical to
-//! library-level evaluation — whether served cold or from the result
-//! cache.
+//! **The protocol specification lives in `docs/PROTOCOL.md` (repository
+//! root) — the one source of truth** for the grammar (v1 untagged and v2
+//! tagged), every verb, the full `err kind=` matrix, and worked serial
+//! and pipelined sessions. In one breath: one UTF-8 request per line, one
+//! response line per request; a v2 client may tag requests with `id=` and
+//! keep many in flight, and the server echoes the tag on every `ok`/`err`
+//! line while completing them out of order.
 
 use ppr_core::methods::Method;
 use ppr_relalg::budget::BudgetKind;
@@ -69,6 +20,10 @@ use crate::ServiceError;
 /// Hard cap on accepted line length (1 MiB): a wire peer cannot make the
 /// server buffer unboundedly.
 pub const MAX_LINE: usize = 1 << 20;
+
+/// Highest protocol version this build speaks. v1 is the untagged
+/// serial protocol; v2 adds `id=` tags and out-of-order completion.
+pub const PROTO_VERSION: u32 = 2;
 
 /// A decoded client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +59,14 @@ pub enum Command {
     Stats,
     /// Liveness check.
     Ping,
+    /// Protocol negotiation: the highest version the client speaks.
+    /// v1 clients never send this, which is the whole compatibility
+    /// story — a connection is serial-untagged until `hello proto=2`.
+    Hello {
+        /// Highest protocol version the client speaks (≥ 2; v1 has no
+        /// `hello`).
+        proto: u32,
+    },
 }
 
 /// Acknowledgement of a catalog verb: the database acted on and its
@@ -203,6 +166,7 @@ pub fn encode_command(cmd: &Command) -> String {
         }
         Command::Stats => "stats".to_string(),
         Command::Ping => "ping".to_string(),
+        Command::Hello { proto } => format!("hello proto={proto}"),
     }
 }
 
@@ -219,6 +183,16 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
     match verb {
         "ping" => Ok(Command::Ping),
         "stats" => Ok(Command::Stats),
+        "hello" => {
+            let Some(v) = rest.trim().strip_prefix("proto=") else {
+                return perr("hello needs proto=");
+            };
+            let proto: u32 = parse_num("proto", v)?;
+            if proto < 2 {
+                return perr(format!("hello proto={proto} is below 2 (v1 has no hello)"));
+            }
+            Ok(Command::Hello { proto })
+        }
         "use" | "create" | "drop" => {
             let name = rest.trim();
             check_name("database", name)?;
@@ -304,6 +278,131 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
 fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, ServiceError> {
     v.parse()
         .map_err(|_| ServiceError::Protocol(format!("bad value for {key}: {v}")))
+}
+
+/// Splits the optional v2 pipeline tag off a request line. The tag is
+/// always the **first** token after the verb (`run id=7 method=…`,
+/// `use id=8 graphs`), so stripping it leaves a line the v1 decoder
+/// understands unchanged — one decoder, two protocol versions.
+///
+/// Returns the id (if present) and the de-tagged line. A malformed id
+/// value is a protocol error: the reply for such a line cannot be
+/// tagged, so the server answers it untagged.
+pub fn split_request_tag(line: &str) -> Result<(Option<u64>, String), ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let Some((verb, rest)) = line.split_once(' ') else {
+        return Ok((None, line.to_string()));
+    };
+    let (first, tail) = match rest.split_once(' ') {
+        Some((f, t)) => (f, Some(t)),
+        None => (rest, None),
+    };
+    let Some(v) = first.strip_prefix("id=") else {
+        return Ok((None, line.to_string()));
+    };
+    let id: u64 = parse_num("id", v)?;
+    let stripped = match tail {
+        Some(t) => format!("{verb} {t}"),
+        None => verb.to_string(),
+    };
+    Ok((Some(id), stripped))
+}
+
+/// Tags a request line with a pipeline id, splicing `id=N` in as the
+/// first token after the verb (the inverse of [`split_request_tag`]).
+pub fn tag_request(id: u64, line: &str) -> String {
+    match line.split_once(' ') {
+        Some((verb, rest)) => format!("{verb} id={id} {rest}"),
+        None => format!("{line} id={id}"),
+    }
+}
+
+/// Tags a reply line with the request's id: `ok …` → `ok id=N …`,
+/// `err …` → `err id=N …`. The payload after the tag is byte-identical
+/// to the untagged reply — pipelining changes ordering, never content.
+pub fn tag_reply(id: u64, line: &str) -> String {
+    for prefix in ["ok", "err"] {
+        if let Some(rest) = line.strip_prefix(prefix) {
+            if rest.is_empty() {
+                return format!("{prefix} id={id}");
+            }
+            if let Some(rest) = rest.strip_prefix(' ') {
+                return format!("{prefix} id={id} {rest}");
+            }
+        }
+    }
+    debug_assert!(false, "tag_reply on a non-reply line: `{line}`");
+    line.to_string()
+}
+
+/// Splits the id tag off a reply line (the inverse of [`tag_reply`]):
+/// returns the id, if tagged, and the payload line any v1 decoder
+/// (`decode_result`, `decode_ack`, `decode_stats`) understands.
+pub fn split_reply_tag(line: &str) -> Result<(Option<u64>, String), ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    for prefix in ["ok ", "err "] {
+        let Some(rest) = line.strip_prefix(prefix) else {
+            continue;
+        };
+        let (first, tail) = match rest.split_once(' ') {
+            Some((f, t)) => (f, Some(t)),
+            None => (rest, None),
+        };
+        let Some(v) = first.strip_prefix("id=") else {
+            break;
+        };
+        let id: u64 = parse_num("id", v)?;
+        let payload = match tail {
+            Some(t) => format!("{}{t}", prefix),
+            None => prefix.trim_end().to_string(),
+        };
+        return Ok((Some(id), payload));
+    }
+    Ok((None, line.to_string()))
+}
+
+/// The server's answer to `hello`: the negotiated protocol version and
+/// the per-connection in-flight window (how many tagged requests may be
+/// outstanding before the server stops reading — backpressure, not
+/// rejection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Negotiated protocol version (`min(client, PROTO_VERSION)`).
+    pub proto: u32,
+    /// Per-connection in-flight window size.
+    pub window: usize,
+}
+
+/// Encodes the handshake acceptance line.
+pub fn encode_hello_ok(ack: &HelloAck) -> String {
+    format!("ok proto={} window={}", ack.proto, ack.window)
+}
+
+/// Decodes the server's `hello` reply.
+pub fn decode_hello_ok(line: &str) -> Result<HelloAck, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected hello ack, got `{line}`"));
+    };
+    let mut proto = None;
+    let mut window = None;
+    for tok in rest.split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "proto" => proto = Some(parse_num(k, v)?),
+            "window" => window = Some(parse_num(k, v)?),
+            _ => return perr(format!("unknown key `{k}`")),
+        }
+    }
+    match (proto, window) {
+        (Some(proto), Some(window)) => Ok(HelloAck { proto, window }),
+        _ => perr("hello ack needs proto= and window="),
+    }
 }
 
 /// Encodes a catalog-verb outcome as one `ok`/`err` line.
@@ -905,6 +1004,186 @@ mod tests {
         }
         for name in ALL {
             assert!(covered.contains(name), "no sample for variant {name}");
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_v1_never_spoke_it() {
+        let cmd = Command::Hello { proto: 2 };
+        let line = encode_command(&cmd);
+        assert_eq!(line, "hello proto=2");
+        assert_eq!(decode_command(&line).unwrap(), cmd);
+        // A client may ask for a future version; the server caps it.
+        assert_eq!(
+            decode_command("hello proto=9").unwrap(),
+            Command::Hello { proto: 9 }
+        );
+        for bad in ["hello", "hello proto=1", "hello proto=x", "hello 2"] {
+            assert!(
+                matches!(decode_command(bad), Err(ServiceError::Protocol(_))),
+                "`{bad}` should be rejected"
+            );
+        }
+        let ack = HelloAck {
+            proto: 2,
+            window: 128,
+        };
+        let line = encode_hello_ok(&ack);
+        assert_eq!(line, "ok proto=2 window=128");
+        assert_eq!(decode_hello_ok(&line).unwrap(), ack);
+        assert!(decode_hello_ok("ok proto=2").is_err());
+        assert!(matches!(
+            decode_hello_ok("err kind=protocol msg=nope"),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn request_tags_split_off_cleanly() {
+        // Tagged lines: the id comes off, the rest is a v1 line.
+        let (id, rest) = split_request_tag("run id=7 method=sf rule=q() :- e(x,y)\n").unwrap();
+        assert_eq!(id, Some(7));
+        assert_eq!(rest, "run method=sf rule=q() :- e(x,y)");
+        let (id, rest) = split_request_tag("use id=8 graphs").unwrap();
+        assert_eq!(id, Some(8));
+        assert_eq!(rest, "use graphs");
+        let (id, rest) = split_request_tag("ping id=9").unwrap();
+        assert_eq!(id, Some(9));
+        assert_eq!(rest, "ping");
+        // Untagged lines pass through byte-identical.
+        for line in [
+            "run method=sf rule=q() :- e(x,y)",
+            "use graphs",
+            "ping",
+            "stats",
+        ] {
+            assert_eq!(split_request_tag(line).unwrap(), (None, line.to_string()));
+        }
+        // `id=` anywhere but the first slot is not a tag (rule text may
+        // legitimately contain it after `rule=`).
+        let (id, rest) = split_request_tag("run method=sf rule=q() :- id(x)").unwrap();
+        assert_eq!(id, None);
+        assert_eq!(rest, "run method=sf rule=q() :- id(x)");
+        // Malformed ids are protocol errors, not silently untagged.
+        assert!(matches!(
+            split_request_tag("run id=abc method=sf rule=q() :- e(x,y)"),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn reply_tags_are_spliced_after_the_status_word() {
+        let cases = [
+            ("ok pong", "ok id=3 pong"),
+            ("ok db=graphs version=2", "ok id=3 db=graphs version=2"),
+            ("err kind=shutting_down", "err id=3 kind=shutting_down"),
+        ];
+        for (plain, tagged) in cases {
+            assert_eq!(tag_reply(3, plain), tagged);
+            assert_eq!(
+                split_reply_tag(tagged).unwrap(),
+                (Some(3), plain.to_string())
+            );
+        }
+        // Untagged replies split to themselves.
+        assert_eq!(
+            split_reply_tag("ok pong").unwrap(),
+            (None, "ok pong".to_string())
+        );
+        assert!(matches!(
+            split_reply_tag("ok id=zzz pong"),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    mod tag_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A small corpus of representative request lines, indexed so
+        /// proptest can pick one (the vendored shim has no string
+        /// strategies).
+        fn request_line(which: u32) -> String {
+            match which % 5 {
+                0 => encode_request(&sample_request()),
+                1 => "use graphs".to_string(),
+                2 => "load g1 edge 1,2;2,3".to_string(),
+                3 => "stats".to_string(),
+                _ => "ping".to_string(),
+            }
+        }
+
+        fn reply_line(which: u32) -> String {
+            match which % 4 {
+                0 => encode_result(&Ok(sample_response())),
+                1 => encode_ack(&Ok(Ack {
+                    db: "graphs".into(),
+                    version: Some(DbVersion(3)),
+                })),
+                2 => encode_result(&Err(ServiceError::UnknownDatabase("nope".into()))),
+                _ => "ok pong".to_string(),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Any id survives tag → split on any request line, and the
+            /// de-tagged remainder decodes exactly like the original.
+            #[test]
+            fn tagged_requests_round_trip(id in 0u64..u64::MAX, which in 0u32..5) {
+                let plain = request_line(which);
+                let tagged = tag_request(id, &plain);
+                let (got, rest) = split_request_tag(&tagged).unwrap();
+                prop_assert_eq!(got, Some(id));
+                prop_assert_eq!(&rest, &plain);
+                prop_assert_eq!(
+                    decode_command(&rest).unwrap(),
+                    decode_command(&plain).unwrap()
+                );
+            }
+
+            /// Any id survives tag → split on any reply line, restoring
+            /// the payload byte-for-byte.
+            #[test]
+            fn tagged_replies_round_trip(id in 0u64..u64::MAX, which in 0u32..4) {
+                let plain = reply_line(which);
+                let tagged = tag_reply(id, &plain);
+                let (got, payload) = split_reply_tag(&tagged).unwrap();
+                prop_assert_eq!(got, Some(id));
+                prop_assert_eq!(payload, plain);
+            }
+
+            /// Out-of-order interleaving demuxes losslessly: tag a batch
+            /// of distinct replies with distinct ids, deliver them
+            /// rotated, and each id still maps back to its own payload.
+            #[test]
+            fn interleaved_replies_demux_by_id(
+                ids in prop::collection::vec(0u64..u64::MAX, 2..10),
+                rot in 0usize..10,
+            ) {
+                let mut ids = ids;
+                ids.sort_unstable();
+                ids.dedup();
+                let expected: Vec<(u64, String)> = ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (id, reply_line(i as u32)))
+                    .collect();
+                let mut wire: Vec<String> =
+                    expected.iter().map(|(id, p)| tag_reply(*id, p)).collect();
+                let k = rot % wire.len();
+                wire.rotate_left(k);
+                let mut got: Vec<(u64, String)> = wire
+                    .iter()
+                    .map(|line| {
+                        let (id, payload) = split_reply_tag(line).unwrap();
+                        (id.expect("every line was tagged"), payload)
+                    })
+                    .collect();
+                got.sort_by_key(|(id, _)| *id);
+                prop_assert_eq!(got, expected);
+            }
         }
     }
 

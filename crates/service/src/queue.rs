@@ -59,15 +59,55 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
-    /// Dequeues, blocking while the queue is open and empty. Returns
-    /// `None` once the queue is closed *and* drained — consumers see every
-    /// item pushed before `close`, which is what makes engine shutdown
-    /// graceful.
-    pub fn pop(&self) -> Option<T> {
+    /// Enqueues a whole batch under **one** lock acquisition — the point
+    /// of pipelined submission is that a burst of requests costs one
+    /// mutex round trip, not one per request. Items that do not fit are
+    /// handed back: `Full(tail)` carries the unpushed suffix (everything
+    /// before it was enqueued), `Closed(all)` hands the whole batch back.
+    pub fn try_push_batch(&self, mut items: Vec<T>) -> Result<(), PushError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(items));
+        }
+        let free = self.capacity.saturating_sub(state.items.len());
+        let take = free.min(items.len());
+        for item in items.drain(..take) {
+            state.items.push_back(item);
+        }
+        drop(state);
+        match take {
+            0 => {}
+            1 => self.available.notify_one(),
+            _ => self.available.notify_all(),
+        }
+        if items.is_empty() {
+            Ok(())
+        } else {
+            Err(PushError::Full(items))
+        }
+    }
+
+    /// Dequeues up to `max` items under **one** lock acquisition,
+    /// blocking while the queue is open and empty. Returns as soon as
+    /// anything is available — it never waits to fill the batch, so a
+    /// lone item pops with the latency of a plain single-item pop.
+    /// FIFO order is preserved within the returned batch. Returns `None`
+    /// once the queue is closed *and* drained — consumers see every item
+    /// pushed before `close`, which is what makes engine shutdown
+    /// graceful. This is the consumer half of pipelined submission: a
+    /// burst pushed by [`try_push_batch`] is drained with one mutex
+    /// round trip instead of one per item.
+    ///
+    /// [`try_push_batch`]: BoundedQueue::try_push_batch
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(item) = state.items.pop_front() {
-                return Some(item);
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max.max(1));
+                return Some(state.items.drain(..take).collect());
             }
             if state.closed {
                 return None;
@@ -82,6 +122,11 @@ impl<T> BoundedQueue<T> {
         self.available.notify_all();
     }
 
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Items currently queued (racy; for stats only).
     #[cfg(test)]
     pub fn len(&self) -> usize {
@@ -94,13 +139,19 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    /// Single-item pop for tests, on top of the batch primitive.
+    fn pop1<T>(q: &BoundedQueue<T>) -> Option<T> {
+        q.pop_batch(1)
+            .map(|mut batch| batch.pop().expect("non-empty batch"))
+    }
+
     #[test]
     fn fifo_order() {
         let q = BoundedQueue::new(4);
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(pop1(&q), Some(1));
+        assert_eq!(pop1(&q), Some(2));
     }
 
     #[test]
@@ -112,20 +163,68 @@ mod tests {
     }
 
     #[test]
+    fn batch_push_fills_then_hands_back_the_tail() {
+        let q = BoundedQueue::new(3);
+        q.try_push(0).unwrap();
+        // 3 items into 2 free slots: 1 and 2 land, 3 comes back.
+        let leftover = match q.try_push_batch(vec![1, 2, 3]) {
+            Err(PushError::Full(tail)) => tail,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(leftover, vec![3]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(pop1(&q), Some(0));
+        assert_eq!(pop1(&q), Some(1));
+        assert_eq!(pop1(&q), Some(2));
+        // With room again, the whole batch fits.
+        q.try_push_batch(vec![7, 8]).unwrap();
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push_batch(vec![9]), Err(PushError::Closed(vec![9])));
+        assert_eq!(q.try_push_batch(Vec::new()), Ok(()));
+    }
+
+    #[test]
+    fn batch_pop_drains_up_to_max_without_waiting_for_more() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        // Never more than max, FIFO within the batch.
+        assert_eq!(q.pop_batch(3), Some(vec![0, 1, 2]));
+        // Never waits to fill: returns what is there.
+        assert_eq!(q.pop_batch(3), Some(vec![3, 4]));
+        q.try_push(9).unwrap();
+        // A degenerate max still makes progress.
+        assert_eq!(q.pop_batch(0), Some(vec![9]));
+        q.close();
+        assert_eq!(q.pop_batch(3), None);
+    }
+
+    #[test]
+    fn batch_pop_sees_items_pushed_before_close() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(4), Some(vec![1]));
+        assert_eq!(q.pop_batch(4), None);
+    }
+
+    #[test]
     fn close_drains_then_ends() {
         let q = BoundedQueue::new(4);
         q.try_push(1).unwrap();
         q.close();
         assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), None);
+        assert_eq!(pop1(&q), Some(1));
+        assert_eq!(pop1(&q), None);
     }
 
     #[test]
     fn close_wakes_blocked_consumers() {
         let q = Arc::new(BoundedQueue::<u32>::new(4));
         let q2 = q.clone();
-        let h = std::thread::spawn(move || q2.pop());
+        let h = std::thread::spawn(move || pop1(&q2));
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(h.join().unwrap(), None);
@@ -153,7 +252,7 @@ mod tests {
             let q = q.clone();
             consumers.push(std::thread::spawn(move || {
                 let mut got = Vec::new();
-                while let Some(x) = q.pop() {
+                while let Some(x) = pop1(&q) {
                     got.push(x);
                 }
                 got

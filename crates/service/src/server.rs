@@ -1,28 +1,51 @@
 //! Blocking `std::net` TCP server for the line protocol.
 //!
-//! One OS thread per connection, no async runtime. That is a deliberate
-//! fit for this engine: concurrency is limited by the engine's bounded
-//! queue and in-flight cap, not by connection count, so connection
-//! threads spend their lives blocked in `read` — cheap — and admission
-//! control (not the accept loop) is what sheds load. Graceful shutdown
-//! needs no reactor either: the accept loop polls a stop flag through a
+//! One OS thread per connection for the read side plus one for the
+//! write side, no async runtime. That is a deliberate fit for this
+//! engine: concurrency is limited by the engine's bounded queue and
+//! in-flight cap, not by connection count, so connection threads spend
+//! their lives blocked in `read` — cheap — and admission control (not
+//! the accept loop) is what sheds load. Graceful shutdown needs no
+//! reactor either: the accept loop polls a stop flag through a
 //! nonblocking listener, and connection threads poll the same flag
 //! through short read timeouts, so `shutdown()` converges in one poll
 //! interval.
+//!
+//! A connection starts in protocol v1: strictly serial, untagged, one
+//! reply per request in order. `hello proto=2` upgrades it to v2, where
+//! the client may tag requests with `id=` and keep up to [`WINDOW`] of
+//! them in flight; the reader thread demuxes tags, groups consecutive
+//! tagged `run`s against the same database into one batch submission
+//! (one catalog snapshot, one queue lock), and completions flow back
+//! through the writer thread in whatever order the engine finishes
+//! them. A full window is handled by **not reading the socket** — TCP
+//! backpressure — never by synthesizing `Overloaded`; rejection remains
+//! the engine's admission decision. See `docs/PROTOCOL.md` for the wire
+//! grammar and `docs/ARCHITECTURE.md` for the request lifecycle.
 
+use std::collections::HashSet;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::engine::EngineHandle;
-use crate::protocol::{self, Ack, Command, MAX_LINE};
+use crate::engine::{EngineHandle, ReplyFn, Request};
+use crate::protocol::{self, Ack, Command, HelloAck, MAX_LINE};
 use crate::ServiceError;
 
 /// How often blocked I/O re-checks the stop flag.
 const POLL: Duration = Duration::from_millis(25);
+
+/// Upper bound on the per-connection in-flight window for protocol v2:
+/// how many tagged requests may be outstanding before the reader stops
+/// draining the socket. Window-full is backpressure, not an error — the
+/// client's writes stall in TCP until completions free slots. The
+/// effective window is capped at [`EngineHandle::safe_window`] so a
+/// lone well-behaved pipelined client is throttled by backpressure,
+/// never shed by admission control.
+pub const WINDOW: usize = 128;
 
 /// A running TCP front-end over an [`EngineHandle`].
 pub struct Server {
@@ -119,6 +142,82 @@ impl Drop for Server {
     }
 }
 
+/// The v2 in-flight window: the set of tagged ids awaiting completion.
+/// Doubles as the duplicate-id detector — an id stays reserved from the
+/// moment the reader accepts it until its completion callback fires.
+struct Window {
+    state: Mutex<HashSet<u64>>,
+    freed: Condvar,
+    capacity: usize,
+}
+
+enum TryReserve {
+    Reserved,
+    Duplicate,
+    Full,
+}
+
+impl Window {
+    fn new(capacity: usize) -> Window {
+        Window {
+            state: Mutex::new(HashSet::new()),
+            freed: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn try_reserve(&self, id: u64) -> TryReserve {
+        let mut set = self.state.lock().expect("window lock");
+        if set.contains(&id) {
+            TryReserve::Duplicate
+        } else if set.len() >= self.capacity {
+            TryReserve::Full
+        } else {
+            set.insert(id);
+            TryReserve::Reserved
+        }
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.state.lock().expect("window lock").contains(&id)
+    }
+
+    /// Blocks until at least one slot is free (or `stop` is raised).
+    /// While the reader sits here it is not reading the socket — that
+    /// unread socket is the backpressure.
+    fn wait_for_room(&self, stop: &AtomicBool) -> bool {
+        let mut set = self.state.lock().expect("window lock");
+        loop {
+            if set.len() < self.capacity {
+                return true;
+            }
+            if stop.load(Ordering::Acquire) {
+                return false;
+            }
+            set = self.freed.wait_timeout(set, POLL).expect("window lock").0;
+        }
+    }
+
+    fn release(&self, id: u64) {
+        self.state.lock().expect("window lock").remove(&id);
+        self.freed.notify_one();
+    }
+}
+
+/// Per-connection state shared by the command handlers.
+struct Conn {
+    engine: EngineHandle,
+    /// Reply lines (without trailing newline) bound for the writer thread.
+    tx: mpsc::Sender<String>,
+    /// Negotiated protocol version: 1 until `hello proto=2` arrives.
+    proto: u32,
+    /// The connection's session database, set by `use`; `run` lines
+    /// without an explicit `db=` target it (engine default otherwise).
+    session_db: Option<String>,
+    window: Arc<Window>,
+    stop: Arc<AtomicBool>,
+}
+
 fn serve_connection(stream: TcpStream, engine: EngineHandle, stop: Arc<AtomicBool>) {
     // Short read timeouts make the blocking read loop responsive to the
     // stop flag without a reactor.
@@ -127,67 +226,238 @@ fn serve_connection(stream: TcpStream, engine: EngineHandle, stop: Arc<AtomicBoo
     }
     let _ = stream.set_nodelay(true);
     let mut reader = stream;
-    let mut writer = match reader.try_clone() {
+    let writer = match reader.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
 
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer_thread = std::thread::spawn(move || write_loop(writer, rx));
+
+    let window = Arc::new(Window::new(WINDOW.min(engine.safe_window())));
+    let mut conn = Conn {
+        engine,
+        tx,
+        proto: 1,
+        session_db: None,
+        window,
+        stop,
+    };
+
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
-    // The connection's session database, set by `use`; `run` lines
-    // without an explicit `db=` target it (engine default otherwise).
-    let mut session_db: Option<String> = None;
+    let mut lines: Vec<String> = Vec::new();
     loop {
-        // Process every complete line already buffered before reading more.
+        // Process every complete line already buffered before reading
+        // more: in v2 this is what lets a burst of tagged requests become
+        // one batch submission.
         while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = pending.drain(..=nl).collect();
-            let line = String::from_utf8_lossy(&line[..nl]);
-            let reply = handle_line(&line, &engine, &mut session_db);
-            if writer
-                .write_all(reply.as_bytes())
-                .and_then(|_| writer.write_all(b"\n"))
-                .is_err()
-            {
-                return;
-            }
+            let raw: Vec<u8> = pending.drain(..=nl).collect();
+            lines.push(String::from_utf8_lossy(&raw[..nl]).into_owned());
+        }
+        if !lines.is_empty() && process_lines(&mut conn, std::mem::take(&mut lines)).is_err() {
+            break;
         }
         if pending.len() > MAX_LINE {
-            let _ = writer.write_all(b"err kind=protocol msg=line too long\n");
-            return;
+            let _ = conn
+                .tx
+                .send("err kind=protocol msg=line too long".to_string());
+            break;
         }
-        if stop.load(Ordering::Acquire) {
-            return;
+        if conn.stop.load(Ordering::Acquire) {
+            break;
         }
         match reader.read(&mut chunk) {
-            Ok(0) => return, // peer closed
+            Ok(0) => break, // peer closed
             Ok(n) => pending.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
+            Err(_) => break,
+        }
+    }
+    // Drop the reader's Sender; the writer keeps draining replies for
+    // jobs still in flight (their callbacks hold Sender clones) and
+    // exits once the last completion fires.
+    drop(conn);
+    let _ = writer_thread.join();
+}
+
+/// The connection's write half: single consumer of the reply channel.
+/// Consecutive ready replies are coalesced into one `write_all` — under
+/// pipelining this is the difference between one syscall per reply and
+/// one per burst.
+fn write_loop(mut writer: TcpStream, rx: mpsc::Receiver<String>) {
+    while let Ok(line) = rx.recv() {
+        let mut buf = line.into_bytes();
+        buf.push(b'\n');
+        while buf.len() < 64 * 1024 {
+            match rx.try_recv() {
+                Ok(more) => {
+                    buf.extend_from_slice(more.as_bytes());
+                    buf.push(b'\n');
+                }
+                Err(_) => break,
+            }
+        }
+        if writer.write_all(&buf).is_err() {
+            return;
         }
     }
 }
 
-fn handle_line(line: &str, engine: &EngineHandle, session_db: &mut Option<String>) -> String {
+fn send(conn: &Conn, line: String) -> Result<(), ()> {
+    conn.tx.send(line).map_err(|_| ())
+}
+
+/// Handles a chunk of complete request lines. Consecutive tagged `run`s
+/// against the same effective database accumulate into one batch; the
+/// batch is flushed — pinning its catalog snapshot — before any other
+/// command is handled, which is what keeps pipelined execution
+/// serially equivalent around `use`/`load`/`add`.
+fn process_lines(conn: &mut Conn, lines: Vec<String>) -> Result<(), ()> {
+    let mut batch: Vec<(u64, Request)> = Vec::new();
+    let mut batch_db: Option<String> = None;
+    for line in lines {
+        if conn.proto < 2 {
+            // v1: strictly serial, byte-identical to the pre-pipelining
+            // server (the writer channel preserves order — the reader is
+            // its only producer here).
+            let reply = dispatch_untagged(&line, conn);
+            send(conn, reply)?;
+            continue;
+        }
+        match protocol::split_request_tag(&line) {
+            Ok((Some(id), rest)) => match protocol::decode_command(&rest) {
+                Ok(Command::Run(mut request)) => {
+                    if request.db.is_none() {
+                        request.db = conn.session_db.clone();
+                    }
+                    if !batch.is_empty() && batch_db != request.db {
+                        flush_batch(conn, &mut batch, batch_db.take());
+                    }
+                    batch_db = request.db.clone();
+                    loop {
+                        match conn.window.try_reserve(id) {
+                            TryReserve::Reserved => {
+                                batch.push((id, request));
+                                break;
+                            }
+                            TryReserve::Duplicate => {
+                                send(conn, protocol::tag_reply(id, &duplicate_id(id)))?;
+                                break;
+                            }
+                            TryReserve::Full => {
+                                // Submit what we have — those jobs free
+                                // slots as they complete — then block.
+                                flush_batch(conn, &mut batch, batch_db.clone());
+                                if !conn.window.wait_for_room(&conn.stop) {
+                                    return Err(());
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(cmd) => {
+                    // Tagged catalog verbs / ping / stats complete
+                    // synchronously on the reader thread, after the
+                    // pending runs have pinned their snapshots.
+                    flush_batch(conn, &mut batch, batch_db.take());
+                    let reply = if conn.window.contains(id) {
+                        duplicate_id(id)
+                    } else {
+                        handle_command(cmd, conn)
+                    };
+                    send(conn, protocol::tag_reply(id, &reply))?;
+                }
+                Err(e) => {
+                    send(
+                        conn,
+                        protocol::tag_reply(id, &protocol::encode_result(&Err(e))),
+                    )?;
+                }
+            },
+            Ok((None, _)) => {
+                // Untagged lines remain legal after the upgrade and run
+                // serially on the reader thread, exactly like v1.
+                flush_batch(conn, &mut batch, batch_db.take());
+                let reply = dispatch_untagged(&line, conn);
+                send(conn, reply)?;
+            }
+            Err(e) => {
+                // A malformed id cannot tag its own error reply.
+                send(conn, protocol::encode_result(&Err(e)))?;
+            }
+        }
+    }
+    flush_batch(conn, &mut batch, batch_db);
+    Ok(())
+}
+
+fn duplicate_id(id: u64) -> String {
+    protocol::encode_result(&Err(ServiceError::Protocol(format!(
+        "id {id} already in flight"
+    ))))
+}
+
+/// Submits the accumulated batch: one catalog snapshot and one queue
+/// lock for the lot. Each job's completion callback tags its reply,
+/// hands it to the writer thread, and frees its window slot.
+fn flush_batch(conn: &Conn, batch: &mut Vec<(u64, Request)>, db: Option<String>) {
+    if batch.is_empty() {
+        return;
+    }
+    let jobs: Vec<(Request, ReplyFn)> = batch
+        .drain(..)
+        .map(|(id, request)| {
+            let tx = conn.tx.clone();
+            let window = conn.window.clone();
+            let reply: ReplyFn = Box::new(move |result| {
+                let _ = tx.send(protocol::tag_reply(id, &protocol::encode_result(&result)));
+                window.release(id);
+            });
+            (request, reply)
+        })
+        .collect();
+    conn.engine.submit_batch(db.as_deref(), jobs);
+}
+
+fn dispatch_untagged(line: &str, conn: &mut Conn) -> String {
     if line.trim().is_empty() {
         return protocol::encode_result(&Err(ServiceError::Protocol("empty line".into())));
     }
     match protocol::decode_command(line) {
-        Ok(Command::Ping) => "ok pong".to_string(),
-        Ok(Command::Stats) => protocol::encode_stats(&engine.stats()),
-        Ok(Command::Run(mut request)) => {
+        Ok(cmd) => handle_command(cmd, conn),
+        Err(e) => protocol::encode_result(&Err(e)),
+    }
+}
+
+fn handle_command(cmd: Command, conn: &mut Conn) -> String {
+    match cmd {
+        Command::Hello { proto } => {
+            // Negotiate down to what this build speaks; the client asked
+            // for ≥ 2 (the decoder enforces it), so the connection is
+            // tagged from the next line on.
+            conn.proto = proto.min(protocol::PROTO_VERSION);
+            protocol::encode_hello_ok(&HelloAck {
+                proto: conn.proto,
+                window: conn.window.capacity,
+            })
+        }
+        Command::Ping => "ok pong".to_string(),
+        Command::Stats => protocol::encode_stats(&conn.engine.stats()),
+        Command::Run(mut request) => {
             if request.db.is_none() {
-                request.db = session_db.clone();
+                request.db = conn.session_db.clone();
             }
-            protocol::encode_result(&engine.execute(request))
+            protocol::encode_result(&conn.engine.execute(request))
         }
         // Catalog verbs run on the connection thread, not the worker
         // queue: mutations are O(tiny database), and admission control
         // exists to bound query execution, not metadata traffic.
-        Ok(Command::Use(db)) => {
-            let ack = match engine.catalog().snapshot(&db) {
+        Command::Use(db) => {
+            let ack = match conn.engine.catalog().snapshot(&db) {
                 Some(snap) => {
-                    *session_db = Some(db.clone());
+                    conn.session_db = Some(db.clone());
                     Ok(Ack {
                         db,
                         version: Some(snap.version),
@@ -197,8 +467,9 @@ fn handle_line(line: &str, engine: &EngineHandle, session_db: &mut Option<String
             };
             protocol::encode_ack(&ack)
         }
-        Ok(Command::Create(db)) => {
-            let ack = engine
+        Command::Create(db) => {
+            let ack = conn
+                .engine
                 .catalog()
                 .create(&db)
                 .map(|version| Ack {
@@ -208,22 +479,24 @@ fn handle_line(line: &str, engine: &EngineHandle, session_db: &mut Option<String
                 .map_err(ServiceError::from);
             protocol::encode_ack(&ack)
         }
-        Ok(Command::Drop(db)) => {
-            let ack = engine
+        Command::Drop(db) => {
+            let ack = conn
+                .engine
                 .catalog()
                 .drop_db(&db)
                 .map(|()| {
                     // A dropped session database falls back to the default.
-                    if session_db.as_deref() == Some(db.as_str()) {
-                        *session_db = None;
+                    if conn.session_db.as_deref() == Some(db.as_str()) {
+                        conn.session_db = None;
                     }
                     Ack { db, version: None }
                 })
                 .map_err(ServiceError::from);
             protocol::encode_ack(&ack)
         }
-        Ok(Command::Load { db, rel, tuples }) => {
-            let ack = engine
+        Command::Load { db, rel, tuples } => {
+            let ack = conn
+                .engine
                 .catalog()
                 .load(&db, &rel, tuples)
                 .map(|version| Ack {
@@ -233,8 +506,9 @@ fn handle_line(line: &str, engine: &EngineHandle, session_db: &mut Option<String
                 .map_err(ServiceError::from);
             protocol::encode_ack(&ack)
         }
-        Ok(Command::Add { db, rel, tuple }) => {
-            let ack = engine
+        Command::Add { db, rel, tuple } => {
+            let ack = conn
+                .engine
                 .catalog()
                 .add(&db, &rel, tuple)
                 .map(|version| Ack {
@@ -244,6 +518,5 @@ fn handle_line(line: &str, engine: &EngineHandle, session_db: &mut Option<String
                 .map_err(ServiceError::from);
             protocol::encode_ack(&ack)
         }
-        Err(e) => protocol::encode_result(&Err(e)),
     }
 }

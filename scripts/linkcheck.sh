@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Offline link check for the repo's markdown: every relative link in
+# README.md and docs/*.md must point at a file or directory that exists.
+# External (http/https/mailto) links are skipped — CI has no network —
+# and pure-anchor links (#section) are checked only for non-emptiness.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+files=(README.md docs/*.md)
+
+for md in "${files[@]}"; do
+  [ -f "$md" ] || { echo "linkcheck: missing markdown file $md" >&2; fail=1; continue; }
+  dir=$(dirname "$md")
+  # Inline links/images: capture the (...) target after ](, strip any
+  # trailing #anchor. Code fences can't contain ](…) by accident often,
+  # but tolerate false negatives rather than parsing markdown fully.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;
+      '') echo "$md: empty link target" >&2; fail=1; continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "$md: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//; s/ "[^"]*"$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "linkcheck: FAILED" >&2
+  exit 1
+fi
+echo "linkcheck: ok (${#files[@]} files)"

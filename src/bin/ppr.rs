@@ -15,9 +15,11 @@
 //!            [--timeout-ms T]
 //! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
 //!            [--db NAME | --use NAME] [--max-tuples N] [--timeout-ms T]
-//!            [--seed S] [--stats] [--ping]
+//!            [--seed S] [--pipeline N] [--stats] [--ping]
 //! ppr client [--connect HOST:PORT] (--create NAME | --drop NAME |
 //!            --load 'DB REL 1,2;2,3' | --add 'DB REL 1,2')
+//! ppr bench-pipe [--connect HOST:PORT] [--requests N] [--pipeline W]
+//!            [--method M] [--colors K]
 //! ```
 //!
 //! Methods: `naive`, `straightforward`, `early`, `reorder`, `bucket`
@@ -47,11 +49,12 @@ fn main() {
         "width" => cmd_width(&flags),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(&flags),
+        "bench-pipe" => cmd_bench_pipe(&flags),
         _ => die(USAGE),
     }
 }
 
-const USAGE: &str = "usage: ppr <color|sat|query|width|serve|client> [flags]\n  see `src/bin/ppr.rs` header for flags";
+const USAGE: &str = "usage: ppr <color|sat|query|width|serve|client|bench-pipe> [flags]\n  see `src/bin/ppr.rs` header for flags";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -500,6 +503,54 @@ fn cmd_client(flags: &Flags) {
     request.max_tuples = flags.get("max-tuples").map(|_| flags.num("max-tuples", 0));
     request.timeout_ms = flags.get("timeout-ms").map(|_| flags.num("timeout-ms", 0));
     request.seed = flags.get("seed").map(|_| flags.num("seed", 0));
+    // --pipeline N repeats the request N times over one pipelined (v2)
+    // connection: the whole burst is in flight at once.
+    let depth: usize = flags.num("pipeline", 1);
+    if depth > 1 {
+        use projection_pushing::service::Pipeline;
+        let mut pipe = Pipeline::connect(addr)
+            .unwrap_or_else(|e| die(&format!("cannot pipeline to {addr}: {e}")));
+        if let Some(name) = flags.get("use") {
+            let t = pipe
+                .submit_use(name)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            pipe.wait_ack(t).unwrap_or_else(|e| die(&e.to_string()));
+        }
+        let requests = vec![request; depth];
+        let started = std::time::Instant::now();
+        let results = pipe
+            .run_batch(&requests)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        let elapsed = started.elapsed();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let hits = results
+            .iter()
+            .filter(|r| r.as_ref().is_ok_and(|resp| resp.result_cache_hit))
+            .count();
+        println!(
+            "pipelined {depth} requests (window {}): {ok} ok, {} err, {hits} result-cache hits",
+            pipe.window(),
+            depth - ok,
+        );
+        println!(
+            "elapsed: {:.2} ms  ({:.0} reqs/sec)",
+            elapsed.as_secs_f64() * 1e3,
+            depth as f64 / elapsed.as_secs_f64()
+        );
+        match results.into_iter().next().unwrap() {
+            Ok(first) => println!(
+                "first: rows {}  cache_hit {}  result_hit {}",
+                first.rows.len(),
+                first.cache_hit,
+                first.result_cache_hit
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        }
+        return;
+    }
     match client.run(&request) {
         Ok(resp) => {
             println!(
@@ -526,6 +577,112 @@ fn cmd_client(flags: &Flags) {
             exit(1);
         }
     }
+}
+
+/// Measures pipelining against the serial protocol on one connection
+/// each: the same burst of requests, seeded so every one is a cold
+/// result-cache miss, driven first serially (v1) and then through a
+/// [`Pipeline`] (v2). Connects to `--connect` if given; otherwise spins
+/// an in-process server on a loopback ephemeral port.
+///
+/// [`Pipeline`]: projection_pushing::service::Pipeline
+fn cmd_bench_pipe(flags: &Flags) {
+    use projection_pushing::service::{Client, Pipeline, Request};
+    let requests: usize = flags.num("requests", 200);
+    let depth: usize = flags.num("pipeline", 32);
+    let method = match flags.get("method") {
+        Some(name) => Method::parse(name).unwrap_or_else(|| die(&format!("unknown method {name}"))),
+        None => Method::EarlyProjection,
+    };
+    let rule = "q() :- edge(x, y), edge(y, z), edge(z, x)";
+
+    // In-process server unless --connect points elsewhere.
+    let mut local = None;
+    let addr = match flags.get("connect") {
+        Some(a) => a.to_string(),
+        None => {
+            use projection_pushing::service::{Catalog, Engine, EngineConfig, Server};
+            let mut db = Database::new();
+            db.add(projection_pushing::workload::edge_relation(
+                flags.num("colors", 3),
+            ));
+            let mut cfg = EngineConfig::default();
+            // One worker per core: on a small box, extra workers only add
+            // scheduler churn between the reader, workers, and writer.
+            cfg.workers = flags.num(
+                "workers",
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            );
+            let engine = Engine::start(Catalog::with_default(db), cfg);
+            let server = Server::start("127.0.0.1:0", engine.handle())
+                .unwrap_or_else(|e| die(&format!("cannot bind loopback: {e}")));
+            let addr = server.local_addr().to_string();
+            local = Some((server, engine));
+            addr
+        }
+    };
+
+    // Distinct seeds make every request a distinct result-cache key, so
+    // both phases measure real execution, not cache reads. The serial
+    // and pipelined phases use disjoint seed ranges for the same reason.
+    let batch = |base: u64| -> Vec<Request> {
+        (0..requests)
+            .map(|i| Request::new(rule, method).seed(base + i as u64))
+            .collect()
+    };
+
+    let serial_reqs = batch(1_000_000);
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    let started = std::time::Instant::now();
+    for req in &serial_reqs {
+        client.run(req).unwrap_or_else(|e| die(&e.to_string()));
+    }
+    let serial = started.elapsed();
+
+    let piped_reqs = batch(2_000_000);
+    let mut pipe = Pipeline::connect(&addr)
+        .unwrap_or_else(|e| die(&format!("cannot pipeline to {addr}: {e}")));
+    let window = pipe.window().min(depth.max(1));
+    let started = std::time::Instant::now();
+    // Double-buffered half-window bursts: submit chunk k+1 before
+    // redeeming chunk k, so the server always has a burst in flight
+    // while the client formats the next one — no barrier stalls, and
+    // each burst is one buffered write.
+    let burst = (window / 2).max(1);
+    let mut outstanding: Vec<projection_pushing::service::Ticket> = Vec::new();
+    for chunk in piped_reqs.chunks(burst) {
+        let tickets: Vec<_> = chunk
+            .iter()
+            .map(|req| pipe.submit(req).unwrap_or_else(|e| die(&e.to_string())))
+            .collect();
+        for t in outstanding.drain(..) {
+            pipe.wait(t).unwrap_or_else(|e| die(&e.to_string()));
+        }
+        outstanding = tickets;
+    }
+    for t in outstanding {
+        pipe.wait(t).unwrap_or_else(|e| die(&e.to_string()));
+    }
+    let piped = started.elapsed();
+
+    let rate = |d: Duration| requests as f64 / d.as_secs_f64();
+    println!(
+        "serial    (v1): {:>9.2} ms  {:>8.0} reqs/sec",
+        serial.as_secs_f64() * 1e3,
+        rate(serial)
+    );
+    println!(
+        "pipelined (v2): {:>9.2} ms  {:>8.0} reqs/sec  (window {window})",
+        piped.as_secs_f64() * 1e3,
+        rate(piped)
+    );
+    println!(
+        "speedup: {:.2}x over {requests} cold {} requests",
+        rate(piped) / rate(serial),
+        method.name()
+    );
+    drop(local);
 }
 
 #[cfg(test)]

@@ -55,18 +55,18 @@ pub use ppr_core::methods::{Method, OrderHeuristic};
 use ppr_query::{ConjunctiveQuery, Database};
 use ppr_relalg::{exec, Budget, ExecStats, Relation};
 
-/// Everything a typical user needs.
+/// Everything a typical user needs. The deprecated free-function
+/// `evaluate*` trio is intentionally **not** here — reach it through the
+/// crate root while migrating to [`Eval`].
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::evaluate_parallel;
-    #[allow(deprecated)]
-    pub use crate::{evaluate, evaluate_3color};
     pub use crate::{graph, Eval, Method, OrderHeuristic};
     pub use ppr_core::methods::{build_plan, emit_sql};
     pub use ppr_query::{Atom, ConjunctiveQuery, Database, Vars};
     pub use ppr_relalg::parallel::execute_parallel;
     pub use ppr_relalg::{Budget, Plan};
-    pub use ppr_service::{Catalog, Client, Engine, EngineConfig, Request, Server, ServiceError};
+    pub use ppr_service::{
+        Catalog, Client, Engine, EngineConfig, Pipeline, Request, Server, ServiceError, Ticket,
+    };
     pub use ppr_workload::{color_query, ColorQueryOptions, InstanceSpec, QueryShape};
 }
 

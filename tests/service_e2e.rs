@@ -235,6 +235,197 @@ fn shutdown_is_graceful_and_then_refuses() {
     ));
 }
 
+/// An `ok` line with its wall-clock fields (`plan_us`, `elapsed_us`,
+/// `cpu_us`) removed; everything left — cache flags, execution-stats
+/// counters, columns, row count, row data — is deterministic for a fixed
+/// request against a fresh engine. The `data=` payload never contains
+/// spaces (rows are `;`/`,`-separated), so field-splitting is safe.
+fn strip_timings(line: &str) -> String {
+    line.split(' ')
+        .filter(|f| {
+            !f.starts_with("plan_us=") && !f.starts_with("elapsed_us=") && !f.starts_with("cpu_us=")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The tentpole acceptance bar for protocol v2: replies on a pipelined
+/// connection are a **permutation** of the serial v1 replies — every id
+/// answered exactly once — and each reply is **byte-identical** to its
+/// serial counterpart modulo the `id=` tag, the arrival order, and the
+/// wall-clock timing fields. Both runs hit fresh engines with the same
+/// per-request seeds, so plans, cache flags, and execution stats have no
+/// run-order excuse to differ. The list mixes all seven methods with two
+/// deterministic failures to cover the `err` path too.
+#[test]
+fn pipelined_replies_are_a_per_id_permutation_of_serial() {
+    use projection_pushing::service::protocol;
+    use std::collections::HashMap;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut wire_lines: Vec<String> = Vec::new();
+    for (i, method) in all_methods().iter().cycle().take(21).enumerate() {
+        let mut request = Request::new(PENTAGON, *method);
+        request.seed = Some(100 + i as u64);
+        wire_lines.push(protocol::encode_request(&request));
+    }
+    wire_lines.push(protocol::encode_request(&Request::new(
+        "q(a) :- nosuch(a, b)",
+        Method::EarlyProjection,
+    )));
+    wire_lines.push(protocol::encode_request(&Request::new(
+        "q(a :- edge(",
+        Method::Straightforward,
+    )));
+
+    // Serial reference: v1 untagged lines, one reply per request, in order.
+    let serial: Vec<String> = {
+        let engine = Engine::start(color_catalog(), EngineConfig::default());
+        let mut server =
+            service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut replies = Vec::new();
+        for line in &wire_lines {
+            (&stream)
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("write");
+            let mut reply = String::new();
+            assert!(reader.read_line(&mut reply).expect("read") > 0);
+            replies.push(reply.trim_end().to_string());
+        }
+        drop(stream);
+        server.shutdown();
+        engine.shutdown();
+        replies
+    };
+
+    // Pipelined run: same lines, same seeds, fresh engine, ids 1..=N kept
+    // in flight up to the advertised window.
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
+    let mut server =
+        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream).write_all(b"hello proto=2\n").expect("hello");
+    let mut ack = String::new();
+    assert!(reader.read_line(&mut ack).expect("read") > 0);
+    let hello = protocol::decode_hello_ok(&ack).expect("hello ack");
+    assert!(hello.proto >= 2);
+    assert!(hello.window >= 2, "window {} too small", hello.window);
+
+    let mut tagged: HashMap<u64, String> = HashMap::new();
+    let mut next = 0usize;
+    let mut in_flight = 0usize;
+    while tagged.len() < wire_lines.len() {
+        while next < wire_lines.len() && in_flight < hello.window {
+            let line = protocol::tag_request((next + 1) as u64, &wire_lines[next]);
+            (&stream)
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("write");
+            next += 1;
+            in_flight += 1;
+        }
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).expect("read") > 0);
+        let (id, payload) = protocol::split_reply_tag(&reply).expect("tagged reply");
+        let id = id.expect("pipelined replies must carry id=");
+        assert!(
+            tagged.insert(id, payload.trim_end().to_string()).is_none(),
+            "id {id} answered twice"
+        );
+        in_flight -= 1;
+    }
+    drop(stream);
+    server.shutdown();
+    engine.shutdown();
+
+    // Permutation: every id answered exactly once, nothing extra.
+    assert_eq!(tagged.len(), serial.len());
+    for (i, serial_reply) in serial.iter().enumerate() {
+        let id = (i + 1) as u64;
+        let piped = tagged
+            .get(&id)
+            .unwrap_or_else(|| panic!("no reply for id {id}"));
+        assert_eq!(
+            strip_timings(piped),
+            strip_timings(serial_reply),
+            "id {id} differs from its serial twin"
+        );
+    }
+    // The mixed list really exercised both reply shapes.
+    assert!(serial.iter().filter(|r| r.starts_with("ok ")).count() >= 21);
+    assert_eq!(serial.iter().filter(|r| r.starts_with("err ")).count(), 2);
+}
+
+/// A duplicate in-flight id draws a tagged `err kind=protocol` while the
+/// original request still completes, and the connection survives for
+/// fresh ids afterwards.
+#[test]
+fn pipelined_duplicate_id_is_rejected_and_the_connection_survives() {
+    use projection_pushing::service::protocol;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
+    let mut server =
+        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream).write_all(b"hello proto=2\n").expect("hello");
+    let mut ack = String::new();
+    assert!(reader.read_line(&mut ack).expect("read") > 0);
+    protocol::decode_hello_ok(&ack).expect("hello ack");
+
+    // Two id=7 runs in one burst: the second must not displace the first.
+    let line = protocol::encode_request(&Request::new(PENTAGON, Method::EarlyProjection));
+    let burst = format!(
+        "{}\n{}\n",
+        protocol::tag_request(7, &line),
+        protocol::tag_request(7, &line)
+    );
+    (&stream).write_all(burst.as_bytes()).expect("write");
+
+    // Exactly two replies, both for id 7: one ok (the reserved request ran
+    // to completion), one protocol error (the duplicate). Order is free.
+    let mut oks = 0;
+    let mut dups = 0;
+    for _ in 0..2 {
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).expect("read") > 0);
+        let (id, payload) = protocol::split_reply_tag(&reply).expect("tagged reply");
+        assert_eq!(id, Some(7));
+        match protocol::decode_result(&payload) {
+            Ok(response) => {
+                assert_eq!(response.columns, vec!["a", "b"]);
+                oks += 1;
+            }
+            Err(ServiceError::Protocol(msg)) => {
+                assert!(msg.contains("already in flight"), "unexpected: {msg}");
+                dups += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!((oks, dups), (1, 1));
+
+    // The connection is still healthy: a fresh id runs normally, and its
+    // answer is byte-identical (modulo tag/timing) to the id=7 success.
+    (&stream)
+        .write_all(format!("{}\n", protocol::tag_request(8, &line)).as_bytes())
+        .expect("write");
+    let mut reply = String::new();
+    assert!(reader.read_line(&mut reply).expect("read") > 0);
+    let (id, payload) = protocol::split_reply_tag(&reply).expect("tagged reply");
+    assert_eq!(id, Some(8));
+    let response = protocol::decode_result(&payload).expect("fresh id must run");
+    assert_eq!(response.columns, vec!["a", "b"]);
+
+    server.shutdown();
+    engine.shutdown();
+}
+
 /// The real binary round-trips too: `ppr serve` on an ephemeral port,
 /// `ppr client` against it — including the catalog verbs.
 #[test]
