@@ -97,6 +97,12 @@ pub fn host_cpus() -> usize {
         .unwrap_or(1)
 }
 
+/// Compile-target OS and architecture (e.g. `linux-x86_64`); recorded
+/// next to [`host_cpus`] in benchmark reports.
+pub fn host_os() -> String {
+    format!("{}-{}", std::env::consts::OS, std::env::consts::ARCH)
+}
+
 /// Median of a sample (`None` when empty). Timeout runs should be filtered
 /// or penalized by the caller before aggregation.
 pub fn median(mut xs: Vec<f64>) -> Option<f64> {

@@ -24,7 +24,7 @@
 //! sides see the same host conditions, and the report records the
 //! cold/warm speedups (disjoint seed ranges keep the shared caches
 //! honest). Each timed phase is measured
-//! [`REPS`] times (fresh seeds per cold repetition) and the best
+//! `REPS` times (fresh seeds per cold repetition) and the best
 //! repetition is reported. Per phase the report captures
 //! requests/sec, p50/p95 client-observed latency, the plan-cache hit rate
 //! (from engine counter deltas at the phase boundaries), the result-cache
@@ -34,14 +34,16 @@ use std::time::Instant;
 
 use ppr_core::methods::{Method, OrderHeuristic};
 use ppr_graph::{families, Graph};
+use ppr_obs::{HistSnapshot, Histogram, Phase, Quantiles};
 use ppr_query::Database;
 use ppr_service::{
-    Catalog, Client, Engine, EngineConfig, EngineStats, Pipeline, Request, Server, Ticket,
+    Catalog, Client, Engine, EngineConfig, EngineHandle, EngineStats, Pipeline, Request, Server,
+    Ticket,
 };
 use ppr_workload::edge_relation;
 
 use crate::figures::Config;
-use crate::harness::host_cpus;
+use crate::harness::{host_cpus, host_os};
 
 /// One phase's measured serving numbers.
 #[derive(Debug, Clone)]
@@ -54,13 +56,23 @@ pub struct PhaseStats {
     pub elapsed_ms: f64,
     /// Completed requests per second.
     pub reqs_per_sec: f64,
-    /// Median client-observed latency in milliseconds. Under pipelining
-    /// this includes time deliberately spent in flight behind the window,
-    /// so it is *expected* to exceed the serial figure while throughput
-    /// improves.
+    /// Median client-observed latency in milliseconds, read from a shared
+    /// `ppr_obs` histogram (log-bucketed: values are bucket upper bounds,
+    /// not exact order statistics). Under pipelining this includes time
+    /// deliberately spent in flight behind the window, so it is
+    /// *expected* to exceed the serial figure while throughput improves.
     pub p50_ms: f64,
-    /// 95th-percentile client-observed latency in milliseconds.
+    /// 95th-percentile client-observed latency in milliseconds (same
+    /// histogram as `p50_ms`).
     pub p95_ms: f64,
+    /// Server-side queue-wait quantiles (microseconds) over exactly this
+    /// phase's requests: the engine's `ppr_request_phase_us{phase=
+    /// "queue_wait"}` histogram diffed at the phase boundaries.
+    pub queue_wait_us: Quantiles,
+    /// Server-side executor-time quantiles (microseconds) for the phase,
+    /// from the same registry (`phase="exec"`); warm phases answer from
+    /// the result cache, so their exec p50 collapses to zero.
+    pub exec_us: Quantiles,
     /// Plan-cache hit rate over this phase (engine counter deltas). The
     /// cold phase's fresh seeds miss by construction, and warm requests
     /// are answered by the result cache before the planner is consulted,
@@ -156,10 +168,13 @@ fn phase_requests(
         .collect()
 }
 
-/// Raw per-phase tallies before percentile/rate reduction.
+/// Raw per-phase tallies before percentile/rate reduction. Latencies go
+/// straight into a `ppr_obs` histogram — the same machinery the server
+/// uses — instead of a sorted vector.
 #[derive(Default)]
 struct PhaseRaw {
-    latencies_ms: Vec<f64>,
+    latency_us: Histogram,
+    ok: usize,
     errors: usize,
     result_hits: usize,
     threads_used: u64,
@@ -200,7 +215,8 @@ fn run_serial_phase(client: &mut Client, requests: &[Request]) -> PhaseRaw {
         let t0 = Instant::now();
         match client.run(request) {
             Ok(resp) => {
-                raw.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                raw.latency_us.record(t0.elapsed().as_micros() as u64);
+                raw.ok += 1;
                 raw.result_hits += resp.result_cache_hit as usize;
                 raw.threads_used = raw.threads_used.max(resp.stats.threads_used);
             }
@@ -245,7 +261,8 @@ fn run_piped_phase(pipe: &mut Pipeline, depth: usize, requests: &[Request]) -> P
 fn redeem(pipe: &mut Pipeline, ticket: Ticket, t0: Instant, raw: &mut PhaseRaw) {
     match pipe.wait(ticket) {
         Ok(resp) => {
-            raw.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            raw.latency_us.record(t0.elapsed().as_micros() as u64);
+            raw.ok += 1;
             raw.result_hits += resp.result_cache_hit as usize;
             raw.threads_used = raw.threads_used.max(resp.stats.threads_used);
         }
@@ -253,21 +270,34 @@ fn redeem(pipe: &mut Pipeline, ticket: Ticket, t0: Instant, raw: &mut PhaseRaw) 
     }
 }
 
-/// Reduces raw tallies to reported numbers; the engine-stat snapshots
-/// bracket the phase, so their cache-counter deltas are the phase's own
-/// plan-cache traffic.
-fn finish_phase(mut raw: PhaseRaw, before: &EngineStats, after: &EngineStats) -> PhaseStats {
-    raw.latencies_ms.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if raw.latencies_ms.is_empty() {
-            0.0
-        } else {
-            raw.latencies_ms[((raw.latencies_ms.len() - 1) as f64 * p).round() as usize]
-        }
-    };
-    let ok = raw.latencies_ms.len();
-    let plan_hits = after.cache.hits - before.cache.hits;
-    let plan_total = plan_hits + (after.cache.misses - before.cache.misses);
+/// Everything read from the engine at a phase boundary: counter-style
+/// stats for cache-delta rates plus raw histogram snapshots of the two
+/// phases the decomposition reports. Snapshots diff exactly because the
+/// driver redeems every reply before the bracketing read — no other
+/// requests are in flight.
+struct EngineSnap {
+    stats: EngineStats,
+    queue_wait: HistSnapshot,
+    exec: HistSnapshot,
+}
+
+fn engine_snap(handle: &EngineHandle) -> EngineSnap {
+    let m = handle.metrics();
+    EngineSnap {
+        stats: handle.stats(),
+        queue_wait: m.phase_us[Phase::QueueWait as usize].snapshot(),
+        exec: m.phase_us[Phase::Exec as usize].snapshot(),
+    }
+}
+
+/// Reduces raw tallies to reported numbers; the engine snapshots bracket
+/// the phase, so counter deltas are the phase's own plan-cache traffic
+/// and histogram diffs its own queue-wait/exec distributions.
+fn finish_phase(raw: PhaseRaw, before: &EngineSnap, after: &EngineSnap) -> PhaseStats {
+    let latency = raw.latency_us.snapshot().quantiles();
+    let ok = raw.ok;
+    let plan_hits = after.stats.cache.hits - before.stats.cache.hits;
+    let plan_total = plan_hits + (after.stats.cache.misses - before.stats.cache.misses);
     PhaseStats {
         ok,
         errors: raw.errors,
@@ -277,8 +307,10 @@ fn finish_phase(mut raw: PhaseRaw, before: &EngineStats, after: &EngineStats) ->
         } else {
             0.0
         },
-        p50_ms: pct(0.50),
-        p95_ms: pct(0.95),
+        p50_ms: latency.p50 as f64 / 1e3,
+        p95_ms: latency.p95 as f64 / 1e3,
+        queue_wait_us: after.queue_wait.diff(&before.queue_wait).quantiles(),
+        exec_us: after.exec.diff(&before.exec).quantiles(),
         plan_cache_hit_rate: if plan_total == 0 {
             0.0
         } else {
@@ -314,12 +346,12 @@ impl BestPhases {
     ) {
         // Stat snapshots settle before each is read: every reply of the
         // prior phase has been redeemed, and workers bump cache counters
-        // strictly before invoking the reply callback.
-        let before = handle.stats();
+        // (and record spans) strictly before invoking the reply callback.
+        let before = engine_snap(handle);
         let cold_raw = driver.run_phase(cold);
-        let mid = handle.stats();
+        let mid = engine_snap(handle);
         let warm_raw = driver.run_phase(cold);
-        let after = handle.stats();
+        let after = engine_snap(handle);
 
         self.threads_used = self
             .threads_used
@@ -441,14 +473,14 @@ pub fn serve_throughput_rows(cfg: &Config) -> Vec<ServeRow> {
 pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
     writeln!(
         w,
-        "method\tpipeline\tphase\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tplan_cache_hit_rate\tresult_cache_hit_rate\twindow_depth\tspeedup"
+        "method\tpipeline\tphase\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tqueue_wait_p50_us\texec_p50_us\tplan_cache_hit_rate\tresult_cache_hit_rate\twindow_depth\tspeedup"
     )
     .expect("write");
     for r in rows {
         let mut line = |phase: &str, pipeline: usize, p: &PhaseStats, speedup: Option<f64>| {
             writeln!(
                 w,
-                "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}",
+                "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}\t{:.3}\t{:.3}\t{}\t{}",
                 r.method.name(),
                 pipeline,
                 phase,
@@ -457,6 +489,8 @@ pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
                 p.reqs_per_sec,
                 p.p50_ms,
                 p.p95_ms,
+                p.queue_wait_us.p50,
+                p.exec_us.p50,
                 p.plan_cache_hit_rate,
                 p.result_cache_hit_rate,
                 p.window_depth,
@@ -478,10 +512,17 @@ pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
 /// Machine-readable report for `results/BENCH_serve.json` (hand-rolled,
 /// like the parallel report — no JSON dependency in the tree).
 pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
+    fn quantiles_json(q: &Quantiles) -> String {
+        format!(
+            "{{\"n\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            q.count, q.p50, q.p95, q.p99
+        )
+    }
     fn phase_json(p: &PhaseStats) -> String {
         format!(
             "{{\"ok\": {}, \"errors\": {}, \"elapsed_ms\": {:.1}, \"reqs_per_sec\": {:.1}, \
-             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"plan_cache_hit_rate\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"queue_wait_us\": {}, \"exec_us\": {}, \"plan_cache_hit_rate\": {:.3}, \
              \"result_cache_hit_rate\": {:.3}, \"window_depth\": {}}}",
             p.ok,
             p.errors,
@@ -489,6 +530,8 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
             p.reqs_per_sec,
             p.p50_ms,
             p.p95_ms,
+            quantiles_json(&p.queue_wait_us),
+            quantiles_json(&p.exec_us),
             p.plan_cache_hit_rate,
             p.result_cache_hit_rate,
             p.window_depth
@@ -502,7 +545,11 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
     }
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"serve_throughput\",\n");
-    s.push_str(&format!("  \"host\": {{\"cpus\": {}}},\n", host_cpus()));
+    s.push_str(&format!(
+        "  \"host\": {{\"cpus\": {}, \"os\": \"{}\"}},\n",
+        host_cpus(),
+        host_os()
+    ));
     s.push_str(&format!("  \"pipeline\": {},\n", cfg.pipeline.max(1)));
     s.push_str(&format!(
         "  \"requests_per_phase\": {},\n",
@@ -570,6 +617,15 @@ mod tests {
         assert_eq!(warm.errors, 0);
         assert!(cold.reqs_per_sec > 0.0);
         assert!(cold.p95_ms >= cold.p50_ms);
+        // The decomposition brackets exactly this phase's requests: the
+        // engine-side histograms saw one sample per request…
+        assert_eq!(cold.queue_wait_us.count, 48);
+        assert_eq!(cold.exec_us.count, 48);
+        // …every cold request really executed, and the warm replay was
+        // answered by the result cache without the executor (all-zero
+        // exec spans put the warm p99 in the histogram's zero bucket).
+        assert!(cold.exec_us.p99 > 0);
+        assert_eq!(warm.exec_us.p99, 0);
         assert!(
             cold.window_depth >= 2 && cold.window_depth <= 4,
             "window depth {} outside the requested pipeline",
@@ -614,6 +670,9 @@ mod tests {
         let json = serve_report_json(&cfg, &[row, serial_row]);
         assert!(json.contains("\"benchmark\": \"serve_throughput\""));
         assert!(json.contains("\"host\": {\"cpus\": "));
+        assert!(json.contains("\"os\": \""));
+        assert!(json.contains("\"queue_wait_us\": {\"n\": "));
+        assert!(json.contains("\"exec_us\": {\"n\": "));
         assert!(json.contains("\"plan_cache_hit_rate\""));
         assert!(json.contains("\"window_depth\""));
         assert!(json.contains("\"speedup_cold\""));

@@ -82,6 +82,10 @@ pub fn plan(query: &ConjunctiveQuery, catalog: &Catalog) -> CompileResult {
         s &= !(1 << a);
     }
     order.reverse();
+    ppr_obs::ppr_debug!(
+        "left-deep: m={m} plans_considered={plans_considered} best_cost={:.1} order={order:?}",
+        best[full as usize].0
+    );
     CompileResult {
         order,
         estimated_cost: best[full as usize].0,
@@ -161,6 +165,10 @@ pub fn plan_bushy(query: &ConjunctiveQuery, catalog: &Catalog) -> CompileResult 
     }
     let mut order = Vec::with_capacity(m);
     linearize(full, &best, &mut order);
+    ppr_obs::ppr_debug!(
+        "bushy: m={m} plans_considered={plans_considered} best_cost={:.1}",
+        best[full as usize].0
+    );
     CompileResult {
         order,
         estimated_cost: best[full as usize].0,

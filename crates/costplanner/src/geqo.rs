@@ -105,6 +105,10 @@ pub fn plan(
     }
 
     let (order, estimated_cost) = pool.into_iter().next().expect("pool nonempty");
+    ppr_obs::ppr_debug!(
+        "m={m} pool={pool_size} generations={generations} \
+         plans_considered={plans_considered} best_cost={estimated_cost:.1}"
+    );
     CompileResult {
         order,
         estimated_cost,

@@ -1,0 +1,158 @@
+//! Prometheus-style text exposition over a minimal HTTP/1.1 endpoint.
+//!
+//! [`MetricsServer`] is deliberately tiny: a `std::net::TcpListener`
+//! accept loop on one thread, one short-lived connection per scrape,
+//! `Connection: close` on every response. It serves whatever a route
+//! callback returns for a path — the serving stack mounts `/metrics`
+//! (registry render) and `/slowlog` there — and 404s everything else.
+//! No keep-alive, no chunking, no TLS: it exists so `ppr serve
+//! --metrics-addr` can be scraped by curl or Prometheus, not to be a
+//! web server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maps a request path (e.g. `/metrics`) to a text body, or `None` for
+/// a 404. Called once per scrape, on the endpoint thread.
+pub type Routes = Arc<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+/// How long the accept loop sleeps when idle before re-checking the
+/// stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection I/O budget; a stalled scraper cannot wedge the loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint; shuts down on [`MetricsServer::shutdown`]
+/// or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and
+    /// starts serving `routes` on a background thread.
+    pub fn start(addr: &str, routes: Routes) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("ppr-metrics".into())
+            .spawn(move || accept_loop(listener, routes, stop2))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, routes: Routes, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare and responses small: handle inline.
+                // A broken scraper only costs IO_TIMEOUT, not a wedge.
+                let _ = serve_one(stream, &routes);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, routes: &Routes) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so the peer's write isn't cut mid-request.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = stream;
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else {
+        match routes(path) {
+            Some(body) => ("200 OK", body),
+            None => ("404 Not Found", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_routes_and_404s() {
+        let routes: Routes = Arc::new(|path| match path {
+            "/metrics" => Some("ppr_requests_total 3\n".to_string()),
+            _ => None,
+        });
+        let mut srv = MetricsServer::start("127.0.0.1:0", routes).unwrap();
+        let addr = srv.local_addr();
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ppr_requests_total 3\n");
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        srv.shutdown();
+        // Idempotent shutdown; drop after shutdown is fine.
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,677 @@
+//! Lock-free metrics: counters, gauges, base-2 log-bucketed histograms,
+//! and the [`Registry`] that names them.
+//!
+//! Hot-path cost model: a metric handle is an `Arc` over plain atomics.
+//! Recording is one or two `fetch_add`s (`Relaxed`) — no locks, no
+//! allocation. The registry's mutex is taken only at registration time
+//! (engine construction) and at scrape time (`stats` verb, Prometheus
+//! endpoint), never per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Atomic gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (saturating at zero).
+    pub fn dec(&self) {
+        // fetch_update never fails with a total function; saturate so a
+        // racy extra dec cannot wrap to u64::MAX.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Base-2 log-bucketed histogram over `u64` samples (latencies in
+/// microseconds, sizes in tuples).
+///
+/// 65 atomic buckets — bucket 0 for zeros, bucket `i` for
+/// `[2^(i-1), 2^i)` — plus exact count/sum/min/max. Recording is four
+/// relaxed atomic ops; quantile extraction happens on a [`HistSnapshot`]
+/// and returns the containing bucket's bounds, so an extracted p50/p95
+/// *brackets* the true quantile (lower bound ≤ true ≤ upper bound)
+/// without storing samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Exact observed minimum; `u64::MAX` while empty.
+    min: AtomicU64,
+    /// Exact observed maximum; 0 while empty.
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; safe from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Reads are relaxed and unsynchronized with
+    /// concurrent writers, so a snapshot taken mid-burst may be off by
+    /// the requests in flight — fine for stats, never for accounting.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`], supporting merge, diff, and
+/// quantile extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`BUCKETS`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Exact minimum (`u64::MAX` while empty; for diffs, the containing
+    /// bucket's lower bound).
+    pub min: u64,
+    /// Exact maximum (0 while empty; for diffs, the containing bucket's
+    /// upper bound).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// The snapshot of a histogram that saw nothing.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self`: counts and sums add, min/max widen.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for i in 0..BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded *since* `earlier` (`self` minus `earlier`,
+    /// saturating). Exact min/max cannot be diffed, so the result's
+    /// min/max are the bucket bounds of its first/last non-empty bucket
+    /// — still valid brackets for quantile extraction.
+    pub fn diff(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut out = HistSnapshot::empty();
+        for i in 0..BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if let Some(first) = out.buckets.iter().position(|&c| c > 0) {
+            let last = BUCKETS - 1 - out.buckets.iter().rev().position(|&c| c > 0).unwrap();
+            out.min = bucket_lo(first);
+            out.max = bucket_hi(last);
+        }
+        out
+    }
+
+    /// Mean sample value (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower and upper bounds bracketing the `q`-quantile
+    /// (`0.0 < q <= 1.0`): the bounds of the bucket holding the sample
+    /// of rank `ceil(q * count)`, tightened by the exact min/max.
+    /// Returns `(0, 0)` while empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            cum += self.buckets[i];
+            if cum >= rank {
+                let lo = bucket_lo(i).max(self.min);
+                let hi = bucket_hi(i).min(self.max);
+                return (lo.min(hi), hi);
+            }
+        }
+        (self.min, self.max)
+    }
+
+    /// Upper bound on the `q`-quantile (conservative: never understates).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// The standard p50/p95/p99 summary.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            count: self.count,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A p50/p95/p99 summary extracted from a histogram (upper bounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Samples behind the summary.
+    pub count: u64,
+    /// Upper bound on the median.
+    pub p50: u64,
+    /// Upper bound on the 95th percentile.
+    pub p95: u64,
+    /// Upper bound on the 99th percentile.
+    pub p99: u64,
+}
+
+/// What kind of metric an entry is (drives Prometheus `# TYPE`).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    /// Base metric name, e.g. `ppr_request_phase_us`.
+    name: String,
+    /// Pre-formatted label pairs, e.g. `phase="parse"`, or empty.
+    labels: String,
+    help: String,
+    metric: Metric,
+}
+
+/// Named collection of metrics, shared via `Arc` across engine workers
+/// and scrapers.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a mutex and is
+/// idempotent on `(name, labels)`; it happens once at engine
+/// construction. Updates go through the returned `Arc` handles and
+/// never touch the registry again.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn find(&self, name: &str, labels: &str) -> Option<Metric> {
+        let entries = self.entries.lock().expect("registry lock");
+        entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+            .map(|e| e.metric.clone())
+    }
+
+    fn insert(&self, name: &str, labels: &str, help: &str, metric: Metric) {
+        let mut entries = self.entries.lock().expect("registry lock");
+        if !entries.iter().any(|e| e.name == name && e.labels == labels) {
+            entries.push(Entry {
+                name: name.to_string(),
+                labels: labels.to_string(),
+                help: help.to_string(),
+                metric,
+            });
+        }
+    }
+
+    /// Registers (or returns the existing) counter named `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, "", help)
+    }
+
+    /// Counter with a pre-formatted label set (e.g. `outcome="ok"`).
+    pub fn counter_with(&self, name: &str, labels: &str, help: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.find(name, labels) {
+            return c;
+        }
+        let c = Arc::new(Counter::new());
+        self.insert(name, labels, help, Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Registers (or returns the existing) gauge named `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.find(name, "") {
+            return g;
+        }
+        let g = Arc::new(Gauge::new());
+        self.insert(name, "", help, Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers (or returns the existing) histogram named `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, "", help)
+    }
+
+    /// Histogram with a pre-formatted label set (e.g. `phase="exec"`).
+    pub fn histogram_with(&self, name: &str, labels: &str, help: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.find(name, labels) {
+            return h;
+        }
+        let h = Arc::new(Histogram::new());
+        self.insert(name, labels, help, Metric::Histogram(h.clone()));
+        h
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` once per base name, cumulative `_bucket`
+    /// lines with `le` bounds for histograms).
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("registry lock");
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !seen.contains(&e.name.as_str()) {
+                seen.push(&e.name);
+                let kind = match e.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                out.push_str(&format!("# TYPE {} {}\n", e.name, kind));
+            }
+            let lbl = |extra: &str| -> String {
+                match (e.labels.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{}}}", e.labels),
+                    (false, false) => format!("{{{},{extra}}}", e.labels),
+                }
+            };
+            match &e.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{}{} {}\n", e.name, lbl(""), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{}{} {}\n", e.name, lbl(""), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let mut cum = 0u64;
+                    for i in 0..BUCKETS {
+                        if s.buckets[i] == 0 {
+                            continue;
+                        }
+                        cum += s.buckets[i];
+                        let le = format!("le=\"{}\"", bucket_hi(i));
+                        out.push_str(&format!("{}_bucket{} {}\n", e.name, lbl(&le), cum));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        e.name,
+                        lbl("le=\"+Inf\""),
+                        s.count
+                    ));
+                    out.push_str(&format!("{}_sum{} {}\n", e.name, lbl(""), s.sum));
+                    out.push_str(&format!("{}_count{} {}\n", e.name, lbl(""), s.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            assert_eq!(bucket_of(bucket_lo(i)), i);
+            assert_eq!(bucket_of(bucket_hi(i)), i);
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, no wrap
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_records_and_brackets_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000, 1000, 5000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100_000);
+        assert_eq!(s.sum, 108_106);
+        // True median of the 10 samples is between 100 and 1000; the
+        // extracted bounds must bracket the rank-5 sample (100).
+        let (lo, hi) = s.quantile_bounds(0.5);
+        assert!(lo <= 100 && 100 <= hi, "bounds ({lo},{hi}) miss 100");
+        // p99 → rank 10 → the max sample's bucket.
+        let (lo, hi) = s.quantile_bounds(0.99);
+        assert!(lo <= 100_000 && 100_000 <= hi);
+        assert_eq!(s.quantile(1.0), 100_000); // clamped to exact max
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_window() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let before = h.snapshot();
+        h.record(300);
+        h.record(301);
+        let d = h.snapshot().diff(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 601);
+        // Diff min/max come from bucket bounds of the window's samples.
+        assert!(d.min <= 300 && d.max >= 301);
+        assert!(d.min > 20, "window must exclude pre-snapshot samples");
+        let empty = h.snapshot().diff(&h.snapshot());
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile_bounds(0.5), (0, 0));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_widens_extremes() {
+        let a = Histogram::new();
+        a.record(5);
+        let b = Histogram::new();
+        b.record(500);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.sum, 505);
+        assert_eq!(m.min, 5);
+        assert_eq!(m.max, 500);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_renders() {
+        let r = Registry::new();
+        let c1 = r.counter("ppr_requests_total", "Requests admitted");
+        let c2 = r.counter("ppr_requests_total", "Requests admitted");
+        c1.inc();
+        c2.inc();
+        assert_eq!(c1.get(), 2); // same underlying counter
+        let g = r.gauge("ppr_inflight", "Requests in flight");
+        g.set(3);
+        let h = r.histogram_with("ppr_phase_us", "phase=\"exec\"", "Per-phase latency");
+        h.record(900);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE ppr_requests_total counter"));
+        assert!(text.contains("ppr_requests_total 2"));
+        assert!(text.contains("ppr_inflight 3"));
+        assert!(text.contains("# TYPE ppr_phase_us histogram"));
+        assert!(text.contains("ppr_phase_us_bucket{phase=\"exec\",le=\"1023\"} 1"));
+        assert!(text.contains("ppr_phase_us_bucket{phase=\"exec\",le=\"+Inf\"} 1"));
+        assert!(text.contains("ppr_phase_us_sum{phase=\"exec\"} 900"));
+        assert!(text.contains("ppr_phase_us_count{phase=\"exec\"} 1"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3999);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// True quantile by sorting, matching the rank convention
+    /// `ceil(q * n)` used by `quantile_bounds`.
+    fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn insert_preserves_count_min_max(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            prop_assert_eq!(s.count, values.len() as u64);
+            prop_assert_eq!(s.buckets.iter().sum::<u64>(), values.len() as u64);
+            prop_assert_eq!(s.min, *values.iter().min().unwrap());
+            prop_assert_eq!(s.max, *values.iter().max().unwrap());
+            prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        }
+
+        #[test]
+        fn merge_preserves_count_min_max(
+            a in prop::collection::vec(0u64..1_000_000, 1..100),
+            b in prop::collection::vec(0u64..1_000_000, 1..100),
+        ) {
+            let ha = Histogram::new();
+            for &v in &a {
+                ha.record(v);
+            }
+            let hb = Histogram::new();
+            for &v in &b {
+                hb.record(v);
+            }
+            let mut m = ha.snapshot();
+            m.merge(&hb.snapshot());
+            let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(m.count, all.len() as u64);
+            prop_assert_eq!(m.buckets.iter().sum::<u64>(), all.len() as u64);
+            prop_assert_eq!(m.min, *all.iter().min().unwrap());
+            prop_assert_eq!(m.max, *all.iter().max().unwrap());
+        }
+
+        #[test]
+        fn extracted_quantiles_bound_the_truth(values in prop::collection::vec(0u64..10_000_000, 1..300)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &q in &[0.5, 0.95, 0.99] {
+                let truth = true_quantile(&sorted, q);
+                let (lo, hi) = s.quantile_bounds(q);
+                prop_assert!(lo <= truth, "q={} lo={} > truth={}", q, lo, truth);
+                prop_assert!(hi >= truth, "q={} hi={} < truth={}", q, hi, truth);
+                prop_assert_eq!(s.quantile(q), hi);
+            }
+        }
+
+        #[test]
+        fn diff_of_prefix_recovers_suffix(
+            values in prop::collection::vec(0u64..1_000_000, 2..200),
+            cut in 1usize..100,
+        ) {
+            let cut = cut.min(values.len() - 1);
+            let h = Histogram::new();
+            for &v in &values[..cut] {
+                h.record(v);
+            }
+            let before = h.snapshot();
+            for &v in &values[cut..] {
+                h.record(v);
+            }
+            let d = h.snapshot().diff(&before);
+            let suffix = &values[cut..];
+            prop_assert_eq!(d.count, suffix.len() as u64);
+            prop_assert_eq!(d.sum, suffix.iter().sum::<u64>());
+            prop_assert!(d.min <= *suffix.iter().min().unwrap());
+            prop_assert!(d.max >= *suffix.iter().max().unwrap());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixed-capacity worst-N-by-latency log of served requests.
+//!
+//! The log keeps the `cap` slowest requests seen since startup, each
+//! with enough identity (db, catalog version, fingerprint, method) and
+//! breakdown (span durations, executor stats digest) to explain *why*
+//! it was slow without re-running it.
+//!
+//! Hot-path cost: an atomic load plus one branch for the overwhelming
+//! majority of requests — once the log is full, its smallest retained
+//! latency is cached in an atomic `floor`, and anything faster skips
+//! the mutex entirely. Only candidate entries (slower than the current
+//! floor) pay the lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::TraceSpans;
+
+/// One slow request: identity, outcome, and breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Database the request ran against.
+    pub db: String,
+    /// Catalog version at execution time.
+    pub version: u64,
+    /// Canonical query fingerprint.
+    pub fingerprint: u128,
+    /// Evaluation method name.
+    pub method: String,
+    /// `"ok"` or the wire error kind (`"budget"`, `"internal"`, …).
+    pub outcome: String,
+    /// End-to-end latency, admission to completion, microseconds.
+    pub total_us: u64,
+    /// Per-phase breakdown.
+    pub spans: TraceSpans,
+    /// Result rows (0 on error).
+    pub rows: u64,
+    /// Tuples flowed through the executor (0 on cache hit or error).
+    pub tuples_flowed: u64,
+    /// Peak materialized intermediate size.
+    pub peak_materialized: u64,
+    /// Join pipeline stages executed.
+    pub join_stages: u64,
+    /// Executor threads used (1 = serial).
+    pub threads_used: u64,
+    /// Monotone admission sequence number (ties and ordering debug).
+    pub seq: u64,
+}
+
+/// Worst-N-by-latency log. Shared via `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct SlowLog {
+    cap: usize,
+    /// Smallest retained `total_us` once full; entries at or below it
+    /// cannot displace anything and skip the lock.
+    floor: AtomicU64,
+    seq: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A log retaining the `cap` slowest requests (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        SlowLog {
+            cap: cap.max(1),
+            floor: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Maximum entries retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Next admission sequence number (call once per request).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Offers an entry; it is kept iff it ranks among the worst `cap`
+    /// seen so far. Fast-fails on the atomic floor without locking.
+    pub fn record(&self, entry: SlowEntry) {
+        // Relaxed is fine: a stale floor only costs one extra lock or
+        // skips an entry that was already borderline.
+        let floor = self.floor.load(Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("slowlog lock");
+        if entries.len() >= self.cap {
+            if entry.total_us <= floor {
+                return;
+            }
+            // Displace the current fastest retained entry.
+            let (mi, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.total_us)
+                .expect("non-empty");
+            if entries[mi].total_us >= entry.total_us {
+                return;
+            }
+            entries.swap_remove(mi);
+        }
+        entries.push(entry);
+        if entries.len() >= self.cap {
+            let new_floor = entries.iter().map(|e| e.total_us).min().expect("non-empty");
+            self.floor.store(new_floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained entries, slowest first (ties: most recent first).
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        let mut out = self.entries.lock().expect("slowlog lock").clone();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(b.seq.cmp(&a.seq)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_us: u64, seq: u64) -> SlowEntry {
+        SlowEntry {
+            db: "db".into(),
+            version: 1,
+            fingerprint: 0xfeed,
+            method: "pushdown".into(),
+            outcome: "ok".into(),
+            total_us,
+            spans: TraceSpans::new(),
+            rows: 0,
+            tuples_flowed: 0,
+            peak_materialized: 0,
+            join_stages: 0,
+            threads_used: 1,
+            seq,
+        }
+    }
+
+    #[test]
+    fn keeps_worst_n_sorted_desc() {
+        let log = SlowLog::new(3);
+        for (i, us) in [5u64, 100, 2, 50, 80, 1].into_iter().enumerate() {
+            log.record(entry(us, i as u64));
+        }
+        let snap = log.snapshot();
+        let latencies: Vec<u64> = snap.iter().map(|e| e.total_us).collect();
+        assert_eq!(latencies, vec![100, 80, 50]);
+    }
+
+    #[test]
+    fn floor_rejects_fast_entries_once_full() {
+        let log = SlowLog::new(2);
+        log.record(entry(10, 0));
+        log.record(entry(20, 1));
+        // Full; floor is 10. Equal-or-faster entries bounce.
+        log.record(entry(10, 2));
+        log.record(entry(3, 3));
+        assert_eq!(log.snapshot().len(), 2);
+        // A genuinely slower one displaces the floor entry.
+        log.record(entry(15, 4));
+        let latencies: Vec<u64> = log.snapshot().iter().map(|e| e.total_us).collect();
+        assert_eq!(latencies, vec![20, 15]);
+    }
+
+    #[test]
+    fn seq_is_monotone() {
+        let log = SlowLog::new(4);
+        let a = log.next_seq();
+        let b = log.next_seq();
+        assert!(b > a);
+    }
+}

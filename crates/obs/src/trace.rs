@@ -1,0 +1,113 @@
+//! The per-request span taxonomy and the record workers fill in.
+//!
+//! A request's life inside the engine is six consecutive phases:
+//! queue-wait (admission to worker pickup), parse, fingerprint,
+//! cache-lookup (result + plan cache probes), plan (only on a plan-cache
+//! miss), and exec (only on a result-cache miss). A [`TraceSpans`] is a
+//! fixed array of per-phase microsecond durations — `Copy`, allocation
+//! free, and cheap enough to ride on every response.
+
+/// One phase of a request's life. The discriminant is the index into
+/// [`TraceSpans::micros`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Phase {
+    /// From admission (queue push) to worker pickup.
+    QueueWait = 0,
+    /// Query text → AST.
+    Parse = 1,
+    /// Canonical Weisfeiler-Leman fingerprint of the query.
+    Fingerprint = 2,
+    /// Result-cache and plan-cache probes.
+    CacheLookup = 3,
+    /// Planning on a plan-cache miss (zero on a hit).
+    Plan = 4,
+    /// Plan execution (zero on a result-cache hit).
+    Exec = 5,
+}
+
+/// Every phase, in request-lifecycle order.
+pub const PHASES: [Phase; 6] = [
+    Phase::QueueWait,
+    Phase::Parse,
+    Phase::Fingerprint,
+    Phase::CacheLookup,
+    Phase::Plan,
+    Phase::Exec,
+];
+
+impl Phase {
+    /// Number of phases (length of [`TraceSpans::micros`]).
+    pub const COUNT: usize = 6;
+
+    /// Stable snake_case name, used as the `phase` label value in
+    /// metrics and as the wire key prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::QueueWait => "queue_wait",
+            Phase::Parse => "parse",
+            Phase::Fingerprint => "fingerprint",
+            Phase::CacheLookup => "cache_lookup",
+            Phase::Plan => "plan",
+            Phase::Exec => "exec",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn parse_name(s: &str) -> Option<Phase> {
+        PHASES.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Per-phase durations (microseconds) for one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSpans {
+    /// Duration of each phase, indexed by `Phase as usize`.
+    pub micros: [u64; Phase::COUNT],
+}
+
+impl TraceSpans {
+    /// All-zero spans.
+    pub fn new() -> Self {
+        TraceSpans::default()
+    }
+
+    /// Sets one phase's duration.
+    pub fn set(&mut self, phase: Phase, micros: u64) {
+        self.micros[phase as usize] = micros;
+    }
+
+    /// One phase's duration.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.micros[phase as usize]
+    }
+
+    /// Sum of all phase durations. Always ≤ the request's wall time:
+    /// phases are consecutive sub-intervals of it.
+    pub fn total(&self) -> u64 {
+        self.micros.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in PHASES {
+            assert_eq!(Phase::parse_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::parse_name("nope"), None);
+    }
+
+    #[test]
+    fn spans_set_get_total() {
+        let mut s = TraceSpans::new();
+        s.set(Phase::Parse, 10);
+        s.set(Phase::Exec, 90);
+        assert_eq!(s.get(Phase::Parse), 10);
+        assert_eq!(s.get(Phase::QueueWait), 0);
+        assert_eq!(s.total(), 100);
+    }
+}

@@ -41,7 +41,7 @@ pub use error::RelalgError;
 pub use plan::Plan;
 pub use relation::Relation;
 pub use schema::{AttrId, Schema};
-pub use stats::ExecStats;
+pub use stats::{ExecDigest, ExecStats};
 pub use value::Value;
 
 /// Convenience result alias used throughout the crate.

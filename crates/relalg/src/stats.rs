@@ -43,7 +43,33 @@ pub struct ExecStats {
     pub cpu_time: Duration,
 }
 
+/// Fixed-width summary of an execution — the four quantities a trace
+/// span or slow-query-log entry carries to explain a request without
+/// hauling the full [`ExecStats`] (whose `shard_tuples` vector is
+/// unbounded) across a metrics boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecDigest {
+    /// Tuples emitted by all join stages.
+    pub tuples_flowed: u64,
+    /// Largest materialized intermediate (rows, after dedup).
+    pub peak_materialized: u64,
+    /// Number of join stages executed.
+    pub join_stages: u64,
+    /// Worker threads the executor ran with (1 = serial).
+    pub threads_used: u64,
+}
+
 impl ExecStats {
+    /// The compact [`ExecDigest`] of this execution.
+    pub fn digest(&self) -> ExecDigest {
+        ExecDigest {
+            tuples_flowed: self.tuples_flowed,
+            peak_materialized: self.peak_materialized,
+            join_stages: self.join_stages,
+            threads_used: self.threads_used,
+        }
+    }
+
     /// Merges `other` into `self` (used when a harness sums over plan
     /// fragments executed separately).
     pub fn absorb(&mut self, other: &ExecStats) {

@@ -8,9 +8,11 @@ use std::time::Duration;
 
 use ppr_relalg::Value;
 
+use ppr_obs::SlowEntry;
+
 use crate::catalog::DbVersion;
 use crate::engine::{EngineStats, Request, Response};
-use crate::protocol::{self, Ack, Command};
+use crate::protocol::{self, Ack, Command, TraceReport};
 use crate::ServiceError;
 
 /// A connected client. One request is in flight at a time per client;
@@ -114,10 +116,27 @@ impl Client {
             .ok_or_else(|| ServiceError::Protocol("add ack without version".into()))
     }
 
-    /// Fetches engine + cache counters.
+    /// Fetches engine + cache counters (including per-phase latency
+    /// quantiles from the server's shared histograms).
     pub fn stats(&mut self) -> Result<EngineStats, ServiceError> {
         let reply = self.round_trip("stats")?;
         protocol::decode_stats(&reply)
+    }
+
+    /// Evaluates a query and returns where its time went instead of the
+    /// rows: the worker's per-phase span breakdown plus the execution
+    /// digest. Same grammar and budget semantics as [`run`].
+    ///
+    /// [`run`]: Client::run
+    pub fn trace(&mut self, request: &Request) -> Result<TraceReport, ServiceError> {
+        let reply = self.round_trip(&protocol::encode_trace(request))?;
+        protocol::decode_trace_report(&reply)
+    }
+
+    /// Fetches the server's slow-query log, slowest first.
+    pub fn slowlog(&mut self) -> Result<Vec<SlowEntry>, ServiceError> {
+        let reply = self.round_trip("slowlog")?;
+        protocol::decode_slowlog(&reply)
     }
 
     /// Liveness check.
@@ -492,6 +511,73 @@ mod tests {
         assert_eq!(pipe.wait(a).unwrap().rows.len(), 1);
         assert_eq!(pipe.wait_ack(u1).unwrap().db, "left");
         assert_eq!(pipe.wait_ack(u2).unwrap().db, "right");
+
+        server.shutdown();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn trace_slowlog_and_span_stats_over_tcp() {
+        let (mut server, addr, engine) = serve();
+        let mut client = Client::connect(addr).unwrap();
+
+        let req = Request::new("q(x, y) :- edge(x, y), edge(y, x)", Method::EarlyProjection);
+        let cold = client.trace(&req).unwrap();
+        assert!(!cold.result_cache_hit);
+        assert_eq!(cold.rows, 6, "K3 symmetric pairs");
+        assert!(cold.tuples_flowed > 0, "cold trace executed");
+        assert!(
+            cold.spans.total() <= cold.total_us,
+            "span sum {} must not exceed wall time {}",
+            cold.spans.total(),
+            cold.total_us
+        );
+
+        // The repeat is a result-cache hit: exec span zero, flagged.
+        let warm = client.trace(&req).unwrap();
+        assert!(warm.result_cache_hit);
+        assert_eq!(warm.spans.get(ppr_obs::Phase::Exec), 0);
+        assert_eq!(warm.spans.get(ppr_obs::Phase::Plan), 0);
+
+        // Both traced requests landed in the shared histograms.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.spans.total.count, 2);
+        assert_eq!(
+            stats.spans.phase[ppr_obs::Phase::Exec as usize].count,
+            2,
+            "every completion records every phase"
+        );
+
+        // The slow-query log saw both, slowest first, with the shared
+        // identity (same db/fingerprint) and outcome vocabulary.
+        let log = client.slowlog().unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].total_us >= log[1].total_us);
+        assert_eq!(log[0].fingerprint, log[1].fingerprint);
+        assert!(log.iter().all(|e| e.outcome == "ok"));
+
+        // A failed request shows up with its error kind as the outcome.
+        let _ = client.run(&Request::new("q() :- nope(x, y)", Method::Naive));
+        let log = client.slowlog().unwrap();
+        assert_eq!(
+            log.len(),
+            2,
+            "no identity before fingerprinting → not logged"
+        );
+        // A fresh query (no cached result to bypass the budget) that
+        // cannot fit one tuple of flow.
+        let heavy = Request::new(
+            "q() :- edge(a, b), edge(b, c), edge(c, d)",
+            Method::Straightforward,
+        )
+        .max_tuples(1);
+        let _ = client.run(&heavy);
+        let log = client.slowlog().unwrap();
+        assert!(
+            log.iter().any(|e| e.outcome == "budget"),
+            "{:?}",
+            log.iter().map(|e| e.outcome.clone()).collect::<Vec<_>>()
+        );
 
         server.shutdown();
         engine.shutdown();

@@ -41,6 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ppr_core::methods::{build_plan, Method, OrderHeuristic};
+use ppr_obs::{Phase, Quantiles, SlowEntry, TraceSpans, PHASES};
 use ppr_query::{ConjunctiveQuery, Database, QueryIdentity};
 use ppr_relalg::{exec, parallel, Budget, ExecStats, Value};
 use rand::rngs::StdRng;
@@ -48,6 +49,7 @@ use rand::SeedableRng;
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
 use crate::catalog::{Catalog, DbSnapshot, DEFAULT_DB};
+use crate::metrics::ServiceMetrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::result_cache::{CachedResult, ResultCache, ResultCacheStats, ResultKey};
 use crate::ServiceError;
@@ -160,6 +162,11 @@ pub struct Response {
     pub result_cache_hit: bool,
     /// Time spent building the plan (0 on either kind of hit).
     pub plan_micros: u64,
+    /// Per-phase span breakdown recorded by the worker
+    /// (queue-wait → parse → fingerprint → cache-lookup → plan → exec).
+    /// Zeroed on wire-decoded responses — `run` replies do not carry it;
+    /// the `trace` verb does.
+    pub trace: TraceSpans,
 }
 
 impl Response {
@@ -174,6 +181,7 @@ impl Response {
             cache_hit: false,
             result_cache_hit: false,
             plan_micros: 0,
+            trace: TraceSpans::new(),
         }
     }
 }
@@ -204,6 +212,9 @@ pub struct EngineConfig {
     pub max_budget: Budget,
     /// Planner seed used when a request does not carry one.
     pub default_seed: u64,
+    /// Slow-query-log entries retained (worst-N by latency); 0 selects
+    /// [`crate::metrics::DEFAULT_SLOWLOG_CAPACITY`].
+    pub slowlog_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -217,6 +228,7 @@ impl Default for EngineConfig {
             exec_threads: 1,
             max_budget: Budget::tuples(u64::MAX).with_timeout(Duration::from_secs(60)),
             default_seed: 0,
+            slowlog_capacity: 0,
         }
     }
 }
@@ -227,6 +239,9 @@ struct Job {
     /// skips catalog resolution and every request of the batch evaluates
     /// against the same published version.
     pinned: Option<(String, DbSnapshot)>,
+    /// When admission accepted the job — the worker's pickup time minus
+    /// this is the queue-wait span.
+    submitted: Instant,
     reply: ReplyFn,
 }
 
@@ -243,6 +258,7 @@ struct Shared {
     exec_threads: usize,
     max_budget: Budget,
     default_seed: u64,
+    obs: Arc<ServiceMetrics>,
 }
 
 /// Aggregate engine counters, reported by the `stats` wire command.
@@ -258,6 +274,20 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Result-cache counters.
     pub results: ResultCacheStats,
+    /// Per-phase latency quantiles from the shared histograms.
+    pub spans: SpanStats,
+}
+
+/// Latency quantiles per request phase, extracted from the engine's
+/// shared histograms at [`EngineHandle::stats`] time. Quantile values
+/// are upper bucket bounds (see `ppr_obs::HistSnapshot::quantile`), in
+/// microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// One [`Quantiles`] per [`Phase`], indexed by `Phase as usize`.
+    pub phase: [Quantiles; Phase::COUNT],
+    /// End-to-end latency (admission to completion).
+    pub total: Quantiles,
 }
 
 /// Cloneable submission handle; the [`Engine`] keeps thread ownership.
@@ -303,6 +333,7 @@ impl EngineHandle {
         self.submit_job(Job {
             request,
             pinned: None,
+            submitted: Instant::now(),
             reply: Box::new(on_done),
         });
     }
@@ -347,11 +378,13 @@ impl EngineHandle {
         }
         let mut batch = batch;
         let refused: Vec<(Request, ReplyFn)> = batch.split_off(granted);
+        let submitted = Instant::now();
         let jobs: Vec<Job> = batch
             .into_iter()
             .map(|(request, reply)| Job {
                 request,
                 pinned: Some((name.to_string(), snapshot.clone())),
+                submitted,
                 reply,
             })
             .collect();
@@ -428,13 +461,101 @@ impl EngineHandle {
 
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
+        let obs = &self.shared.obs;
         EngineStats {
             served: self.shared.served.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             inflight: self.shared.inflight.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
             results: self.shared.results.stats(),
+            spans: SpanStats {
+                phase: std::array::from_fn(|i| obs.phase_us[i].snapshot().quantiles()),
+                total: obs.total_us.snapshot().quantiles(),
+            },
         }
+    }
+
+    /// The engine's observability surface: the metric registry the
+    /// workers record into and the slow-query log. Shared — cloning the
+    /// `Arc` observes the live engine, it does not copy counters.
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        self.shared.obs.clone()
+    }
+
+    /// Renders the full Prometheus text page: every registry metric plus
+    /// the engine/cache counters and the queue-depth gauge sampled at
+    /// scrape time (pull model — the hot path never mirrors them).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.shared.obs.registry.render_prometheus();
+        let mut push = |name: &str, kind: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        };
+        let s = &self.shared;
+        push(
+            "ppr_served_total",
+            "counter",
+            "Requests answered (ok or error) by workers",
+            s.served.load(Ordering::Relaxed),
+        );
+        push(
+            "ppr_rejected_total",
+            "counter",
+            "Requests refused by admission control",
+            s.rejected.load(Ordering::Relaxed),
+        );
+        push(
+            "ppr_inflight",
+            "gauge",
+            "Requests currently queued or executing",
+            s.inflight.load(Ordering::Relaxed) as u64,
+        );
+        push(
+            "ppr_queue_depth",
+            "gauge",
+            "Requests admitted but not yet picked up by a worker",
+            s.queue.len() as u64,
+        );
+        let cache = s.cache.stats();
+        push(
+            "ppr_plan_cache_hits_total",
+            "counter",
+            "Plan-cache hits",
+            cache.hits,
+        );
+        push(
+            "ppr_plan_cache_misses_total",
+            "counter",
+            "Plan-cache misses",
+            cache.misses,
+        );
+        push(
+            "ppr_plan_cache_evictions_total",
+            "counter",
+            "Plan-cache evictions",
+            cache.evictions,
+        );
+        let results = s.results.stats();
+        push(
+            "ppr_result_cache_hits_total",
+            "counter",
+            "Result-cache hits",
+            results.hits,
+        );
+        push(
+            "ppr_result_cache_misses_total",
+            "counter",
+            "Result-cache misses",
+            results.misses,
+        );
+        push(
+            "ppr_result_cache_bytes",
+            "gauge",
+            "Bytes held by the result cache",
+            results.bytes as u64,
+        );
+        out
     }
 }
 
@@ -469,6 +590,7 @@ impl Engine {
             exec_threads: cfg.exec_threads,
             max_budget: cfg.max_budget,
             default_seed: cfg.default_seed,
+            obs: ServiceMetrics::new(cfg.slowlog_capacity),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -515,22 +637,111 @@ fn worker_loop(shared: &Shared) {
     // `pop_batch` never waits for a full batch.
     while let Some(jobs) = shared.queue.pop_batch(WORKER_BATCH) {
         for job in jobs {
+            let mut spans = TraceSpans::new();
+            spans.set(Phase::QueueWait, job.submitted.elapsed().as_micros() as u64);
+            let mut slow_id = None;
             // Panic isolation: requests come off the wire, and a panic
             // escaping `process` would kill this worker *and* leak its
             // in-flight slot — enough such requests would empty the pool
             // and leave later admitted requests waiting forever.
             // Known-bad inputs are rejected with typed errors before they
             // can panic; this is the backstop for the unknown ones.
+            // `process` writes spans through an out-parameter so a failed
+            // (or panicked) request keeps the phases it did complete.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                process(shared, &job.request, job.pinned.as_ref())
+                process(
+                    shared,
+                    &job.request,
+                    job.pinned.as_ref(),
+                    &mut spans,
+                    &mut slow_id,
+                )
             }))
-            .unwrap_or_else(|payload| Err(ServiceError::Internal(panic_message(payload.as_ref()))));
+            .unwrap_or_else(|payload| {
+                let msg = panic_message(payload.as_ref());
+                ppr_obs::ppr_error!("worker caught a panic processing a request: {msg}");
+                Err(ServiceError::Internal(msg))
+            })
+            .map(|mut resp| {
+                resp.trace = spans;
+                resp
+            });
+            // Total latency is measured from admission, so the recorded
+            // spans always sum to at most the recorded total.
+            let total_us = job.submitted.elapsed().as_micros() as u64;
+            record_completion(shared, &job.request, &result, spans, total_us, slow_id);
             shared.served.fetch_add(1, Ordering::Relaxed);
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
             // The callback owns delivery; a vanished caller (client
             // disconnected mid-request) just makes it a no-op.
             (job.reply)(result);
         }
+    }
+}
+
+/// The identity a slow-query-log entry aggregates by, known once the
+/// worker has fingerprinted the request. Requests failing before that
+/// point (unknown database, parse error, missing relation) are counted
+/// in the error metrics but not logged — they have no identity.
+struct SlowIdentity {
+    db: String,
+    version: u64,
+    fingerprint: u128,
+}
+
+/// Records one completed request into the metrics registry and, when its
+/// identity is known, the slow-query log. Every completion records all
+/// six phases — a zero means the phase did not run or was
+/// sub-microsecond, which keeps phase counts comparable.
+fn record_completion(
+    shared: &Shared,
+    request: &Request,
+    result: &Result<Response, ServiceError>,
+    spans: TraceSpans,
+    total_us: u64,
+    slow_id: Option<SlowIdentity>,
+) {
+    let obs = &shared.obs;
+    obs.requests_total.inc();
+    for p in PHASES {
+        obs.phase_us[p as usize].record(spans.get(p));
+    }
+    obs.total_us.record(total_us);
+    let (rows, digest, outcome) = match result {
+        Ok(resp) => {
+            obs.result_rows.record(resp.rows.len() as u64);
+            let digest = if resp.result_cache_hit {
+                // A result-cache hit executed nothing; recording the
+                // original execution's flow would double-count it.
+                ppr_relalg::ExecDigest::default()
+            } else {
+                resp.stats.digest()
+            };
+            obs.tuples_flowed.record(digest.tuples_flowed);
+            (resp.rows.len() as u64, digest, "ok")
+        }
+        Err(e) => {
+            obs.errors_total.inc();
+            (0, ppr_relalg::ExecDigest::default(), e.kind())
+        }
+    };
+    if let Some(id) = slow_id {
+        let seq = obs.slowlog.next_seq();
+        obs.slowlog.record(SlowEntry {
+            db: id.db,
+            version: id.version,
+            fingerprint: id.fingerprint,
+            method: request.method.name().to_string(),
+            outcome: outcome.to_string(),
+            total_us,
+            spans,
+            rows,
+            tuples_flowed: digest.tuples_flowed,
+            peak_materialized: digest.peak_materialized,
+            join_stages: digest.join_stages,
+            threads_used: digest.threads_used,
+            seq,
+        });
     }
 }
 
@@ -568,6 +779,8 @@ fn process(
     shared: &Shared,
     request: &Request,
     pinned: Option<&(String, DbSnapshot)>,
+    spans: &mut TraceSpans,
+    slow_id: &mut Option<SlowIdentity>,
 ) -> Result<Response, ServiceError> {
     // One snapshot for the whole request: concurrent catalog mutations
     // publish new versions beside it and never tear this evaluation.
@@ -585,14 +798,27 @@ fn process(
         }
     };
 
-    let query = ppr_query::parse_query(&request.query).map_err(|e| ServiceError::Parse(e.0))?;
-    check_relations(&query, &snapshot.db)?;
+    // Span writes go through the out-parameter *before* each `?` so a
+    // failed request keeps the phases it did complete.
+    let started = Instant::now();
+    let parsed = ppr_query::parse_query(&request.query)
+        .map_err(|e| ServiceError::Parse(e.0))
+        .and_then(|q| check_relations(&q, &snapshot.db).map(|()| q));
+    spans.set(Phase::Parse, started.elapsed().as_micros() as u64);
+    let query = parsed?;
 
     // The effective seed is part of both cache keys: it breaks planner
     // ties, so a request carrying an explicit seed must not be answered
     // with a plan (or rows) built under a different one.
     let seed = request.seed.unwrap_or(shared.default_seed);
+    let started = Instant::now();
     let identity = QueryIdentity::of(&query);
+    spans.set(Phase::Fingerprint, started.elapsed().as_micros() as u64);
+    *slow_id = Some(SlowIdentity {
+        db: db_name.to_string(),
+        version: snapshot.version.0,
+        fingerprint: identity.fingerprint.0,
+    });
 
     // Result cache first: a hit is rows with zero execution. The budget
     // is deliberately not part of the key — budgets bound execution work,
@@ -604,7 +830,11 @@ fn process(
         method: request.method,
         seed,
     };
-    if let Some(cached) = shared.results.get(&result_key, &identity.shape) {
+    let started = Instant::now();
+    let cached = shared.results.get(&result_key, &identity.shape);
+    let mut lookup_us = started.elapsed().as_micros() as u64;
+    spans.set(Phase::CacheLookup, lookup_us);
+    if let Some(cached) = cached {
         return Ok(Response {
             columns: cached.columns.clone(),
             rows: cached.rows.clone(),
@@ -612,6 +842,7 @@ fn process(
             cache_hit: true,
             result_cache_hit: true,
             plan_micros: 0,
+            trace: TraceSpans::new(),
         });
     }
 
@@ -622,7 +853,11 @@ fn process(
         method: request.method,
         seed,
     };
-    let (plan, cache_hit, plan_micros) = match shared.cache.get(&plan_key, &identity.shape) {
+    let started = Instant::now();
+    let cached_plan = shared.cache.get(&plan_key, &identity.shape);
+    lookup_us += started.elapsed().as_micros() as u64;
+    spans.set(Phase::CacheLookup, lookup_us);
+    let (plan, cache_hit, plan_micros) = match cached_plan {
         Some(plan) => (plan, true, 0),
         None => {
             let started = Instant::now();
@@ -639,6 +874,7 @@ fn process(
             )
         }
     };
+    spans.set(Phase::Plan, plan_micros);
 
     let mut budget = Budget::unlimited();
     if let Some(t) = request.max_tuples {
@@ -650,12 +886,14 @@ fn process(
     }
     let budget = budget.clamp(&shared.max_budget);
 
-    let (rel, stats) = if shared.exec_threads == 1 {
+    let started = Instant::now();
+    let executed = if shared.exec_threads == 1 {
         exec::execute(&plan, &budget)
     } else {
         parallel::execute_parallel(&plan, &budget, shared.exec_threads)
-    }
-    .map_err(ServiceError::Exec)?;
+    };
+    spans.set(Phase::Exec, started.elapsed().as_micros() as u64);
+    let (rel, stats) = executed.map_err(ServiceError::Exec)?;
 
     let columns: Vec<String> = query.free.iter().map(|&f| query.vars.name(f)).collect();
     let rows = rel.tuples().to_vec();
@@ -675,6 +913,7 @@ fn process(
         cache_hit,
         result_cache_hit: false,
         plan_micros,
+        trace: TraceSpans::new(),
     })
 }
 

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod catalog;
 pub mod client;
 pub mod engine;
+pub mod metrics;
 pub mod protocol;
 mod queue;
 pub mod result_cache;
@@ -60,7 +61,8 @@ pub mod server;
 pub use cache::{CacheStats, PlanCache};
 pub use catalog::{Catalog, CatalogError, DbSnapshot, DbVersion, DEFAULT_DB};
 pub use client::{Client, Pipeline, Ticket};
-pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response};
+pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response, SpanStats};
+pub use metrics::{render_slowlog, ServiceMetrics, DEFAULT_SLOWLOG_CAPACITY};
 pub use result_cache::{ResultCache, ResultCacheStats};
 pub use server::Server;
 
@@ -121,6 +123,29 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::Io(m) => write!(f, "io error: {m}"),
             ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl ServiceError {
+    /// Stable machine-readable kind, shared by the wire protocol's
+    /// `err kind=…` encoding and the slow-query log's outcome column.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Parse(_) => "parse",
+            ServiceError::MissingRelation(_) => "missing_relation",
+            ServiceError::UnknownDatabase(_) => "unknown_db",
+            ServiceError::Catalog(_) => "catalog",
+            ServiceError::UnknownMethod(_) => "unknown_method",
+            ServiceError::Exec(e) => match e {
+                RelalgError::BudgetExceeded { .. } => "budget",
+                _ => "exec",
+            },
+            ServiceError::Protocol(_) => "protocol",
+            ServiceError::Io(_) => "io",
+            ServiceError::Internal(_) => "internal",
         }
     }
 }

@@ -9,6 +9,7 @@
 //! line while completing them out of order.
 
 use ppr_core::methods::Method;
+use ppr_obs::{Phase, Quantiles, SlowEntry, TraceSpans, PHASES};
 use ppr_relalg::budget::BudgetKind;
 use ppr_relalg::{ExecStats, RelalgError, Value};
 use std::time::Duration;
@@ -57,6 +58,11 @@ pub enum Command {
     },
     /// Report engine + cache counters.
     Stats,
+    /// Evaluate a query and return its per-phase span breakdown instead
+    /// of the rows — same grammar as `run`, different reply shape.
+    Trace(Request),
+    /// Report the slow-query log (worst-N by latency).
+    SlowLog,
     /// Liveness check.
     Ping,
     /// Protocol negotiation: the highest version the client speaks.
@@ -129,7 +135,17 @@ fn decode_tuples(text: &str) -> Result<Vec<Box<[Value]>>, ServiceError> {
 
 /// Encodes a request as one `run` line (no trailing newline).
 pub fn encode_request(req: &Request) -> String {
-    let mut line = String::from("run");
+    encode_request_line("run", req)
+}
+
+/// Encodes a request as one `trace` line — `run`'s grammar, the trace
+/// reply shape.
+pub fn encode_trace(req: &Request) -> String {
+    encode_request_line("trace", req)
+}
+
+fn encode_request_line(verb: &str, req: &Request) -> String {
+    let mut line = String::from(verb);
     if let Some(db) = &req.db {
         line.push_str(&format!(" db={db}"));
     }
@@ -165,6 +181,8 @@ pub fn encode_command(cmd: &Command) -> String {
             )
         }
         Command::Stats => "stats".to_string(),
+        Command::Trace(req) => encode_trace(req),
+        Command::SlowLog => "slowlog".to_string(),
         Command::Ping => "ping".to_string(),
         Command::Hello { proto } => format!("hello proto={proto}"),
     }
@@ -183,6 +201,7 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
     match verb {
         "ping" => Ok(Command::Ping),
         "stats" => Ok(Command::Stats),
+        "slowlog" => Ok(Command::SlowLog),
         "hello" => {
             let Some(v) = rest.trim().strip_prefix("proto=") else {
                 return perr("hello needs proto=");
@@ -229,9 +248,9 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
                 })
             }
         }
-        "run" => {
+        "run" | "trace" => {
             let Some(rule_at) = rest.find("rule=") else {
-                return perr("run line needs rule=");
+                return perr(format!("{verb} line needs rule="));
             };
             let query = rest[rule_at + "rule=".len()..].trim().to_string();
             if query.is_empty() {
@@ -262,14 +281,18 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
                 }
             }
             let Some(method) = method else {
-                return perr("run line needs method=");
+                return perr(format!("{verb} line needs method="));
             };
             let mut req = Request::new(query, method);
             req.db = db;
             req.max_tuples = max_tuples;
             req.timeout_ms = timeout_ms;
             req.seed = seed;
-            Ok(Command::Run(req))
+            Ok(if verb == "run" {
+                Command::Run(req)
+            } else {
+                Command::Trace(req)
+            })
         }
         other => perr(format!("unknown verb `{other}`")),
     }
@@ -639,9 +662,12 @@ fn decode_error(rest: &str) -> ServiceError {
     }
 }
 
-/// Encodes the `stats` reply.
+/// Encodes the `stats` reply: the original counters plus, per phase,
+/// the `{phase}_n` / `{phase}_p50` / `{phase}_p95` / `{phase}_p99` span
+/// quantiles (and `total_*` for end-to-end latency), all in microseconds
+/// from the engine's shared histograms.
 pub fn encode_stats(s: &EngineStats) -> String {
-    format!(
+    let mut line = format!(
         "ok served={} rejected={} inflight={} hits={} misses={} evictions={} collisions={} \
          cache_len={} r_hits={} r_misses={} r_evictions={} r_collisions={} r_oversized={} \
          r_len={} r_bytes={} r_cap={}",
@@ -661,7 +687,18 @@ pub fn encode_stats(s: &EngineStats) -> String {
         s.results.len,
         s.results.bytes,
         s.results.capacity_bytes,
-    )
+    );
+    let mut push_quantiles = |name: &str, q: &Quantiles| {
+        line.push_str(&format!(
+            " {name}_n={} {name}_p50={} {name}_p95={} {name}_p99={}",
+            q.count, q.p50, q.p95, q.p99,
+        ));
+    };
+    for (i, p) in PHASES.iter().enumerate() {
+        push_quantiles(p.name(), &s.spans.phase[i]);
+    }
+    push_quantiles("total", &s.spans.total);
+    line
 }
 
 /// Decodes the `stats` reply.
@@ -695,10 +732,230 @@ pub fn decode_stats(line: &str) -> Result<EngineStats, ServiceError> {
             "r_len" => s.results.len = parse_num(k, v)?,
             "r_bytes" => s.results.bytes = parse_num(k, v)?,
             "r_cap" => s.results.capacity_bytes = parse_num(k, v)?,
-            _ => return perr(format!("unknown key `{k}`")),
+            // Span quantiles: `{phase}_{n|p50|p95|p99}` or `total_…`.
+            other => {
+                let quantile = other.rsplit_once('_').and_then(|(prefix, suffix)| {
+                    let q = if prefix == "total" {
+                        Some(&mut s.spans.total)
+                    } else {
+                        Phase::parse_name(prefix).map(|p| &mut s.spans.phase[p as usize])
+                    }?;
+                    match suffix {
+                        "n" => Some(&mut q.count),
+                        "p50" => Some(&mut q.p50),
+                        "p95" => Some(&mut q.p95),
+                        "p99" => Some(&mut q.p99),
+                        _ => None,
+                    }
+                });
+                match quantile {
+                    Some(slot) => *slot = parse_num(k, v)?,
+                    None => return perr(format!("unknown key `{k}`")),
+                }
+            }
         }
     }
     Ok(s)
+}
+
+/// The `trace` verb's reply: where one request's time went. The spans
+/// are the worker's record; the digest fields give the execution scale
+/// that explains them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceReport {
+    /// Per-phase durations recorded by the worker (microseconds).
+    pub spans: TraceSpans,
+    /// Wall time the server observed around the engine call — an upper
+    /// bound on the sum of the spans.
+    pub total_us: u64,
+    /// Result rows.
+    pub rows: u64,
+    /// Whether the request skipped re-planning.
+    pub cache_hit: bool,
+    /// Whether the rows came from the result cache.
+    pub result_cache_hit: bool,
+    /// Executor tuple flow (0 on a result-cache hit).
+    pub tuples_flowed: u64,
+    /// Largest materialized intermediate (rows).
+    pub peak_materialized: u64,
+    /// Join stages executed.
+    pub join_stages: u64,
+    /// Executor threads used.
+    pub threads_used: u64,
+}
+
+/// Builds the report for a completed response: spans ride on
+/// [`Response::trace`], the digest comes from its stats.
+impl TraceReport {
+    /// Summarizes `resp`, observed to take `total_us` of wall time.
+    pub fn of(resp: &Response, total_us: u64) -> TraceReport {
+        let digest = resp.stats.digest();
+        TraceReport {
+            spans: resp.trace,
+            total_us,
+            rows: resp.rows.len() as u64,
+            cache_hit: resp.cache_hit,
+            result_cache_hit: resp.result_cache_hit,
+            tuples_flowed: digest.tuples_flowed,
+            peak_materialized: digest.peak_materialized,
+            join_stages: digest.join_stages,
+            threads_used: digest.threads_used,
+        }
+    }
+}
+
+/// Encodes a `trace` outcome as one `ok`/`err` line.
+pub fn encode_trace_report(result: &Result<TraceReport, ServiceError>) -> String {
+    match result {
+        Ok(r) => {
+            let mut line = String::from("ok");
+            for p in PHASES {
+                line.push_str(&format!(" {}_us={}", p.name(), r.spans.get(p)));
+            }
+            line.push_str(&format!(
+                " total_us={} rows={} cache_hit={} result_hit={} tuples={} peak={} stages={} \
+                 threads={}",
+                r.total_us,
+                r.rows,
+                r.cache_hit as u8,
+                r.result_cache_hit as u8,
+                r.tuples_flowed,
+                r.peak_materialized,
+                r.join_stages,
+                r.threads_used,
+            ));
+            line
+        }
+        Err(e) => encode_error(e),
+    }
+}
+
+/// Decodes a `trace` reply line.
+pub fn decode_trace_report(line: &str) -> Result<TraceReport, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected trace line, got `{line}`"));
+    };
+    let mut r = TraceReport::default();
+    for tok in rest.split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "total_us" => r.total_us = parse_num(k, v)?,
+            "rows" => r.rows = parse_num(k, v)?,
+            "cache_hit" => r.cache_hit = v == "1",
+            "result_hit" => r.result_cache_hit = v == "1",
+            "tuples" => r.tuples_flowed = parse_num(k, v)?,
+            "peak" => r.peak_materialized = parse_num(k, v)?,
+            "stages" => r.join_stages = parse_num(k, v)?,
+            "threads" => r.threads_used = parse_num(k, v)?,
+            other => match other.strip_suffix("_us").and_then(Phase::parse_name) {
+                Some(p) => r.spans.set(p, parse_num(k, v)?),
+                None => return perr(format!("unknown key `{k}`")),
+            },
+        }
+    }
+    Ok(r)
+}
+
+/// Encodes the `slowlog` reply: `ok n=<count> entries=` then one
+/// `,`-separated record per entry, `;`-separated, slowest first. The
+/// `db`, `method`, and `outcome` columns are separator-safe by
+/// construction (`check_name` bans `,`/`;` in database names; method
+/// and outcome names are fixed identifiers).
+pub fn encode_slowlog(result: &Result<Vec<SlowEntry>, ServiceError>) -> String {
+    let entries = match result {
+        Ok(entries) => entries,
+        Err(e) => return encode_error(e),
+    };
+    let mut line = format!("ok n={} entries=", entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            line.push(';');
+        }
+        line.push_str(&format!(
+            "{},{},{:032x},{},{},{}",
+            e.db, e.version, e.fingerprint, e.method, e.outcome, e.total_us
+        ));
+        for p in PHASES {
+            line.push_str(&format!(",{}", e.spans.get(p)));
+        }
+        line.push_str(&format!(
+            ",{},{},{},{},{},{}",
+            e.rows, e.tuples_flowed, e.peak_materialized, e.join_stages, e.threads_used, e.seq
+        ));
+    }
+    line
+}
+
+/// Decodes the `slowlog` reply.
+pub fn decode_slowlog(line: &str) -> Result<Vec<SlowEntry>, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected slowlog line, got `{line}`"));
+    };
+    let Some(data_at) = rest.find("entries=") else {
+        return perr("slowlog line needs entries=");
+    };
+    let mut expected = None;
+    for tok in rest[..data_at].split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "n" => expected = Some(parse_num::<usize>(k, v)?),
+            _ => return perr(format!("unknown key `{k}`")),
+        }
+    }
+    let data = &rest[data_at + "entries=".len()..];
+    let mut entries = Vec::new();
+    if !data.is_empty() {
+        for record in data.split(';') {
+            let fields: Vec<&str> = record.split(',').collect();
+            // 6 identity/outcome columns + one per phase + 6 trailing.
+            if fields.len() != 12 + Phase::COUNT {
+                return perr(format!("bad slowlog record `{record}`"));
+            }
+            let mut spans = TraceSpans::new();
+            for (i, p) in PHASES.into_iter().enumerate() {
+                spans.set(p, parse_num(p.name(), fields[6 + i])?);
+            }
+            let tail = 6 + Phase::COUNT;
+            entries.push(SlowEntry {
+                db: fields[0].to_string(),
+                version: parse_num("version", fields[1])?,
+                fingerprint: u128::from_str_radix(fields[2], 16).map_err(|_| {
+                    ServiceError::Protocol(format!("bad fingerprint `{}`", fields[2]))
+                })?,
+                method: fields[3].to_string(),
+                outcome: fields[4].to_string(),
+                total_us: parse_num("total_us", fields[5])?,
+                spans,
+                rows: parse_num("rows", fields[tail])?,
+                tuples_flowed: parse_num("tuples", fields[tail + 1])?,
+                peak_materialized: parse_num("peak", fields[tail + 2])?,
+                join_stages: parse_num("stages", fields[tail + 3])?,
+                threads_used: parse_num("threads", fields[tail + 4])?,
+                seq: parse_num("seq", fields[tail + 5])?,
+            });
+        }
+    }
+    if let Some(n) = expected {
+        if n != entries.len() {
+            return perr(format!(
+                "entry count {} does not match n={n}",
+                entries.len()
+            ));
+        }
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -925,8 +1182,144 @@ mod tests {
         s.results.len = 3;
         s.results.bytes = 4096;
         s.results.capacity_bytes = 8 << 20;
+        s.spans.phase[Phase::QueueWait as usize] = Quantiles {
+            count: 10,
+            p50: 3,
+            p95: 15,
+            p99: 31,
+        };
+        s.spans.phase[Phase::Exec as usize] = Quantiles {
+            count: 10,
+            p50: 127,
+            p95: 511,
+            p99: 1023,
+        };
+        s.spans.total = Quantiles {
+            count: 10,
+            p50: 255,
+            p95: 511,
+            p99: 2047,
+        };
         let line = encode_stats(&s);
+        assert!(line.contains("queue_wait_p95=15"), "{line}");
+        assert!(line.contains("exec_p50=127"), "{line}");
+        assert!(line.contains("total_p99=2047"), "{line}");
         assert_eq!(decode_stats(&line).unwrap(), s);
+        // Unknown keys are still rejected — the quantile fallback only
+        // accepts `{phase}_{n|p50|p95|p99}`.
+        for bad in ["ok zap_p50=1", "ok exec_p42=1", "ok total_q=1"] {
+            assert!(decode_stats(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn trace_command_round_trips_and_reuses_run_grammar() {
+        let mut req = sample_request();
+        req.timeout_ms = Some(250);
+        let cmd = Command::Trace(req.clone());
+        let line = encode_command(&cmd);
+        assert!(line.starts_with("trace "), "{line}");
+        assert_eq!(decode_command(&line).unwrap(), cmd);
+        // `trace` rejects the same malformed lines as `run`.
+        assert!(matches!(
+            decode_command("trace rule=q() :- e(x,y)"),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_command("trace method=warp rule=q() :- e(x,y)"),
+            Err(ServiceError::UnknownMethod(_))
+        ));
+        // Tagging works on `trace` lines like any other verb.
+        let tagged = tag_request(5, &line);
+        let (id, rest) = split_request_tag(&tagged).unwrap();
+        assert_eq!(id, Some(5));
+        assert_eq!(rest, line);
+    }
+
+    #[test]
+    fn trace_report_round_trips() {
+        let mut r = TraceReport {
+            total_us: 1234,
+            rows: 6,
+            cache_hit: true,
+            result_cache_hit: false,
+            tuples_flowed: 42,
+            peak_materialized: 9,
+            join_stages: 3,
+            threads_used: 2,
+            ..TraceReport::default()
+        };
+        r.spans.set(Phase::QueueWait, 10);
+        r.spans.set(Phase::Parse, 20);
+        r.spans.set(Phase::Fingerprint, 5);
+        r.spans.set(Phase::CacheLookup, 1);
+        r.spans.set(Phase::Plan, 300);
+        r.spans.set(Phase::Exec, 800);
+        let line = encode_trace_report(&Ok(r));
+        assert!(line.contains("queue_wait_us=10"), "{line}");
+        assert!(line.contains("exec_us=800"), "{line}");
+        assert_eq!(decode_trace_report(&line).unwrap(), r);
+        // Errors pass through the shared err matrix.
+        let err = ServiceError::UnknownDatabase("nope".into());
+        assert_eq!(
+            decode_trace_report(&encode_trace_report(&Err(err.clone()))).unwrap_err(),
+            err
+        );
+    }
+
+    #[test]
+    fn slowlog_round_trips() {
+        assert_eq!(decode_command("slowlog").unwrap(), Command::SlowLog);
+        let mut spans = TraceSpans::new();
+        spans.set(Phase::Exec, 900);
+        let entries = vec![
+            SlowEntry {
+                db: "graphs".into(),
+                version: 3,
+                fingerprint: u128::MAX - 1,
+                method: "be-mcs".into(),
+                outcome: "ok".into(),
+                total_us: 1000,
+                spans,
+                rows: 12,
+                tuples_flowed: 420,
+                peak_materialized: 64,
+                join_stages: 4,
+                threads_used: 2,
+                seq: 7,
+            },
+            SlowEntry {
+                db: "g-2.test".into(),
+                version: 0,
+                fingerprint: 0,
+                method: "sf".into(),
+                outcome: "budget".into(),
+                total_us: 900,
+                spans: TraceSpans::new(),
+                rows: 0,
+                tuples_flowed: 0,
+                peak_materialized: 0,
+                join_stages: 0,
+                threads_used: 0,
+                seq: 2,
+            },
+        ];
+        let line = encode_slowlog(&Ok(entries.clone()));
+        assert!(line.starts_with("ok n=2 entries="), "{line}");
+        assert_eq!(decode_slowlog(&line).unwrap(), entries);
+        // Empty log round-trips too.
+        assert_eq!(
+            decode_slowlog(&encode_slowlog(&Ok(Vec::new()))).unwrap(),
+            vec![]
+        );
+        // Count mismatches and malformed records are caught.
+        assert!(decode_slowlog("ok n=2 entries=").is_err());
+        assert!(decode_slowlog("ok n=1 entries=a,b").is_err());
+        let err = ServiceError::ShuttingDown;
+        assert_eq!(
+            decode_slowlog(&encode_slowlog(&Err(err.clone()))).unwrap_err(),
+            err
+        );
     }
 
     /// Every `ServiceError` variant survives the wire losslessly. The
@@ -999,6 +1392,13 @@ mod tests {
             covered.insert(variant_name(&e));
             let line = encode_result(&Err(e.clone()));
             assert!(line.starts_with("err "), "`{line}`");
+            // The wire kind and `ServiceError::kind()` (the slow-query
+            // log's outcome column) are the same vocabulary.
+            assert!(
+                line.starts_with(&format!("err kind={}", e.kind())),
+                "`{line}` vs kind `{}`",
+                e.kind()
+            );
             let back = decode_result(&line).expect_err("err line must decode to an error");
             assert_eq!(back, e, "wire line was `{line}`");
         }

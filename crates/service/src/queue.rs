@@ -127,8 +127,8 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    /// Items currently queued (racy; for stats only).
-    #[cfg(test)]
+    /// Items currently queued (racy; for stats only — the metrics
+    /// endpoint reports it as the queue-depth gauge).
     pub fn len(&self) -> usize {
         self.state.lock().expect("queue lock").items.len()
     }

@@ -32,7 +32,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::engine::{EngineHandle, ReplyFn, Request};
-use crate::protocol::{self, Ack, Command, HelloAck, MAX_LINE};
+use crate::protocol::{self, Ack, Command, HelloAck, TraceReport, MAX_LINE};
 use crate::ServiceError;
 
 /// How often blocked I/O re-checks the stop flag.
@@ -98,7 +98,10 @@ impl Server {
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL);
                     }
-                    Err(_) => std::thread::sleep(POLL),
+                    Err(e) => {
+                        ppr_obs::ppr_warn!("accept error (backing off): {e}");
+                        std::thread::sleep(POLL);
+                    }
                 }
             }
         });
@@ -445,11 +448,23 @@ fn handle_command(cmd: Command, conn: &mut Conn) -> String {
         }
         Command::Ping => "ok pong".to_string(),
         Command::Stats => protocol::encode_stats(&conn.engine.stats()),
+        Command::SlowLog => protocol::encode_slowlog(&Ok(conn.engine.metrics().slowlog.snapshot())),
         Command::Run(mut request) => {
             if request.db.is_none() {
                 request.db = conn.session_db.clone();
             }
             protocol::encode_result(&conn.engine.execute(request))
+        }
+        Command::Trace(mut request) => {
+            if request.db.is_none() {
+                request.db = conn.session_db.clone();
+            }
+            // The server clocks the engine call so the reported total
+            // bounds the span sum even if a phase is mismeasured.
+            let started = std::time::Instant::now();
+            let result = conn.engine.execute(request);
+            let total_us = started.elapsed().as_micros() as u64;
+            protocol::encode_trace_report(&result.map(|resp| TraceReport::of(&resp, total_us)))
         }
         // Catalog verbs run on the connection thread, not the worker
         // queue: mutations are O(tiny database), and admission control

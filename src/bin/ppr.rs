@@ -12,7 +12,7 @@
 //! ppr serve  [--listen HOST:PORT] [--rel '…'] [--rel-file name=path.csv]
 //!            [--colors K] [--workers N] [--queue N] [--cache N]
 //!            [--result-cache-bytes N] [--exec-threads N] [--max-tuples N]
-//!            [--timeout-ms T]
+//!            [--timeout-ms T] [--metrics-addr HOST:PORT] [--slowlog N]
 //! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
 //!            [--db NAME | --use NAME] [--max-tuples N] [--timeout-ms T]
 //!            [--seed S] [--pipeline N] [--stats] [--ping]
@@ -379,12 +379,30 @@ fn cmd_serve(flags: &Flags) {
     cfg.exec_threads = flags.num("exec-threads", 1usize);
     cfg.max_budget = Budget::tuples(flags.num("max-tuples", u64::MAX))
         .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000)));
+    cfg.slowlog_capacity = flags.num("slowlog", cfg.slowlog_capacity);
     let engine = Engine::start(Catalog::with_default(db), cfg);
     let server = Server::start(listen, engine.handle())
         .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
+    // Optional Prometheus-style pull endpoint: GET /metrics returns the
+    // exposition text, GET /slowlog the worst-request table.
+    let _metrics = flags.get("metrics-addr").map(|addr| {
+        use projection_pushing::obs::{MetricsServer, Routes};
+        use projection_pushing::service::render_slowlog;
+        let handle = engine.handle();
+        let routes: Routes = std::sync::Arc::new(move |path| match path {
+            "/metrics" => Some(handle.render_prometheus()),
+            "/slowlog" => Some(render_slowlog(&handle.metrics().slowlog.snapshot())),
+            _ => None,
+        });
+        let srv = MetricsServer::start(addr, routes)
+            .unwrap_or_else(|e| die(&format!("cannot bind metrics endpoint {addr}: {e}")));
+        eprintln!("metrics endpoint on http://{}/metrics", srv.local_addr());
+        srv
+    });
     eprintln!(
         "protocol: `run method=bucket rule=q(x) :- edge(x, y)` per line; also \
-         `use`/`create`/`drop`/`load`/`add` for databases, `stats`, `ping`"
+         `use`/`create`/`drop`/`load`/`add` for databases, `stats`, `trace`, \
+         `slowlog`, `ping`"
     );
     // Last line before serving: scripts (and the e2e test) wait for it,
     // then may close their end of the stderr pipe.

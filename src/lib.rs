@@ -41,6 +41,7 @@
 pub use ppr_core as core;
 pub use ppr_costplanner as costplanner;
 pub use ppr_graph as graph;
+pub use ppr_obs as obs;
 pub use ppr_query as query;
 pub use ppr_relalg as relalg;
 pub use ppr_service as service;

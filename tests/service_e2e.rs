@@ -501,3 +501,134 @@ fn ppr_binary_serve_and_client_round_trip() {
         "unexpected output: {named_out}"
     );
 }
+
+/// One raw HTTP/1.1 scrape of the metrics endpoint, body only.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: e2e\r\n\r\n").expect("send scrape");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read scrape");
+    let (headers, body) = text.split_once("\r\n\r\n").expect("http response");
+    assert!(
+        headers.starts_with("HTTP/1.1 200"),
+        "scrape failed: {headers}"
+    );
+    body.to_string()
+}
+
+/// The value of an unlabeled counter/gauge sample in Prometheus text.
+fn metric_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} not in exposition"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{name} not numeric: {e}"))
+}
+
+/// The tentpole's acceptance path end to end: a pipelined burst moves the
+/// `stats` verb's span counters and the Prometheus endpoint's counters
+/// monotonically and by exactly the burst size, and a `trace`d request's
+/// recorded span durations sum to at most its wall time.
+#[test]
+fn observability_counters_and_trace_round_trip_end_to_end() {
+    use projection_pushing::obs::{MetricsServer, Phase, Routes};
+
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
+    let mut server =
+        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+
+    // The same routes `ppr serve --metrics-addr` installs.
+    let routes: Routes = std::sync::Arc::new({
+        let handle = engine.handle();
+        move |path: &str| match path {
+            "/metrics" => Some(handle.render_prometheus()),
+            "/slowlog" => Some(service::render_slowlog(
+                &handle.metrics().slowlog.snapshot(),
+            )),
+            _ => None,
+        }
+    });
+    let mut endpoint = MetricsServer::start("127.0.0.1:0", routes).expect("bind endpoint");
+    let endpoint_addr = endpoint.local_addr();
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let before_stats: EngineStats = client.stats().expect("stats");
+    let before_scrape = scrape(endpoint_addr, "/metrics");
+
+    // A pipelined burst of distinct-seed requests (each plans and
+    // executes; no request can be answered by another's cache entry).
+    const BURST: usize = 24;
+    let mut pipe = Pipeline::connect(server.local_addr()).expect("pipeline connect");
+    let tickets: Vec<Ticket> = (0..BURST)
+        .map(|i| {
+            let mut request = Request::new(PENTAGON, Method::EarlyProjection);
+            request.seed = Some(7_000 + i as u64);
+            pipe.submit(&request).expect("submit")
+        })
+        .collect();
+    for ticket in tickets {
+        let response = pipe.wait(ticket).expect("redeem");
+        assert_eq!(response.rows.len(), 6);
+    }
+
+    let after_stats: EngineStats = client.stats().expect("stats");
+    let after_scrape = scrape(endpoint_addr, "/metrics");
+
+    // `stats` verb: every span histogram saw exactly the burst (this
+    // connection is the only traffic between the two reads).
+    assert_eq!(
+        after_stats.spans.total.count,
+        before_stats.spans.total.count + BURST as u64
+    );
+    for phase in projection_pushing::obs::PHASES {
+        assert_eq!(
+            after_stats.spans.phase[phase as usize].count,
+            before_stats.spans.phase[phase as usize].count + BURST as u64,
+            "phase {} not recorded per request",
+            phase.name()
+        );
+    }
+    // Executor work really happened and was observed.
+    assert!(after_stats.spans.phase[Phase::Exec as usize].p95 > 0);
+
+    // Prometheus endpoint: the same counters, monotone by the burst.
+    for name in ["ppr_requests_total", "ppr_served_total"] {
+        let (b, a) = (
+            metric_value(&before_scrape, name),
+            metric_value(&after_scrape, name),
+        );
+        assert_eq!(a, b + BURST as u64, "{name} not monotone by the burst");
+    }
+    assert_eq!(
+        metric_value(&after_scrape, "ppr_request_errors_total"),
+        metric_value(&before_scrape, "ppr_request_errors_total")
+    );
+    assert!(after_scrape.contains("ppr_request_phase_us_bucket{phase=\"queue_wait\","));
+
+    // `trace`: span durations decompose the request's wall time.
+    let mut request = Request::new(PENTAGON, Method::EarlyProjection);
+    request.seed = Some(9_999);
+    let report = client.trace(&request).expect("trace");
+    assert_eq!(report.rows, 6);
+    assert!(report.spans.total() > 0, "spans all zero");
+    assert!(
+        report.spans.total() <= report.total_us,
+        "span sum {} exceeds wall time {}",
+        report.spans.total(),
+        report.total_us
+    );
+
+    // The burst is on the slow-query log page served by the endpoint.
+    let slowlog = scrape(endpoint_addr, "/slowlog");
+    assert!(
+        slowlog.contains("early-projection"),
+        "slowlog empty: {slowlog}"
+    );
+
+    endpoint.shutdown();
+    server.shutdown();
+    engine.shutdown();
+}
