@@ -153,6 +153,7 @@ fn ablation_distinct(c: &mut Criterion) {
                     &budget,
                     ExecOptions {
                         dedup_subqueries: dedup,
+                        ..ExecOptions::default()
                     },
                 )
                 .expect("ok")

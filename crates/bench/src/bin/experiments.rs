@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures from the command line.
 //!
 //! ```text
-//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--plot] [--threads N] [--pipeline N]
+//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--quick] [--free F] [--plot] [--threads N] [--pipeline N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          sat3 sat2 theorems
@@ -20,6 +20,11 @@
 //! serial). `ablation-parallel` compares serial against 2/4/`N` threads on
 //! the figure-4 and figure-8 workloads and writes the machine-readable
 //! report to `results/BENCH_parallel.json`.
+//!
+//! `--quick` shrinks the grids to one small instance per workload family
+//! (and `serve-throughput` to 256 requests per phase) — a CI smoke mode
+//! that exercises the full measurement and report path without producing
+//! publishable numbers.
 //!
 //! Each figure target also runs its non-Boolean (20%-free) variant when
 //! the paper plots one; pass `--free 0` to restrict to Boolean.
@@ -52,6 +57,10 @@ fn main() {
             }
             "--full" => {
                 cfg.full = true;
+                i += 1;
+            }
+            "--quick" => {
+                cfg.quick = true;
                 i += 1;
             }
             "--threads" => {
@@ -212,8 +221,8 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: experiments <fig1..fig9|sat3|sat2|theorems|ablation-*|all> \
-         [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--free F] [--threads N] \
-         [--pipeline N]"
+         [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--quick] [--free F] \
+         [--threads N] [--pipeline N]"
     );
     std::process::exit(2)
 }

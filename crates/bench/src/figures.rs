@@ -26,8 +26,13 @@ pub struct Config {
     pub max_tuples: u64,
     /// Denser parameter grids (the paper's full resolution).
     pub full: bool,
-    /// Executor threads: 1 = serial pipelined executor, other values run
-    /// the partitioned parallel executor (0 = all cores).
+    /// Smoke-test grids: the smallest instance per workload family and a
+    /// minimal thread lineup, for CI runs that only assert the artifacts
+    /// parse. Overrides `full`.
+    pub quick: bool,
+    /// Executor threads: 1 = the serial streaming executor (cached
+    /// secondary indexes), other values run the partitioned parallel
+    /// executor (0 = all cores).
     pub threads: usize,
     /// Client pipeline depth for `serve-throughput`: 1 drives the serial
     /// v1 protocol, >1 keeps that many tagged requests in flight on one
@@ -42,6 +47,7 @@ impl Default for Config {
             timeout: Duration::from_millis(2000),
             max_tuples: 20_000_000,
             full: false,
+            quick: false,
             threads: 1,
             pipeline: 1,
         }
@@ -526,6 +532,7 @@ pub fn ablation_distinct(w: &mut impl Write, cfg: &Config) {
                     &budget,
                     ExecOptions {
                         dedup_subqueries: dedup,
+                        ..ExecOptions::default()
                     },
                 ) {
                     Ok((_, stats)) => {
@@ -624,6 +631,15 @@ pub struct ParallelRow {
     /// `serial median / this median` on the same (workload, x, method);
     /// 1.0 for the serial row itself.
     pub speedup: f64,
+    /// Median physical input rows read over finished runs (0 when every
+    /// run timed out). Serial rows fall on warm snapshots as the
+    /// streaming executor reuses cached secondary indexes.
+    pub rows_scanned: u64,
+    /// Median secondary-index probes over finished runs (serial streaming
+    /// rows only; the partitioned executor does not probe indexes).
+    pub index_probes: u64,
+    /// Median secondary-index builds over finished runs.
+    pub index_builds: u64,
 }
 
 /// Ablation: serial vs partitioned-parallel execution of identical plans
@@ -635,13 +651,34 @@ pub struct ParallelRow {
 /// only in time.
 pub fn ablation_parallel_rows(cfg: &Config) -> Vec<ParallelRow> {
     let budget = cfg.budget();
-    let mut thread_counts = vec![1usize, 2, 4];
+    let mut thread_counts = if cfg.quick {
+        vec![1usize, 2]
+    } else {
+        vec![1usize, 2, 4]
+    };
     if cfg.threads > 1 && !thread_counts.contains(&cfg.threads) {
         thread_counts.push(cfg.threads);
     }
+    let seeds = if cfg.quick {
+        cfg.seeds.min(2)
+    } else {
+        cfg.seeds
+    };
     let points: Vec<(&'static str, usize, QueryShape)> = {
-        let fig4_orders: &[usize] = if cfg.full { &[12, 14, 16] } else { &[12, 14] };
-        let fig8_orders: &[usize] = if cfg.full { &[4, 5, 6, 7] } else { &[4, 5, 6] };
+        let fig4_orders: &[usize] = if cfg.quick {
+            &[10]
+        } else if cfg.full {
+            &[12, 14, 16]
+        } else {
+            &[12, 14]
+        };
+        let fig8_orders: &[usize] = if cfg.quick {
+            &[4]
+        } else if cfg.full {
+            &[4, 5, 6, 7]
+        } else {
+            &[4, 5, 6]
+        };
         let mut pts = Vec::new();
         for &n in fig4_orders {
             pts.push((
@@ -671,7 +708,7 @@ pub fn ablation_parallel_rows(cfg: &Config) -> Vec<ParallelRow> {
         for method in methods {
             let mut serial_median = f64::NAN;
             for &threads in &thread_counts {
-                let outcomes: Vec<MethodOutcome> = (0..cfg.seeds)
+                let outcomes: Vec<MethodOutcome> = (0..seeds)
                     .map(|s| {
                         let (q, db) = InstanceSpec {
                             shape,
@@ -701,6 +738,9 @@ pub fn ablation_parallel_rows(cfg: &Config) -> Vec<ParallelRow> {
                     timeouts: cell.timeouts,
                     runs: cell.runs,
                     speedup: serial_median / cell.median_millis,
+                    rows_scanned: cell.median_scanned.unwrap_or(0.0) as u64,
+                    index_probes: cell.median_index_probes.unwrap_or(0.0) as u64,
+                    index_builds: cell.median_index_builds.unwrap_or(0.0) as u64,
                 });
             }
         }
@@ -723,13 +763,13 @@ pub fn ablation_parallel(w: &mut impl Write, cfg: &Config) -> Vec<ParallelRow> {
 pub fn print_parallel_rows(w: &mut impl Write, rows: &[ParallelRow]) {
     writeln!(
         w,
-        "workload\tx\tmethod\tthreads\tthreads_used\tmedian_ms\ttimeouts\truns\tspeedup"
+        "workload\tx\tmethod\tthreads\tthreads_used\tmedian_ms\ttimeouts\truns\tspeedup\trows_scanned\tix_probes\tix_builds"
     )
     .expect("write");
     for r in rows {
         writeln!(
             w,
-            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.2}",
+            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:.2}\t{}\t{}\t{}",
             r.workload,
             r.x,
             r.method.name(),
@@ -738,7 +778,10 @@ pub fn print_parallel_rows(w: &mut impl Write, rows: &[ParallelRow]) {
             r.median_ms,
             r.timeouts,
             r.runs,
-            r.speedup
+            r.speedup,
+            r.rows_scanned,
+            r.index_probes,
+            r.index_builds
         )
         .expect("write");
     }
@@ -753,16 +796,25 @@ pub fn parallel_report_json(cfg: &Config, rows: &[ParallelRow]) -> String {
         "  \"host\": {{\"cpus\": {}}},\n",
         crate::harness::host_cpus()
     ));
+    if crate::harness::host_cpus() == 1 {
+        s.push_str(
+            "  \"note\": \"single-CPU host: thread counts above 1 time-slice one core, \
+             so speedups below 1.0 are expected; serial rows carry the streaming \
+             executor's index counters\",\n",
+        );
+    }
     s.push_str(&format!("  \"seeds\": {},\n", cfg.seeds));
     s.push_str(&format!("  \"timeout_ms\": {},\n", cfg.timeout.as_millis()));
     s.push_str(&format!("  \"max_tuples\": {},\n", cfg.max_tuples));
     s.push_str(&format!("  \"threads_requested\": {},\n", cfg.threads));
+    s.push_str(&format!("  \"quick\": {},\n", cfg.quick));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"workload\": \"{}\", \"x\": {}, \"method\": \"{}\", \"threads\": {}, \
              \"threads_used\": {}, \
-             \"median_ms\": {:.3}, \"timeouts\": {}, \"runs\": {}, \"speedup_vs_serial\": {:.3}}}{}\n",
+             \"median_ms\": {:.3}, \"timeouts\": {}, \"runs\": {}, \"speedup_vs_serial\": {:.3}, \
+             \"rows_scanned\": {}, \"index_probes\": {}, \"index_builds\": {}}}{}\n",
             r.workload,
             r.x,
             r.method.name(),
@@ -772,6 +824,9 @@ pub fn parallel_report_json(cfg: &Config, rows: &[ParallelRow]) -> String {
             r.timeouts,
             r.runs,
             r.speedup,
+            r.rows_scanned,
+            r.index_probes,
+            r.index_builds,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -910,6 +965,7 @@ mod tests {
             timeout: Duration::from_millis(500),
             max_tuples: 2_000_000,
             full: false,
+            quick: false,
             threads: 1,
             pipeline: 1,
         }
@@ -990,6 +1046,7 @@ mod tests {
             timeout: Duration::from_millis(500),
             max_tuples: 2_000_000,
             full: false,
+            quick: false,
             threads: 2,
             pipeline: 1,
         };
@@ -1006,6 +1063,12 @@ mod tests {
             }
             assert!(r.median_ms.is_finite());
         }
+        // Serial rows ran the streaming executor, so the index counters
+        // are live; parallel rows never probe indexes.
+        assert!(rows
+            .iter()
+            .filter(|r| r.threads == 1 && r.timeouts == 0)
+            .all(|r| r.rows_scanned > 0));
         let json = parallel_report_json(&cfg, &rows);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"benchmark\": \"ablation_parallel\""));
@@ -1013,8 +1076,22 @@ mod tests {
         assert!(json.contains("\"host\": {\"cpus\": "));
         assert!(json.contains("\"threads_requested\": 2"));
         assert!(json.contains("\"threads_used\""));
+        assert!(json.contains("\"rows_scanned\""));
+        assert!(json.contains("\"index_probes\""));
+        assert!(json.contains("\"index_builds\""));
+        assert!(json.contains("\"quick\": false"));
         // Every row serialized.
         assert_eq!(json.matches("\"workload\"").count(), rows.len());
+    }
+
+    #[test]
+    fn quick_mode_shrinks_the_parallel_grid() {
+        let mut cfg = tiny();
+        cfg.quick = true;
+        let rows = ablation_parallel_rows(&cfg);
+        // One point per workload family × 2 methods × threads {1, 2}.
+        assert_eq!(rows.len(), 2 * 2 * 2);
+        assert!(rows.iter().all(|r| r.threads <= 2));
     }
 
     #[test]

@@ -50,9 +50,10 @@ pub fn run_method(
 }
 
 /// [`run_method`] with an executor-thread count: `threads == 1` runs the
-/// serial pipelined executor, anything else the partitioned parallel
-/// executor (`0` = all available cores). Both produce identical relations,
-/// so sweeps stay comparable across thread counts.
+/// serial streaming executor (push-based, over cached secondary indexes),
+/// anything else the partitioned parallel executor (`0` = all available
+/// cores). Both produce byte-identical relations, so sweeps stay
+/// comparable across thread counts.
 pub fn run_method_threads(
     method: Method,
     query: &ConjunctiveQuery,
@@ -133,6 +134,13 @@ pub struct CellSummary {
     pub median_tuples: Option<f64>,
     /// Max intermediate arity over finished runs.
     pub max_arity: Option<usize>,
+    /// Median physical input rows read over finished runs; falls on warm
+    /// snapshots as the streaming executor reuses cached indexes.
+    pub median_scanned: Option<f64>,
+    /// Median secondary-index probes over finished runs.
+    pub median_index_probes: Option<f64>,
+    /// Median secondary-index builds over finished runs.
+    pub median_index_builds: Option<f64>,
 }
 
 /// Summarizes a cell.
@@ -144,6 +152,14 @@ pub fn summarize(outcomes: &[MethodOutcome], budget_timeout: Duration) -> CellSu
             RunStatus::Timeout => budget_timeout.as_secs_f64() * 1e3,
         })
         .collect();
+    let stat_median = |pick: fn(&ExecStats) -> u64| {
+        median(
+            outcomes
+                .iter()
+                .filter_map(|o| o.stats.as_ref().map(|s| pick(s) as f64))
+                .collect(),
+        )
+    };
     let tuples: Vec<f64> = outcomes
         .iter()
         .filter_map(|o| o.stats.as_ref().map(|s| s.tuples_flowed as f64))
@@ -161,6 +177,9 @@ pub fn summarize(outcomes: &[MethodOutcome], budget_timeout: Duration) -> CellSu
         runs: outcomes.len(),
         median_tuples: median(tuples),
         max_arity,
+        median_scanned: stat_median(|s| s.rows_scanned),
+        median_index_probes: stat_median(|s| s.index_probes),
+        median_index_builds: stat_median(|s| s.index_builds),
     }
 }
 

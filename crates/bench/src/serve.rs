@@ -120,7 +120,9 @@ const REPS: usize = 7;
 
 /// Timed requests per phase.
 fn requests_per_phase(cfg: &Config) -> usize {
-    if cfg.full {
+    if cfg.quick {
+        256
+    } else if cfg.full {
         8192
     } else {
         2048
@@ -550,6 +552,13 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
         host_cpus(),
         host_os()
     ));
+    if host_cpus() == 1 {
+        s.push_str(
+            "  \"note\": \"single-CPU host: client and server time-slice one core, so \
+             absolute throughput understates a real deployment; phase-relative \
+             comparisons (cold vs warm, pipelined vs baseline) remain meaningful\",\n",
+        );
+    }
     s.push_str(&format!("  \"pipeline\": {},\n", cfg.pipeline.max(1)));
     s.push_str(&format!(
         "  \"requests_per_phase\": {},\n",
@@ -602,6 +611,7 @@ mod tests {
             timeout: Duration::from_millis(2000),
             max_tuples: 20_000_000,
             full: false,
+            quick: false,
             threads: 1,
             pipeline: 4,
         };

@@ -1,5 +1,5 @@
-//! The cost model: System-R style cardinality estimation and hash-join
-//! costs for left-deep plans.
+//! The cost model: System-R style cardinality estimation and join costs
+//! for left-deep plans.
 //!
 //! Cardinality of a join set follows the classic independence assumptions:
 //! the cross product of the base cardinalities, scaled by one selectivity
@@ -8,6 +8,14 @@
 //! of a hash join is `build + probe + output`, summed along the left-deep
 //! chain. This mirrors what PostgreSQL's planner optimizes, minus
 //! disk-page terms that are zero for in-memory six-tuple relations.
+//!
+//! The estimator is **index-aware**: when an atom shares exactly one
+//! variable with the already-joined set, the streaming executor answers
+//! the join by probing the base relation's cached per-column secondary
+//! index (`IxJoin`) instead of building a per-query hash table. The index
+//! is built once per relation snapshot and amortized across queries, so
+//! the model drops the build term for such stages and records the choice
+//! in [`ChainEstimator::ops`].
 
 use rustc_hash::FxHashMap;
 
@@ -29,6 +37,20 @@ fn var_distinct(query: &ConjunctiveQuery, catalog: &Catalog, atom: usize, var: A
         .fold(f64::INFINITY, f64::min)
 }
 
+/// The physical operator the estimator charged for one chain position —
+/// which is also what the streaming executor will run for that stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOp {
+    /// The first atom: streamed straight off the base relation.
+    Scan,
+    /// Per-query hash build + probe (multi-variable join keys and cross
+    /// products, which the secondary indexes cannot serve).
+    HashJoin,
+    /// Probe of the base relation's cached single-column secondary index;
+    /// no per-query build.
+    IndexJoin,
+}
+
 /// Incremental estimator for a left-deep join chain: feed atoms one at a
 /// time, read off the running cardinality and the accumulated cost.
 #[derive(Debug, Clone)]
@@ -41,6 +63,8 @@ pub struct ChainEstimator<'a> {
     pub cardinality: f64,
     /// Accumulated plan cost.
     pub cost: f64,
+    /// Operator chosen for each atom pushed so far, in push order.
+    pub ops: Vec<JoinOp>,
     joined: usize,
 }
 
@@ -53,13 +77,24 @@ impl<'a> ChainEstimator<'a> {
             occurrences: FxHashMap::default(),
             cardinality: 1.0,
             cost: 0.0,
+            ops: Vec::new(),
             joined: 0,
         }
     }
 
-    /// Joins the next atom, updating cardinality and cost.
+    /// Joins the next atom, updating cardinality, cost, and the chosen
+    /// operator ([`ChainEstimator::ops`]).
     pub fn push(&mut self, atom: usize) {
         let stats = self.catalog.rel(&self.query.atoms[atom].relation);
+        // Variables this atom shares with the joined set, observed before
+        // the occurrence counts absorb the atom: exactly one shared
+        // variable means the streaming executor can serve the stage from
+        // the base relation's cached single-column index.
+        let shared = self.query.atoms[atom]
+            .vars()
+            .iter()
+            .filter(|v| self.occurrences.contains_key(*v))
+            .count();
         let mut card = self.cardinality * stats.cardinality;
         for var in self.query.atoms[atom].vars() {
             let d_new = var_distinct(self.query, self.catalog, atom, var);
@@ -85,11 +120,23 @@ impl<'a> ChainEstimator<'a> {
         if self.joined == 1 {
             self.cardinality = card;
             self.cost += stats.cardinality; // initial scan
+            self.ops.push(JoinOp::Scan);
             return;
         }
-        // Hash join: build the new atom, probe with the intermediate,
-        // produce the output.
-        self.cost += stats.cardinality + self.cardinality + card;
+        if shared == 1 {
+            // Index join: the cached secondary index replaces the build
+            // side — probe once per intermediate row, walk the postings
+            // (which are the output). The build is amortized across every
+            // query sharing the relation snapshot, so it costs nothing
+            // here.
+            self.cost += self.cardinality + card;
+            self.ops.push(JoinOp::IndexJoin);
+        } else {
+            // Hash join: build the new atom, probe with the intermediate,
+            // produce the output.
+            self.cost += stats.cardinality + self.cardinality + card;
+            self.ops.push(JoinOp::HashJoin);
+        }
         self.cardinality = card;
     }
 }
@@ -159,6 +206,40 @@ mod tests {
         let connected = chain_cost(&q, &cat, &[0, 1, 2]);
         let scattered = chain_cost(&q, &cat, &[0, 2, 1]);
         assert!(connected < scattered);
+    }
+
+    #[test]
+    fn single_shared_var_chooses_the_index_join() {
+        let (q, cat) = fixture();
+        let mut est = ChainEstimator::new(&q, &cat);
+        est.push(0);
+        est.push(1); // shares exactly v1 → IxJoin, no build term
+        assert_eq!(est.ops, vec![JoinOp::Scan, JoinOp::IndexJoin]);
+        // scan 6 + (probe 6 + output 12); the hash build's extra 6 is gone.
+        assert!((est.cost - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_products_and_wide_keys_fall_back_to_hash() {
+        let (q, cat) = fixture();
+        let mut est = ChainEstimator::new(&q, &cat);
+        est.push(0);
+        est.push(2); // no shared vars: cross product → hash
+        est.push(1); // shares v1 and v2 → two-column key → hash
+        assert_eq!(
+            est.ops,
+            vec![JoinOp::Scan, JoinOp::HashJoin, JoinOp::HashJoin]
+        );
+    }
+
+    #[test]
+    fn index_join_is_cheaper_than_the_hash_equivalent() {
+        let (q, cat) = fixture();
+        let indexed = chain_cost(&q, &cat, &[0, 1, 2]);
+        // Same order, hash costs only (what the model charged before the
+        // executor had indexes): build 6 at both join stages.
+        let hash_only = 6.0 + (6.0 + 6.0 + 12.0) + (6.0 + 12.0 + 24.0);
+        assert!(indexed < hash_only);
     }
 
     #[test]

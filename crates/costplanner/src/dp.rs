@@ -15,6 +15,21 @@ use crate::CompileResult;
 /// Hard cap on the number of atoms the exhaustive DP accepts.
 pub const MAX_DP_ATOMS: usize = 22;
 
+/// Number of `atom`'s distinct variables bound by the atoms in `joined`
+/// (a bitmask). Exactly one shared variable means the streaming executor
+/// serves the stage from a cached secondary index, so the DP must charge
+/// the same index-join delta [`ChainEstimator`] does — no build term.
+fn shared_vars(query: &ConjunctiveQuery, joined: u32, atom: usize) -> usize {
+    query.atoms[atom]
+        .vars()
+        .iter()
+        .filter(|v| {
+            (0..query.num_atoms())
+                .any(|b| joined & (1 << b) != 0 && query.atoms[b].vars().contains(v))
+        })
+        .count()
+}
+
 /// Plans `query` exhaustively. Panics above [`MAX_DP_ATOMS`] atoms.
 pub fn plan(query: &ConjunctiveQuery, catalog: &Catalog) -> CompileResult {
     let m = query.num_atoms();
@@ -64,8 +79,14 @@ pub fn plan(query: &ConjunctiveQuery, catalog: &Catalog) -> CompileResult {
                 continue;
             }
             let prev_card = subset_card(prev);
-            let r_card = catalog.rel(&query.atoms[a].relation).cardinality;
-            let cost = prev_cost + r_card + prev_card + card_s;
+            let delta = if shared_vars(query, prev, a) == 1 {
+                // Index join: probe the cached index, no per-query build.
+                prev_card + card_s
+            } else {
+                let r_card = catalog.rel(&query.atoms[a].relation).cardinality;
+                r_card + prev_card + card_s
+            };
+            let cost = prev_cost + delta;
             plans_considered += 1;
             if cost < best[s as usize].0 {
                 best[s as usize] = (cost, a);
@@ -154,7 +175,21 @@ pub fn plan_bushy(query: &ConjunctiveQuery, catalog: &Catalog) -> CompileResult 
             let (lc, _) = best[l as usize];
             let (rc, _) = best[r as usize];
             if lc.is_finite() && rc.is_finite() {
-                let cost = lc + rc + card[l as usize] + card[r as usize] + card[s as usize];
+                // A single-atom build side sharing exactly one variable is
+                // served by its cached secondary index: drop that build
+                // term, as the left-deep DP and [`ChainEstimator`] do.
+                let join = if r.count_ones() == 1
+                    && shared_vars(query, l, r.trailing_zeros() as usize) == 1
+                {
+                    card[l as usize] + card[s as usize]
+                } else if l.count_ones() == 1
+                    && shared_vars(query, r, l.trailing_zeros() as usize) == 1
+                {
+                    card[r as usize] + card[s as usize]
+                } else {
+                    card[l as usize] + card[r as usize] + card[s as usize]
+                };
+                let cost = lc + rc + join;
                 plans_considered += 1;
                 if cost < best[s as usize].0 {
                     best[s as usize] = (cost, l);

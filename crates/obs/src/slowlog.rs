@@ -43,6 +43,10 @@ pub struct SlowEntry {
     pub join_stages: u64,
     /// Executor threads used (1 = serial).
     pub threads_used: u64,
+    /// Physical input rows the executor read (0 on cache hit or error);
+    /// low values on repeated queries show the streaming executor's
+    /// cached secondary indexes at work.
+    pub rows_scanned: u64,
     /// Monotone admission sequence number (ties and ordering debug).
     pub seq: u64,
 }
@@ -134,6 +138,7 @@ mod tests {
             peak_materialized: 0,
             join_stages: 0,
             threads_used: 1,
+            rows_scanned: 0,
             seq,
         }
     }

@@ -1,22 +1,31 @@
 //! Plan execution.
 //!
-//! [`execute`] is the pipelined executor that stands in for the PostgreSQL
-//! backend of the paper's experiments. A chain of [`Plan::Join`] nodes is
-//! executed as one hash-join **pipeline**: hash tables are built on every
-//! input except the first, and tuples stream depth-first through the probe
-//! stages without being materialized — exactly how PostgreSQL executes the
-//! paper's generated `JOIN ... ON` chains with hash joins. Every
-//! [`Plan::ProjectDistinct`] node (a `SELECT DISTINCT` subquery in the
-//! paper's SQL) materializes and de-duplicates its input before the
-//! enclosing pipeline consumes it.
+//! [`execute`] is the single entry point; [`ExecOptions::mode`] selects one
+//! of three executors that produce the same answers:
+//!
+//! * [`ExecMode::Streaming`] (the default) — the push-based streaming
+//!   executor in [`crate::pipelined`]: scans stream straight off the base
+//!   relations and equality joins probe per-column secondary indexes
+//!   ([`crate::index`]) cached on the shared `Arc` snapshot, so repeated
+//!   queries skip the per-query bind copies and hash builds entirely.
+//! * [`ExecMode::Pipelined`] — the classic hash-join pipeline that stands
+//!   in for the PostgreSQL backend of the paper's experiments: hash tables
+//!   are built on every input except the first, and tuples stream
+//!   depth-first through the probe stages without being materialized.
+//!   Kept as a differential-testing oracle for the streaming executor
+//!   (`tests/streaming.rs` asserts byte identity).
+//! * [`ExecMode::Materialized`] — an ablation executor that materializes
+//!   every join via [`crate::ops::natural_join`]; the `ablation_pipeline`
+//!   bench compares it against the pipelines.
+//!
+//! In every mode a [`Plan::ProjectDistinct`] node (a `SELECT DISTINCT`
+//! subquery in the paper's SQL) materializes and de-duplicates its input
+//! before the enclosing pipeline consumes it — the only materialization
+//! boundary the two pipelined modes have.
 //!
 //! Execution time is therefore proportional to the number of tuples that
 //! flow through probe stages plus the cost of each materialization — the
 //! same quantities that drove the paper's measurements.
-//!
-//! [`execute_materialized`] is an ablation executor that materializes every
-//! join via [`crate::ops::natural_join`]; the `ablation_pipeline` bench
-//! compares the two.
 
 use crate::budget::{Budget, Meter};
 use crate::error::RelalgError;
@@ -31,9 +40,28 @@ use crate::Result;
 
 pub use crate::parallel::{execute_parallel, execute_parallel_with};
 
-/// Options for the pipelined executor.
+/// Which executor variant [`execute_with`] runs. All three return the
+/// same rows; the two pipelined modes are byte-identical (same row order,
+/// same `tuples_flowed`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Push-based streaming executor over cached secondary indexes
+    /// ([`crate::pipelined`]). The engine default.
+    #[default]
+    Streaming,
+    /// Classic per-query hash-join pipeline — the differential-testing
+    /// oracle, and the model of how PostgreSQL ran the paper's SQL.
+    Pipelined,
+    /// Materializes every join node (ablation baseline).
+    Materialized,
+}
+
+/// Options for the serial executors.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
+    /// Which executor variant runs (ignored by the parallel executor,
+    /// which is its own partitioned pipeline).
+    pub mode: ExecMode,
     /// Whether `ProjectDistinct` nodes de-duplicate (`SELECT DISTINCT`).
     /// Disabling turns every subquery into a plain `SELECT` — the
     /// `ablation_distinct` bench uses this to show that de-duplication at
@@ -44,12 +72,14 @@ pub struct ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
+            mode: ExecMode::default(),
             dedup_subqueries: true,
         }
     }
 }
 
-/// Executes `plan` with the pipelined executor under `budget`.
+/// Executes `plan` under `budget` with default [`ExecOptions`] — the
+/// streaming executor with subquery dedup on.
 ///
 /// Returns the result relation (always de-duplicated when the plan root is
 /// a [`Plan::ProjectDistinct`], a bag otherwise) and execution statistics.
@@ -57,7 +87,8 @@ pub fn execute(plan: &Plan, budget: &Budget) -> Result<(Relation, ExecStats)> {
     execute_with(plan, budget, ExecOptions::default())
 }
 
-/// [`execute`] with explicit [`ExecOptions`].
+/// [`execute`] with explicit [`ExecOptions`] — the one entry point every
+/// serial mode routes through.
 pub fn execute_with(
     plan: &Plan,
     budget: &Budget,
@@ -66,7 +97,13 @@ pub fn execute_with(
     plan.validate()?;
     let mut stats = ExecStats::default();
     let mut meter = budget.start();
-    let rel = materialize(plan, &mut meter, &mut stats, options)?;
+    let rel = match options.mode {
+        ExecMode::Streaming => {
+            crate::pipelined::materialize_streaming(plan, &mut meter, &mut stats, options)?
+        }
+        ExecMode::Pipelined => materialize(plan, &mut meter, &mut stats, options)?,
+        ExecMode::Materialized => materialize_all(plan, &mut meter, &mut stats)?,
+    };
     stats.tuples_flowed = meter.tuples_flowed;
     stats.elapsed = meter.elapsed();
     stats.threads_used = 1;
@@ -74,18 +111,30 @@ pub fn execute_with(
     Ok((rel, stats))
 }
 
+/// [`execute`] with the classic per-query hash-join pipeline
+/// ([`ExecMode::Pipelined`]) — the streaming executor's oracle.
+pub fn execute_pipelined(plan: &Plan, budget: &Budget) -> Result<(Relation, ExecStats)> {
+    execute_with(
+        plan,
+        budget,
+        ExecOptions {
+            mode: ExecMode::Pipelined,
+            ..ExecOptions::default()
+        },
+    )
+}
+
 /// Executes `plan` materializing **every** join node (no pipelining).
 /// Intermediate bag sizes are charged against the materialization budget.
 pub fn execute_materialized(plan: &Plan, budget: &Budget) -> Result<(Relation, ExecStats)> {
-    plan.validate()?;
-    let mut stats = ExecStats::default();
-    let mut meter = budget.start();
-    let rel = materialize_all(plan, &mut meter, &mut stats)?;
-    stats.tuples_flowed = meter.tuples_flowed;
-    stats.elapsed = meter.elapsed();
-    stats.threads_used = 1;
-    stats.cpu_time = stats.elapsed;
-    Ok((rel, stats))
+    execute_with(
+        plan,
+        budget,
+        ExecOptions {
+            mode: ExecMode::Materialized,
+            ..ExecOptions::default()
+        },
+    )
 }
 
 /// One probe stage of a pipeline: a hash table over one join input.
@@ -106,8 +155,9 @@ pub(crate) struct Stage {
     pub(crate) extra_pos: Vec<usize>,
 }
 
-/// Where pipeline output goes.
-enum Sink {
+/// Where pipeline output goes (shared by the pipelined and streaming
+/// executors).
+pub(crate) enum Sink {
     /// Keep full tuples (bag semantics) — a pipeline with no projection.
     Bag(Vec<Tuple>),
     /// `SELECT DISTINCT keep` — project then de-duplicate. With `dedup`
@@ -121,13 +171,14 @@ enum Sink {
 }
 
 impl Sink {
-    fn emit(
+    pub(crate) fn emit(
         &mut self,
         buf: &[Value],
         scratch: &mut Vec<Value>,
         meter: &Meter,
         stats: &mut ExecStats,
     ) -> Result<()> {
+        stats.rows_emitted += 1;
         let rows = match self {
             Sink::Bag(rows) => {
                 rows.push(buf.to_vec().into_boxed_slice());
@@ -211,7 +262,10 @@ fn pipeline(
     let mut inputs: Vec<Relation> = Vec::with_capacity(chain.len());
     for node in &chain {
         match node {
-            Plan::Scan { base, binding } => inputs.push(ops::bind(base, binding)),
+            Plan::Scan { base, binding } => {
+                stats.rows_scanned += base.len() as u64;
+                inputs.push(ops::bind(base, binding));
+            }
             Plan::ProjectDistinct { .. } => inputs.push(materialize(node, meter, stats, options)?),
             Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
         }
@@ -223,6 +277,7 @@ fn pipeline(
     let mut scratch: Vec<Value> = Vec::new();
     let mut stages: Vec<Stage> = Vec::with_capacity(inputs.len().saturating_sub(1));
     for input in &inputs[1..] {
+        stats.rows_scanned += input.len() as u64;
         let stage = build_stage(&acc, input, &mut scratch);
         acc = acc.join(input.schema());
         stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
@@ -253,6 +308,7 @@ fn pipeline(
     let mut buf: Vec<Value> = Vec::with_capacity(acc.arity());
     let first =
         std::mem::replace(&mut inputs[0], Relation::empty("", Schema::empty())).into_tuples();
+    stats.rows_scanned += first.len() as u64;
     for t in &first {
         if let Some(kind) = meter.on_tuple() {
             return Err(budget_err(kind, meter));
@@ -332,14 +388,14 @@ fn probe(
     Ok(())
 }
 
-fn budget_err(kind: crate::budget::BudgetKind, meter: &Meter) -> RelalgError {
+pub(crate) fn budget_err(kind: crate::budget::BudgetKind, meter: &Meter) -> RelalgError {
     RelalgError::BudgetExceeded {
         kind,
         tuples_flowed: meter.tuples_flowed,
     }
 }
 
-fn attach_flow(e: RelalgError, meter: &Meter) -> RelalgError {
+pub(crate) fn attach_flow(e: RelalgError, meter: &Meter) -> RelalgError {
     match e {
         RelalgError::BudgetExceeded { kind, .. } => budget_err(kind, meter),
         other => other,
@@ -350,6 +406,7 @@ fn attach_flow(e: RelalgError, meter: &Meter) -> RelalgError {
 fn materialize_all(plan: &Plan, meter: &mut Meter, stats: &mut ExecStats) -> Result<Relation> {
     match plan {
         Plan::Scan { base, binding } => {
+            stats.rows_scanned += base.len() as u64;
             let rel = ops::bind(base, binding);
             stats.max_intermediate_arity = stats.max_intermediate_arity.max(rel.arity());
             Ok(rel)
@@ -357,6 +414,7 @@ fn materialize_all(plan: &Plan, meter: &mut Meter, stats: &mut ExecStats) -> Res
         Plan::Join { left, right } => {
             let l = materialize_all(left, meter, stats)?;
             let r = materialize_all(right, meter, stats)?;
+            stats.rows_scanned += l.len() as u64 + r.len() as u64;
             let j = ops::natural_join(&l, &r);
             for _ in 0..j.len() {
                 if let Some(kind) = meter.on_tuple() {
@@ -368,15 +426,18 @@ fn materialize_all(plan: &Plan, meter: &mut Meter, stats: &mut ExecStats) -> Res
             }
             stats.max_intermediate_arity = stats.max_intermediate_arity.max(j.arity());
             stats.join_stages += 1;
+            stats.rows_emitted += j.len() as u64;
             Ok(j)
         }
         Plan::ProjectDistinct { input, keep } => {
             let inner = materialize_all(input, meter, stats)?;
+            stats.rows_scanned += inner.len() as u64;
             stats.materialized_rows_in += inner.len() as u64;
             let p = ops::project_distinct(&inner, keep);
             stats.materializations += 1;
             stats.materialized_rows_out += p.len() as u64;
             stats.peak_materialized = stats.peak_materialized.max(p.len() as u64);
+            stats.rows_emitted += p.len() as u64;
             Ok(p)
         }
     }
@@ -552,6 +613,7 @@ mod tests {
             .project(vec![a(3)]);
         let opts = ExecOptions {
             dedup_subqueries: false,
+            ..ExecOptions::default()
         };
         let (bag, _) = execute_with(&plan, &Budget::unlimited(), opts).unwrap();
         let (set, _) = execute(&plan, &Budget::unlimited()).unwrap();
@@ -580,6 +642,7 @@ mod tests {
         let (_, dedup_stats) = execute(&plan, &Budget::unlimited()).unwrap();
         let opts = ExecOptions {
             dedup_subqueries: false,
+            ..ExecOptions::default()
         };
         let (_, bag_stats) = execute_with(&plan, &Budget::unlimited(), opts).unwrap();
         assert!(bag_stats.tuples_flowed > dedup_stats.tuples_flowed * 10);

@@ -289,7 +289,10 @@ fn pipeline_par(
     let mut subqueries: Vec<usize> = Vec::new();
     for (i, node) in chain.iter().enumerate() {
         match node {
-            Plan::Scan { base, binding } => inputs[i] = Some(ops::bind(base, binding)),
+            Plan::Scan { base, binding } => {
+                stats.rows_scanned += base.len() as u64;
+                inputs[i] = Some(ops::bind(base, binding));
+            }
             Plan::ProjectDistinct { .. } => subqueries.push(i),
             Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
         }
@@ -333,6 +336,7 @@ fn pipeline_par(
     stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
     let mut stages: Vec<ParStage> = Vec::with_capacity(inputs.len().saturating_sub(1));
     for input in &inputs[1..] {
+        stats.rows_scanned += input.len() as u64;
         let shards = if threads > 1 && input.len() >= PARALLEL_BUILD_MIN {
             threads
         } else {
@@ -356,6 +360,7 @@ fn pipeline_par(
     let mut inputs = inputs;
     let first =
         std::mem::replace(&mut inputs[0], Relation::empty("", Schema::empty())).into_tuples();
+    stats.rows_scanned += first.len() as u64;
     let chunk_size = first
         .len()
         .div_ceil((threads * CHUNKS_PER_THREAD).max(1))

@@ -1,0 +1,585 @@
+//! Push-based streaming executor over secondary indexes.
+//!
+//! This is [`crate::exec::ExecMode::Streaming`]: a callback-driven operator
+//! pipeline in the style of SpacetimeDB's `PipelinedExecutor`. Instead of
+//! the classic executor's per-query preparation — `bind` copies of every
+//! scanned relation plus a hash-table build per join stage — the pipeline
+//! is wired from six operators that push rows downstream:
+//!
+//! * **`TableScan`** — streams the outer input's rows straight off the
+//!   base relation, no bind copy (`Source::Table`).
+//! * **`IxScan`** — answers a single-column `SELECT DISTINCT` subquery by
+//!   reading the cached index's key list (`ix_scan_distinct`).
+//! * **`IxJoin`** — an equality join (single shared attribute) probed
+//!   through the base relation's cached [`ColumnIndex`]
+//!   (`StreamStage::Index`); the index is built lazily once per
+//!   relation and shared by every query holding the snapshot `Arc`.
+//! * **`HashJoin`** — fallback for multi-attribute keys, cross products,
+//!   and subquery inputs: the classic per-query build
+//!   (`StreamStage::Hash`).
+//! * **`Filter`** — repeated-attribute equality checks (`edge(x, x)`),
+//!   applied inline at the scan or per index posting.
+//! * **`Project`** — column collapse at scans and the `DISTINCT`
+//!   projection at the sink (`crate::exec::Sink`).
+//!
+//! Nothing materializes except at `ProjectDistinct` (subquery-dedup)
+//! boundaries — the same boundaries the classic pipeline has.
+//!
+//! **Byte identity.** Output rows, their order, and `tuples_flowed` are
+//! exactly those of [`crate::exec::ExecMode::Pipelined`]. This holds
+//! because index postings are kept in ascending row order (the order a
+//! per-query build table would have recorded), repeated-attribute filters
+//! drop exactly the rows `bind` would have dropped, and the meter is
+//! ticked at the same points. `tests/streaming.rs` asserts all of it by
+//! proptest against the pipelined oracle, the materializing ablation, and
+//! the parallel executor.
+//!
+//! What changes is the *physical* work, visible in
+//! [`ExecStats::rows_scanned`] / [`ExecStats::index_probes`] /
+//! [`ExecStats::index_builds`]: a warm repeated query touches no per-query
+//! builds at all, which is where the serving stack's exec-phase latency
+//! win comes from.
+
+use std::sync::Arc;
+
+use crate::budget::Meter;
+use crate::error::RelalgError;
+use crate::exec::{attach_flow, budget_err, build_stage, join_chain, ExecOptions, Sink, Stage};
+use crate::index::ColumnIndex;
+use crate::ops;
+use crate::plan::Plan;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema};
+use crate::stats::ExecStats;
+use crate::value::{Tuple, Value};
+use crate::Result;
+
+/// The outer input of a streaming pipeline.
+enum Source {
+    /// `TableScan` (+ inline `Filter`/`Project`): stream base rows
+    /// directly, dropping rows that fail the repeated-attribute equality
+    /// checks and collapsing repeated columns on the fly.
+    Table {
+        base: Arc<Relation>,
+        /// `(first, later)` positions in the base row that must agree.
+        eq_checks: Vec<(usize, usize)>,
+        /// Base-row positions streamed; `None` = identity (no repeats).
+        out_pos: Option<Vec<usize>>,
+    },
+    /// An already-materialized subquery result, streamed row by row.
+    Materialized(Relation),
+}
+
+/// One probe stage of a streaming pipeline.
+enum StreamStage {
+    /// `HashJoin`: per-query hash build over a bound input — the
+    /// fallback for multi-attribute keys, cross products, and subquery
+    /// inputs.
+    Hash(Stage),
+    /// `IxJoin` (+ inline `Filter`): probe the base relation's cached
+    /// secondary index on the single shared attribute; repeated-attribute
+    /// checks run per posting.
+    Index {
+        base: Arc<Relation>,
+        index: Arc<ColumnIndex>,
+        /// Position in the accumulated buffer of the join-key value.
+        key_pos_in_buf: usize,
+        /// `(first, later)` positions in the base row that must agree.
+        eq_checks: Vec<(usize, usize)>,
+        /// Base-row positions appended to the buffer (attributes not
+        /// already bound by earlier stages).
+        extra_pos: Vec<usize>,
+    },
+}
+
+/// The shape `ops::bind` would give a scan, computed without touching any
+/// rows: the bound schema (first-occurrence attribute order), the base-row
+/// positions to stream (`None` when the binding has no repeats), and the
+/// repeated-attribute equality checks.
+fn bind_shape(binding: &[AttrId]) -> (Schema, Option<Vec<usize>>, Vec<(usize, usize)>) {
+    let mut out_attrs: Vec<AttrId> = Vec::new();
+    let mut out_pos: Vec<usize> = Vec::new();
+    for (i, &a) in binding.iter().enumerate() {
+        if !out_attrs.contains(&a) {
+            out_attrs.push(a);
+            out_pos.push(i);
+        }
+    }
+    let mut eq_checks: Vec<(usize, usize)> = Vec::new();
+    for (i, &a) in binding.iter().enumerate() {
+        let first = binding.iter().position(|&x| x == a).expect("present");
+        if first != i {
+            eq_checks.push((first, i));
+        }
+    }
+    let identity = out_pos.len() == binding.len();
+    (
+        Schema::new(out_attrs),
+        (!identity).then_some(out_pos),
+        eq_checks,
+    )
+}
+
+#[inline]
+fn eq_ok(eq_checks: &[(usize, usize)], row: &[Value]) -> bool {
+    eq_checks.iter().all(|&(a, b)| row[a] == row[b])
+}
+
+/// Streaming counterpart of the classic executor's `materialize`: runs the
+/// pipeline ending at `plan`, recursing into `ProjectDistinct` inputs.
+pub(crate) fn materialize_streaming(
+    plan: &Plan,
+    meter: &mut Meter,
+    stats: &mut ExecStats,
+    options: ExecOptions,
+) -> Result<Relation> {
+    match plan {
+        Plan::Scan { .. } | Plan::Join { .. } => {
+            pipeline_streaming(plan, None, meter, stats, options)
+        }
+        Plan::ProjectDistinct { input, keep } => {
+            let rel = match ix_scan_distinct(input, keep, meter, stats, options)? {
+                Some(rel) => rel,
+                None => pipeline_streaming(input, Some(keep.clone()), meter, stats, options)?,
+            };
+            stats.materializations += 1;
+            stats.peak_materialized = stats.peak_materialized.max(rel.len() as u64);
+            stats.materialized_rows_out += rel.len() as u64;
+            Ok(rel)
+        }
+    }
+}
+
+/// The `IxScan` operator: a single-column `SELECT DISTINCT` over a plain
+/// scan is exactly the cached index's key list in first-occurrence order,
+/// so the whole subquery pipeline collapses into one index read.
+///
+/// Returns `None` when the shape does not apply (multi-column keep,
+/// repeated attributes adding a selection, dedup disabled) and the caller
+/// falls back to the general pipeline. The meter still ticks once per
+/// base row — the logical tuple flow is a plan property and must match
+/// the other executors exactly.
+fn ix_scan_distinct(
+    input: &Plan,
+    keep: &[AttrId],
+    meter: &mut Meter,
+    stats: &mut ExecStats,
+    options: ExecOptions,
+) -> Result<Option<Relation>> {
+    if !options.dedup_subqueries || keep.len() != 1 {
+        return Ok(None);
+    }
+    let Plan::Scan { base, binding } = input else {
+        return Ok(None);
+    };
+    let (schema, out_pos, _) = bind_shape(binding);
+    if out_pos.is_some() {
+        // Repeated attributes add a selection the index does not see.
+        return Ok(None);
+    }
+    let Some(col) = binding.iter().position(|&a| a == keep[0]) else {
+        return Ok(None);
+    };
+    let (index, built) = base.column_index(col);
+    stats.index_builds += built as u64;
+    if built {
+        stats.rows_scanned += base.len() as u64;
+    }
+    stats.index_probes += 1;
+    for _ in 0..base.len() {
+        if let Some(kind) = meter.on_tuple() {
+            return Err(budget_err(kind, meter));
+        }
+    }
+    stats.materialized_rows_in += base.len() as u64;
+    // The working-label width the equivalent pipeline would have seen.
+    stats.max_intermediate_arity = stats.max_intermediate_arity.max(schema.arity());
+    let keys = index.first_keys();
+    if let Some(kind) = meter.on_materialized_rows(keys.len() as u64) {
+        return Err(budget_err(kind, meter));
+    }
+    stats.rows_emitted += keys.len() as u64;
+    let rows: Vec<Tuple> = keys.iter().map(|&v| vec![v].into_boxed_slice()).collect();
+    let mut rel = Relation::new("result", Schema::new(vec![keep[0]]), rows);
+    rel.assume_deduped();
+    Ok(Some(rel))
+}
+
+/// Wires and runs one streaming join pipeline: a [`Source`], a stage per
+/// further input, and a sink (with the `DISTINCT` projection when `keep`
+/// is given).
+fn pipeline_streaming(
+    plan: &Plan,
+    keep: Option<Vec<AttrId>>,
+    meter: &mut Meter,
+    stats: &mut ExecStats,
+    options: ExecOptions,
+) -> Result<Relation> {
+    let chain = join_chain(plan);
+    let mut scratch: Vec<Value> = Vec::new();
+
+    // Source: scans stream straight off the base relation (no bind copy);
+    // subqueries materialize first, as in every mode.
+    let (mut acc, source) = match chain[0] {
+        Plan::Scan { base, binding } => {
+            let (schema, out_pos, eq_checks) = bind_shape(binding);
+            (
+                schema,
+                Source::Table {
+                    base: Arc::clone(base),
+                    eq_checks,
+                    out_pos,
+                },
+            )
+        }
+        sub @ Plan::ProjectDistinct { .. } => {
+            let rel = materialize_streaming(sub, meter, stats, options)?;
+            (rel.schema().clone(), Source::Materialized(rel))
+        }
+        Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
+    };
+    stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
+
+    // Join stages: an IxJoin over the cached index when the join key is a
+    // single attribute of a plain scan; a per-query HashJoin otherwise.
+    let mut stages: Vec<StreamStage> = Vec::with_capacity(chain.len().saturating_sub(1));
+    for node in &chain[1..] {
+        let stage = match node {
+            Plan::Scan { base, binding } => {
+                let (schema, _, eq_checks) = bind_shape(binding);
+                let keys = acc.common(&schema);
+                if keys.len() == 1 {
+                    let key = keys[0];
+                    let col = binding
+                        .iter()
+                        .position(|&a| a == key)
+                        .expect("key is bound");
+                    let (index, built) = base.column_index(col);
+                    stats.index_builds += built as u64;
+                    if built {
+                        stats.rows_scanned += base.len() as u64;
+                    }
+                    let extra_pos: Vec<usize> = schema
+                        .attrs()
+                        .iter()
+                        .filter(|a| !acc.contains(**a))
+                        .map(|a| binding.iter().position(|x| x == a).expect("bound"))
+                        .collect();
+                    let stage = StreamStage::Index {
+                        base: Arc::clone(base),
+                        index,
+                        key_pos_in_buf: acc.position(key).expect("key in acc"),
+                        eq_checks,
+                        extra_pos,
+                    };
+                    acc = acc.join(&schema);
+                    stage
+                } else {
+                    stats.rows_scanned += base.len() as u64;
+                    let bound = ops::bind(base, binding);
+                    stats.rows_scanned += bound.len() as u64;
+                    let stage = build_stage(&acc, &bound, &mut scratch);
+                    acc = acc.join(bound.schema());
+                    StreamStage::Hash(stage)
+                }
+            }
+            sub @ Plan::ProjectDistinct { .. } => {
+                let rel = materialize_streaming(sub, meter, stats, options)?;
+                stats.rows_scanned += rel.len() as u64;
+                let stage = build_stage(&acc, &rel, &mut scratch);
+                acc = acc.join(rel.schema());
+                StreamStage::Hash(stage)
+            }
+            Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
+        };
+        stats.max_intermediate_arity = stats.max_intermediate_arity.max(acc.arity());
+        stages.push(stage);
+    }
+    stats.join_stages += stages.len() as u64;
+
+    let distinct = keep.is_some() && options.dedup_subqueries;
+    let out_schema = match &keep {
+        Some(attrs) => acc.project(attrs),
+        None => acc.clone(),
+    };
+    let mut sink = match keep {
+        Some(attrs) => {
+            let keep_pos = acc.positions(&attrs);
+            Sink::Distinct {
+                seen: crate::key::KeyedSet::with_capacity(keep_pos.len(), 0),
+                keep_pos,
+                rows: Vec::new(),
+                dedup: options.dedup_subqueries,
+            }
+        }
+        None => Sink::Bag(Vec::new()),
+    };
+
+    // Push rows from the source through the stages into the sink.
+    let mut buf: Vec<Value> = Vec::with_capacity(acc.arity());
+    match source {
+        Source::Table {
+            base,
+            eq_checks,
+            out_pos,
+        } => {
+            stats.rows_scanned += base.len() as u64;
+            for t in base.tuples() {
+                if !eq_ok(&eq_checks, t) {
+                    continue;
+                }
+                if let Some(kind) = meter.on_tuple() {
+                    return Err(budget_err(kind, meter));
+                }
+                buf.clear();
+                match &out_pos {
+                    None => buf.extend_from_slice(t),
+                    Some(pos) => buf.extend(pos.iter().map(|&p| t[p])),
+                }
+                probe_streaming(&stages, 0, &mut buf, &mut scratch, &mut sink, meter, stats)
+                    .map_err(|e| attach_flow(e, meter))?;
+            }
+        }
+        Source::Materialized(rel) => {
+            stats.rows_scanned += rel.len() as u64;
+            for t in rel.tuples() {
+                if let Some(kind) = meter.on_tuple() {
+                    return Err(budget_err(kind, meter));
+                }
+                buf.clear();
+                buf.extend_from_slice(t);
+                probe_streaming(&stages, 0, &mut buf, &mut scratch, &mut sink, meter, stats)
+                    .map_err(|e| attach_flow(e, meter))?;
+            }
+        }
+    }
+
+    let rows = match sink {
+        Sink::Bag(rows) => rows,
+        Sink::Distinct { rows, .. } => rows,
+    };
+    let mut rel = Relation::new("result", out_schema, rows);
+    if distinct {
+        rel.assume_deduped();
+    }
+    Ok(rel)
+}
+
+/// Depth-first push through the stages — the streaming counterpart of the
+/// classic executor's `probe`, with identical meter ticks.
+fn probe_streaming(
+    stages: &[StreamStage],
+    idx: usize,
+    buf: &mut Vec<Value>,
+    scratch: &mut Vec<Value>,
+    sink: &mut Sink,
+    meter: &mut Meter,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    if idx == stages.len() {
+        return sink.emit(buf, scratch, meter, stats);
+    }
+    match &stages[idx] {
+        StreamStage::Hash(stage) => {
+            if let Some(matches) = stage.table.get(&stage.key_pos_in_buf, buf, scratch) {
+                let base_len = buf.len();
+                for &ri in matches {
+                    if let Some(kind) = meter.on_tuple() {
+                        return Err(RelalgError::BudgetExceeded {
+                            kind,
+                            tuples_flowed: 0,
+                        });
+                    }
+                    let row = &stage.rows[ri];
+                    buf.truncate(base_len);
+                    buf.extend(stage.extra_pos.iter().map(|&p| row[p]));
+                    probe_streaming(stages, idx + 1, buf, scratch, sink, meter, stats)?;
+                }
+                buf.truncate(base_len);
+            }
+        }
+        StreamStage::Index {
+            base,
+            index,
+            key_pos_in_buf,
+            eq_checks,
+            extra_pos,
+        } => {
+            stats.index_probes += 1;
+            let postings = index.postings(buf[*key_pos_in_buf]);
+            stats.rows_scanned += postings.len() as u64;
+            let rows = base.tuples();
+            let base_len = buf.len();
+            for &ri in postings {
+                let row = &rows[ri as usize];
+                // Inline Filter: rows bind would have dropped never meter.
+                if !eq_ok(eq_checks, row) {
+                    continue;
+                }
+                if let Some(kind) = meter.on_tuple() {
+                    return Err(RelalgError::BudgetExceeded {
+                        kind,
+                        tuples_flowed: 0,
+                    });
+                }
+                buf.truncate(base_len);
+                buf.extend(extra_pos.iter().map(|&p| row[p]));
+                probe_streaming(stages, idx + 1, buf, scratch, sink, meter, stats)?;
+            }
+            buf.truncate(base_len);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::exec::{execute_pipelined, execute_with, ExecMode};
+    use crate::schema::AttrId;
+    use crate::value::tuple;
+
+    fn edge(n: u32) -> Arc<Relation> {
+        let schema = Schema::new(vec![AttrId(1000), AttrId(1001)]);
+        let mut rows = Vec::new();
+        for a in 1..=n {
+            for b in 1..=n {
+                if a != b {
+                    rows.push(tuple(&[a, b]));
+                }
+            }
+        }
+        Relation::from_distinct_rows("edge", schema, rows).into_shared()
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn streaming(plan: &Plan) -> (Relation, ExecStats) {
+        execute_with(
+            plan,
+            &Budget::unlimited(),
+            ExecOptions {
+                mode: ExecMode::Streaming,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn assert_byte_identical(plan: &Plan) {
+        let (s, s_stats) = streaming(plan);
+        let (p, p_stats) = execute_pipelined(plan, &Budget::unlimited()).unwrap();
+        assert_eq!(s.schema(), p.schema());
+        assert_eq!(s.tuples(), p.tuples());
+        assert_eq!(s.is_deduped(), p.is_deduped());
+        assert_eq!(s_stats.tuples_flowed, p_stats.tuples_flowed);
+        assert_eq!(s_stats.materializations, p_stats.materializations);
+        assert_eq!(
+            s_stats.max_intermediate_arity,
+            p_stats.max_intermediate_arity
+        );
+    }
+
+    #[test]
+    fn triangle_matches_pipelined_byte_for_byte() {
+        let e = edge(3);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)])
+            .join(Plan::scan(e.clone(), vec![a(2), a(3)]))
+            .join(Plan::scan(e, vec![a(1), a(3)]))
+            .project(vec![a(1)]);
+        assert_byte_identical(&plan);
+    }
+
+    #[test]
+    fn chain_with_subqueries_matches() {
+        let e = edge(5);
+        let mut plan = Plan::scan(e.clone(), vec![a(0), a(1)]).project(vec![a(1)]);
+        for i in 1..6 {
+            plan = plan
+                .join(Plan::scan(e.clone(), vec![a(i), a(i + 1)]))
+                .project(vec![a(i + 1)]);
+        }
+        assert_byte_identical(&plan);
+    }
+
+    #[test]
+    fn repeated_attrs_and_cross_products_match() {
+        let e = edge(3);
+        // edge(x, x) ⋈ edge(y, z): an empty filtered scan crossed in.
+        let plan = Plan::scan(e.clone(), vec![a(1), a(1)]).join(Plan::scan(e, vec![a(2), a(3)]));
+        assert_byte_identical(&plan);
+    }
+
+    #[test]
+    fn bag_roots_match() {
+        let e = edge(4);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)]).join(Plan::scan(e, vec![a(2), a(3)]));
+        assert_byte_identical(&plan);
+    }
+
+    #[test]
+    fn ix_scan_answers_single_column_distinct_from_the_index() {
+        let e = edge(3);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)]).project(vec![a(2)]);
+        let (rel, stats) = streaming(&plan);
+        assert_eq!(rel.len(), 3);
+        assert!(rel.is_deduped());
+        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.index_builds, 1);
+        assert_byte_identical(&plan);
+    }
+
+    #[test]
+    fn warm_runs_reuse_cached_indexes() {
+        let e = edge(3);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)])
+            .join(Plan::scan(e.clone(), vec![a(2), a(3)]))
+            .project(vec![a(1)]);
+        let (_, cold) = streaming(&plan);
+        assert!(cold.index_builds > 0);
+        let (_, warm) = streaming(&plan);
+        assert_eq!(warm.index_builds, 0);
+        assert!(warm.rows_scanned < cold.rows_scanned);
+        assert_eq!(warm.tuples_flowed, cold.tuples_flowed);
+        assert!(e.indexed_columns() > 0);
+    }
+
+    #[test]
+    fn budget_trips_at_the_same_flow_as_pipelined() {
+        let e = edge(4);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)])
+            .join(Plan::scan(e.clone(), vec![a(2), a(3)]))
+            .join(Plan::scan(e, vec![a(3), a(4)]))
+            .project(vec![a(1)]);
+        let budget = Budget::tuples(17);
+        let s = execute_with(
+            &plan,
+            &budget,
+            ExecOptions {
+                mode: ExecMode::Streaming,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap_err();
+        let p = execute_pipelined(&plan, &budget).unwrap_err();
+        match (s, p) {
+            (
+                RelalgError::BudgetExceeded {
+                    kind: sk,
+                    tuples_flowed: sf,
+                },
+                RelalgError::BudgetExceeded {
+                    kind: pk,
+                    tuples_flowed: pf,
+                },
+            ) => {
+                assert_eq!(sk, pk);
+                assert_eq!(sf, pf);
+            }
+            other => panic!("expected budget errors, got {other:?}"),
+        }
+    }
+}

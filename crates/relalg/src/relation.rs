@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use rustc_hash::FxHashSet;
 
+use crate::index::{ColumnIndex, IndexCache};
 use crate::schema::{AttrId, Schema};
 use crate::value::{Tuple, Value};
 
@@ -20,6 +21,10 @@ pub struct Relation {
     schema: Schema,
     tuples: Vec<Tuple>,
     deduped: bool,
+    /// Lazily-built per-column secondary indexes. Cloning starts cold;
+    /// in-place mutation ([`Relation::push`], [`Relation::dedup`]) clears
+    /// it, so a cached index always describes the current tuples.
+    indexes: IndexCache,
 }
 
 impl Relation {
@@ -41,6 +46,7 @@ impl Relation {
             schema,
             tuples,
             deduped: false,
+            indexes: IndexCache::default(),
         }
     }
 
@@ -58,6 +64,7 @@ impl Relation {
             schema,
             tuples: Vec::new(),
             deduped: true,
+            indexes: IndexCache::default(),
         }
     }
 
@@ -102,11 +109,12 @@ impl Relation {
         self.deduped
     }
 
-    /// Appends a row; clears the dedup mark.
+    /// Appends a row; clears the dedup mark and any cached indexes.
     pub fn push(&mut self, t: Tuple) {
         assert_eq!(t.len(), self.schema.arity());
         self.tuples.push(t);
         self.deduped = false;
+        self.indexes = IndexCache::default();
     }
 
     /// Consumes the relation, yielding its rows.
@@ -133,6 +141,7 @@ impl Relation {
         seen.reserve(self.tuples.len());
         self.tuples.retain(|t| seen.insert(t.clone()));
         self.deduped = true;
+        self.indexes = IndexCache::default();
     }
 
     /// The column of values for `attr`; panics if absent.
@@ -153,6 +162,33 @@ impl Relation {
     /// Wraps the relation for cheap sharing between plans.
     pub fn into_shared(self) -> Arc<Relation> {
         Arc::new(self)
+    }
+
+    /// The secondary index on column `col`, building and caching it on
+    /// first use. The second element is `true` iff this call built the
+    /// index (a cache miss); a hit returns the shared `Arc` for free.
+    ///
+    /// The cache lives on the relation value itself, so every query
+    /// holding the same `Arc`-shared snapshot reuses one build. Under
+    /// concurrent first use, `OnceLock` guarantees exactly one thread
+    /// builds while the others wait and report a hit.
+    pub fn column_index(&self, col: usize) -> (Arc<ColumnIndex>, bool) {
+        assert!(
+            col < self.arity(),
+            "column {col} out of range for arity {}",
+            self.arity()
+        );
+        let mut built = false;
+        let ix = self.indexes.slot(self.schema.arity(), col).get_or_init(|| {
+            built = true;
+            Arc::new(ColumnIndex::build(self, col))
+        });
+        (Arc::clone(ix), built)
+    }
+
+    /// Number of column indexes currently built and cached.
+    pub fn indexed_columns(&self) -> usize {
+        self.indexes.built()
     }
 
     /// Set-semantics equality: same schema (same attribute order) and same
@@ -258,5 +294,39 @@ mod tests {
         let r = Relation::empty("r", schema2());
         assert!(r.is_empty());
         assert!(r.is_deduped());
+    }
+
+    #[test]
+    fn column_index_is_built_once_and_shared() {
+        let r = Relation::new("r", schema2(), vec![tuple(&[1, 2]), tuple(&[1, 3])]);
+        assert_eq!(r.indexed_columns(), 0);
+        let (ix, built) = r.column_index(0);
+        assert!(built);
+        assert_eq!(ix.postings(1), &[0, 1]);
+        let (again, built_again) = r.column_index(0);
+        assert!(!built_again);
+        assert!(Arc::ptr_eq(&ix, &again));
+        assert_eq!(r.indexed_columns(), 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_indexes() {
+        let mut r = Relation::new("r", schema2(), vec![tuple(&[1, 2])]);
+        let _ = r.column_index(0);
+        assert_eq!(r.indexed_columns(), 1);
+        r.push(tuple(&[1, 9]));
+        assert_eq!(r.indexed_columns(), 0);
+        let (ix, built) = r.column_index(0);
+        assert!(built);
+        assert_eq!(ix.postings(1), &[0, 1]);
+    }
+
+    #[test]
+    fn clones_start_with_a_cold_index_cache() {
+        let r = Relation::new("r", schema2(), vec![tuple(&[1, 2])]);
+        let _ = r.column_index(1);
+        let c = r.clone();
+        assert_eq!(r.indexed_columns(), 1);
+        assert_eq!(c.indexed_columns(), 0);
     }
 }

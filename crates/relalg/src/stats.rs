@@ -41,12 +41,27 @@ pub struct ExecStats {
     /// serial execution; the `cpu_time / elapsed` ratio is the effective
     /// parallel speedup.
     pub cpu_time: Duration,
+    /// Physical input rows read: base rows streamed by scans, rows hashed
+    /// into per-query build tables, base rows read while building a
+    /// secondary index, and index postings walked at probe time. Unlike
+    /// [`ExecStats::tuples_flowed`] (a plan property, identical across
+    /// executors), this measures the *work the chosen executor did* — the
+    /// streaming executor's cached indexes make it drop on warm runs.
+    pub rows_scanned: u64,
+    /// Rows pushed out of pipelines into their sinks (before any
+    /// `DISTINCT` de-duplication the sink applies).
+    pub rows_emitted: u64,
+    /// Secondary-index lookups performed by `IxScan`/`IxJoin` operators.
+    pub index_probes: u64,
+    /// Secondary indexes built this execution (cache misses; a reused
+    /// index cached on the relation's `Arc` snapshot costs nothing).
+    pub index_builds: u64,
 }
 
-/// Fixed-width summary of an execution — the four quantities a trace
-/// span or slow-query-log entry carries to explain a request without
-/// hauling the full [`ExecStats`] (whose `shard_tuples` vector is
-/// unbounded) across a metrics boundary.
+/// Fixed-width summary of an execution — the quantities a trace span or
+/// slow-query-log entry carries to explain a request without hauling the
+/// full [`ExecStats`] (whose `shard_tuples` vector is unbounded) across a
+/// metrics boundary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecDigest {
     /// Tuples emitted by all join stages.
@@ -57,6 +72,14 @@ pub struct ExecDigest {
     pub join_stages: u64,
     /// Worker threads the executor ran with (1 = serial).
     pub threads_used: u64,
+    /// Physical input rows read (see [`ExecStats::rows_scanned`]).
+    pub rows_scanned: u64,
+    /// Rows pushed into pipeline sinks (see [`ExecStats::rows_emitted`]).
+    pub rows_emitted: u64,
+    /// Secondary-index lookups performed.
+    pub index_probes: u64,
+    /// Secondary indexes built (cache misses).
+    pub index_builds: u64,
 }
 
 impl ExecStats {
@@ -67,6 +90,10 @@ impl ExecStats {
             peak_materialized: self.peak_materialized,
             join_stages: self.join_stages,
             threads_used: self.threads_used,
+            rows_scanned: self.rows_scanned,
+            rows_emitted: self.rows_emitted,
+            index_probes: self.index_probes,
+            index_builds: self.index_builds,
         }
     }
 
@@ -91,6 +118,10 @@ impl ExecStats {
             *mine += theirs;
         }
         self.cpu_time += other.cpu_time;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_emitted += other.rows_emitted;
+        self.index_probes += other.index_probes;
+        self.index_builds += other.index_builds;
     }
 }
 

@@ -205,8 +205,9 @@ pub struct EngineConfig {
     /// Result-cache byte budget; 0 disables result caching (every request
     /// executes, as in PR 2).
     pub result_cache_bytes: usize,
-    /// Threads per request inside the executor: 1 = serial pipelined
-    /// executor, else [`parallel::execute_parallel`] (0 = all cores).
+    /// Threads per request inside the executor: 1 = the serial push-based
+    /// streaming executor (probing secondary indexes cached on the
+    /// snapshot), else [`parallel::execute_parallel`] (0 = all cores).
     pub exec_threads: usize,
     /// Server-side budget ceiling; request overrides are clamped to it.
     pub max_budget: Budget,
@@ -274,6 +275,12 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Result-cache counters.
     pub results: ResultCacheStats,
+    /// Secondary-index lookups performed by the streaming executor
+    /// across all served requests.
+    pub index_probes: u64,
+    /// Secondary indexes built (cache misses); stops growing once the
+    /// serving snapshot's indexes are warm.
+    pub index_builds: u64,
     /// Per-phase latency quantiles from the shared histograms.
     pub spans: SpanStats,
 }
@@ -468,6 +475,8 @@ impl EngineHandle {
             inflight: self.shared.inflight.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
             results: self.shared.results.stats(),
+            index_probes: obs.index_probes.get(),
+            index_builds: obs.index_builds.get(),
             spans: SpanStats {
                 phase: std::array::from_fn(|i| obs.phase_us[i].snapshot().quantiles()),
                 total: obs.total_us.snapshot().quantiles(),
@@ -718,6 +727,9 @@ fn record_completion(
                 resp.stats.digest()
             };
             obs.tuples_flowed.record(digest.tuples_flowed);
+            obs.rows_scanned.record(digest.rows_scanned);
+            obs.index_probes.add(digest.index_probes);
+            obs.index_builds.add(digest.index_builds);
             (resp.rows.len() as u64, digest, "ok")
         }
         Err(e) => {
@@ -740,6 +752,7 @@ fn record_completion(
             peak_materialized: digest.peak_materialized,
             join_stages: digest.join_stages,
             threads_used: digest.threads_used,
+            rows_scanned: digest.rows_scanned,
             seq,
         });
     }
@@ -887,6 +900,12 @@ fn process(
     let budget = budget.clamp(&shared.max_budget);
 
     let started = Instant::now();
+    // Serial requests take the streaming executor (`ExecMode::Streaming`,
+    // the `exec::execute` default): per-column indexes are built lazily
+    // and cached on the pinned snapshot's `Arc`-shared relations, so
+    // every later request against the same catalog version probes them
+    // for free — copy-on-write catalog updates clone the relation and
+    // start cold, which keeps sharing sound.
     let executed = if shared.exec_threads == 1 {
         exec::execute(&plan, &budget)
     } else {

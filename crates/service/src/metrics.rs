@@ -39,6 +39,16 @@ pub struct ServiceMetrics {
     /// `ppr_exec_tuples_flowed` — executor tuple flow of successful
     /// requests (0 on a result-cache hit).
     pub tuples_flowed: Arc<Histogram>,
+    /// `ppr_exec_rows_scanned` — physical input rows the executor read
+    /// per successful request (0 on a result-cache hit). Falls on warm
+    /// repeats as the streaming executor reuses cached secondary indexes.
+    pub rows_scanned: Arc<Histogram>,
+    /// `ppr_index_probes_total` — secondary-index lookups performed by
+    /// the streaming executor's `IxScan`/`IxJoin` operators.
+    pub index_probes: Arc<Counter>,
+    /// `ppr_index_builds_total` — secondary indexes built (cache misses;
+    /// warm snapshots stop incrementing this).
+    pub index_builds: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -72,6 +82,18 @@ impl ServiceMetrics {
                 "ppr_exec_tuples_flowed",
                 "Executor tuple flow per successful request",
             ),
+            rows_scanned: registry.histogram(
+                "ppr_exec_rows_scanned",
+                "Physical input rows read by the executor per successful request",
+            ),
+            index_probes: registry.counter(
+                "ppr_index_probes_total",
+                "Secondary-index lookups performed by the streaming executor",
+            ),
+            index_builds: registry.counter(
+                "ppr_index_builds_total",
+                "Secondary indexes built on cache miss by the streaming executor",
+            ),
             slowlog: Arc::new(SlowLog::new(if slowlog_capacity == 0 {
                 DEFAULT_SLOWLOG_CAPACITY
             } else {
@@ -86,14 +108,14 @@ impl ServiceMetrics {
 /// (slowest first) — the body of the metrics endpoint's `/slowlog` page.
 pub fn render_slowlog(entries: &[SlowEntry]) -> String {
     let mut out = String::with_capacity(128 * (entries.len() + 1));
-    out.push_str("# slow queries, worst first: total_us db@version fingerprint method outcome spans rows tuples\n");
+    out.push_str("# slow queries, worst first: total_us db@version fingerprint method outcome spans rows tuples scanned\n");
     for e in entries {
         let spans: Vec<String> = PHASES
             .iter()
             .map(|p| format!("{}={}", p.name(), e.spans.get(*p)))
             .collect();
         out.push_str(&format!(
-            "{} {}@{} {:032x} {} {} {} rows={} tuples={} peak={} stages={} threads={}\n",
+            "{} {}@{} {:032x} {} {} {} rows={} tuples={} scanned={} peak={} stages={} threads={}\n",
             e.total_us,
             e.db,
             e.version,
@@ -103,6 +125,7 @@ pub fn render_slowlog(entries: &[SlowEntry]) -> String {
             spans.join(","),
             e.rows,
             e.tuples_flowed,
+            e.rows_scanned,
             e.peak_materialized,
             e.join_stages,
             e.threads_used,
@@ -128,6 +151,9 @@ mod tests {
             "ppr_request_total_us",
             "ppr_result_rows",
             "ppr_exec_tuples_flowed",
+            "ppr_exec_rows_scanned",
+            "ppr_index_probes_total",
+            "ppr_index_builds_total",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
@@ -153,11 +179,13 @@ mod tests {
             peak_materialized: 9,
             join_stages: 2,
             threads_used: 1,
+            rows_scanned: 18,
             seq: 0,
         });
         let text = render_slowlog(&m.slowlog.snapshot());
         assert!(text.contains("512 graphs@3"));
         assert!(text.contains("exec=400"));
         assert!(text.contains("rows=6"));
+        assert!(text.contains("scanned=18"));
     }
 }

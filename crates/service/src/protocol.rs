@@ -472,6 +472,7 @@ pub fn encode_result(result: &Result<Response, ServiceError>) -> String {
         Ok(r) => {
             let mut line = format!(
                 "ok cache_hit={} result_hit={} plan_us={} elapsed_us={} cpu_us={} tuples={} \
+                 scanned={} emitted={} ix_probes={} ix_builds={} \
                  materializations={} join_stages={} max_arity={} threads={} cols={} rows={} data=",
                 r.cache_hit as u8,
                 r.result_cache_hit as u8,
@@ -479,6 +480,10 @@ pub fn encode_result(result: &Result<Response, ServiceError>) -> String {
                 r.stats.elapsed.as_micros(),
                 r.stats.cpu_time.as_micros(),
                 r.stats.tuples_flowed,
+                r.stats.rows_scanned,
+                r.stats.rows_emitted,
+                r.stats.index_probes,
+                r.stats.index_builds,
                 r.stats.materializations,
                 r.stats.join_stages,
                 r.stats.max_intermediate_arity,
@@ -556,6 +561,10 @@ pub fn decode_result(line: &str) -> Result<Response, ServiceError> {
             "elapsed_us" => stats.elapsed = Duration::from_micros(parse_num(k, v)?),
             "cpu_us" => stats.cpu_time = Duration::from_micros(parse_num(k, v)?),
             "tuples" => stats.tuples_flowed = parse_num(k, v)?,
+            "scanned" => stats.rows_scanned = parse_num(k, v)?,
+            "emitted" => stats.rows_emitted = parse_num(k, v)?,
+            "ix_probes" => stats.index_probes = parse_num(k, v)?,
+            "ix_builds" => stats.index_builds = parse_num(k, v)?,
             "materializations" => stats.materializations = parse_num(k, v)?,
             "join_stages" => stats.join_stages = parse_num(k, v)?,
             "max_arity" => stats.max_intermediate_arity = parse_num(k, v)?,
@@ -688,6 +697,10 @@ pub fn encode_stats(s: &EngineStats) -> String {
         s.results.bytes,
         s.results.capacity_bytes,
     );
+    line.push_str(&format!(
+        " ix_probes={} ix_builds={}",
+        s.index_probes, s.index_builds
+    ));
     let mut push_quantiles = |name: &str, q: &Quantiles| {
         line.push_str(&format!(
             " {name}_n={} {name}_p50={} {name}_p95={} {name}_p99={}",
@@ -732,6 +745,8 @@ pub fn decode_stats(line: &str) -> Result<EngineStats, ServiceError> {
             "r_len" => s.results.len = parse_num(k, v)?,
             "r_bytes" => s.results.bytes = parse_num(k, v)?,
             "r_cap" => s.results.capacity_bytes = parse_num(k, v)?,
+            "ix_probes" => s.index_probes = parse_num(k, v)?,
+            "ix_builds" => s.index_builds = parse_num(k, v)?,
             // Span quantiles: `{phase}_{n|p50|p95|p99}` or `total_…`.
             other => {
                 let quantile = other.rsplit_once('_').and_then(|(prefix, suffix)| {
@@ -782,6 +797,15 @@ pub struct TraceReport {
     pub join_stages: u64,
     /// Executor threads used.
     pub threads_used: u64,
+    /// Physical input rows the executor read (0 on a result-cache hit;
+    /// low on warm repeats thanks to cached secondary indexes).
+    pub rows_scanned: u64,
+    /// Rows pushed into pipeline sinks before `DISTINCT` dedup.
+    pub rows_emitted: u64,
+    /// Secondary-index lookups performed.
+    pub index_probes: u64,
+    /// Secondary indexes built (cache misses).
+    pub index_builds: u64,
 }
 
 /// Builds the report for a completed response: spans ride on
@@ -800,6 +824,10 @@ impl TraceReport {
             peak_materialized: digest.peak_materialized,
             join_stages: digest.join_stages,
             threads_used: digest.threads_used,
+            rows_scanned: digest.rows_scanned,
+            rows_emitted: digest.rows_emitted,
+            index_probes: digest.index_probes,
+            index_builds: digest.index_builds,
         }
     }
 }
@@ -814,7 +842,7 @@ pub fn encode_trace_report(result: &Result<TraceReport, ServiceError>) -> String
             }
             line.push_str(&format!(
                 " total_us={} rows={} cache_hit={} result_hit={} tuples={} peak={} stages={} \
-                 threads={}",
+                 threads={} scanned={} emitted={} ix_probes={} ix_builds={}",
                 r.total_us,
                 r.rows,
                 r.cache_hit as u8,
@@ -823,6 +851,10 @@ pub fn encode_trace_report(result: &Result<TraceReport, ServiceError>) -> String
                 r.peak_materialized,
                 r.join_stages,
                 r.threads_used,
+                r.rows_scanned,
+                r.rows_emitted,
+                r.index_probes,
+                r.index_builds,
             ));
             line
         }
@@ -853,6 +885,10 @@ pub fn decode_trace_report(line: &str) -> Result<TraceReport, ServiceError> {
             "peak" => r.peak_materialized = parse_num(k, v)?,
             "stages" => r.join_stages = parse_num(k, v)?,
             "threads" => r.threads_used = parse_num(k, v)?,
+            "scanned" => r.rows_scanned = parse_num(k, v)?,
+            "emitted" => r.rows_emitted = parse_num(k, v)?,
+            "ix_probes" => r.index_probes = parse_num(k, v)?,
+            "ix_builds" => r.index_builds = parse_num(k, v)?,
             other => match other.strip_suffix("_us").and_then(Phase::parse_name) {
                 Some(p) => r.spans.set(p, parse_num(k, v)?),
                 None => return perr(format!("unknown key `{k}`")),
@@ -885,8 +921,14 @@ pub fn encode_slowlog(result: &Result<Vec<SlowEntry>, ServiceError>) -> String {
             line.push_str(&format!(",{}", e.spans.get(p)));
         }
         line.push_str(&format!(
-            ",{},{},{},{},{},{}",
-            e.rows, e.tuples_flowed, e.peak_materialized, e.join_stages, e.threads_used, e.seq
+            ",{},{},{},{},{},{},{}",
+            e.rows,
+            e.tuples_flowed,
+            e.rows_scanned,
+            e.peak_materialized,
+            e.join_stages,
+            e.threads_used,
+            e.seq
         ));
     }
     line
@@ -919,8 +961,8 @@ pub fn decode_slowlog(line: &str) -> Result<Vec<SlowEntry>, ServiceError> {
     if !data.is_empty() {
         for record in data.split(';') {
             let fields: Vec<&str> = record.split(',').collect();
-            // 6 identity/outcome columns + one per phase + 6 trailing.
-            if fields.len() != 12 + Phase::COUNT {
+            // 6 identity/outcome columns + one per phase + 7 trailing.
+            if fields.len() != 13 + Phase::COUNT {
                 return perr(format!("bad slowlog record `{record}`"));
             }
             let mut spans = TraceSpans::new();
@@ -940,10 +982,11 @@ pub fn decode_slowlog(line: &str) -> Result<Vec<SlowEntry>, ServiceError> {
                 spans,
                 rows: parse_num("rows", fields[tail])?,
                 tuples_flowed: parse_num("tuples", fields[tail + 1])?,
-                peak_materialized: parse_num("peak", fields[tail + 2])?,
-                join_stages: parse_num("stages", fields[tail + 3])?,
-                threads_used: parse_num("threads", fields[tail + 4])?,
-                seq: parse_num("seq", fields[tail + 5])?,
+                rows_scanned: parse_num("scanned", fields[tail + 2])?,
+                peak_materialized: parse_num("peak", fields[tail + 3])?,
+                join_stages: parse_num("stages", fields[tail + 4])?,
+                threads_used: parse_num("threads", fields[tail + 5])?,
+                seq: parse_num("seq", fields[tail + 6])?,
             });
         }
     }
@@ -1121,6 +1164,10 @@ mod tests {
             threads_used: 2,
             elapsed: Duration::from_micros(120),
             cpu_time: Duration::from_micros(200),
+            rows_scanned: 90,
+            rows_emitted: 11,
+            index_probes: 5,
+            index_builds: 1,
             ..ExecStats::default()
         };
         resp.cache_hit = true;
@@ -1182,6 +1229,8 @@ mod tests {
         s.results.len = 3;
         s.results.bytes = 4096;
         s.results.capacity_bytes = 8 << 20;
+        s.index_probes = 31;
+        s.index_builds = 4;
         s.spans.phase[Phase::QueueWait as usize] = Quantiles {
             count: 10,
             p50: 3,
@@ -1247,6 +1296,10 @@ mod tests {
             peak_materialized: 9,
             join_stages: 3,
             threads_used: 2,
+            rows_scanned: 77,
+            rows_emitted: 8,
+            index_probes: 4,
+            index_builds: 2,
             ..TraceReport::default()
         };
         r.spans.set(Phase::QueueWait, 10);
@@ -1286,6 +1339,7 @@ mod tests {
                 peak_materialized: 64,
                 join_stages: 4,
                 threads_used: 2,
+                rows_scanned: 96,
                 seq: 7,
             },
             SlowEntry {
@@ -1301,6 +1355,7 @@ mod tests {
                 peak_materialized: 0,
                 join_stages: 0,
                 threads_used: 0,
+                rows_scanned: 0,
                 seq: 2,
             },
         ];
