@@ -7,7 +7,7 @@
 //!          sat3 sat2 theorems
 //!          ablation-orders ablation-pipeline ablation-minibucket
 //!          ablation-distinct ablation-join ablation-parallel
-//!          serve-throughput semijoin all
+//!          serve-throughput durability semijoin all
 //! ```
 //!
 //! `--pipeline N` only affects `serve-throughput`: it keeps `N` tagged
@@ -20,6 +20,11 @@
 //! serial). `ablation-parallel` compares serial against 2/4/`N` threads on
 //! the figure-4 and figure-8 workloads and writes the machine-readable
 //! report to `results/BENCH_parallel.json`.
+//!
+//! `durability` sweeps the persistence axis (memory-only / WAL /
+//! WAL+fsync-every-commit) on the catalog mutation path and measures
+//! cold-recovery time against database size, writing the report to
+//! `results/BENCH_durability.json`.
 //!
 //! `--quick` shrinks the grids to one small instance per workload family
 //! (and `serve-throughput` to 256 requests per phase) — a CI smoke mode
@@ -180,6 +185,21 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
             }
             ppr_bench::serve::print_serve_rows(&mut w, &rows);
         }
+        "durability" => {
+            // Same artifact discipline as serve-throughput: write the
+            // JSON report before printing the TSV.
+            let report = ppr_bench::durability::durability_rows(cfg);
+            let json = ppr_bench::durability::durability_report_json(cfg, &report);
+            let path = std::path::Path::new("results");
+            if std::fs::create_dir_all(path).is_ok() {
+                let file = path.join("BENCH_durability.json");
+                match std::fs::write(&file, &json) {
+                    Ok(()) => eprintln!("wrote {}", file.display()),
+                    Err(e) => eprintln!("could not write {}: {e}", file.display()),
+                }
+            }
+            ppr_bench::durability::print_durability_rows(&mut w, &report);
+        }
         "semijoin" => figures::semijoin_usefulness(&mut w, cfg),
         "limits" => figures::limits_php(&mut w, cfg),
         "all" => {
@@ -203,6 +223,7 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
                 "ablation-join",
                 "ablation-parallel",
                 "serve-throughput",
+                "durability",
                 "semijoin",
                 "limits",
             ] {

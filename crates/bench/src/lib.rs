@@ -8,6 +8,7 @@
 //! logscale-ready TSV. The Criterion benches under `benches/` wire
 //! representative points of each figure into `cargo bench`.
 
+pub mod durability;
 pub mod figures;
 pub mod harness;
 pub mod plot;

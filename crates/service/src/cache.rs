@@ -4,15 +4,19 @@
 //! amortize: for the structural methods it is pure query analysis
 //! (independent of the data), so a compiled [`Plan`] is reusable for every
 //! future request whose query is *isomorphic* to the one that built it.
-//! The cache key is [`CacheKey`]: database name + [`DbVersion`],
-//! [`Fingerprint`], [`Method`], and planner seed. The fingerprint
+//! The cache key is [`CacheKey`]: database *content* ([`DbFingerprint`]),
+//! [`Fingerprint`], [`Method`], and planner seed. The query fingerprint
 //! quotients out variable renaming and atom order; the seed is part of
 //! the key because it breaks planner ties, so plans built under different
-//! seeds may legitimately differ; and the database identity is part of
-//! the key because a compiled plan *embeds* `Arc<Relation>` handles in
-//! its scan leaves — a plan built at version N scans version-N data, so
-//! a catalog mutation must naturally invalidate it (the bumped version
-//! makes a fresh key; the stale entry ages out of the LRU). The value is
+//! seeds may legitimately differ; and the data identity is part of the
+//! key because a compiled plan *embeds* `Arc<Relation>` handles in its
+//! scan leaves. Keying on the content hash rather than on the database's
+//! name + version means isomorphic databases (same content under another
+//! name, load order, or a post-crash recovery) share plans, while any
+//! content-changing mutation naturally invalidates: the new fingerprint
+//! makes a fresh key and the stale entry ages out of the LRU. A plan hit
+//! from a *different* (content-identical) database executes the embedded
+//! snapshot's relations — same tuple sets, so same answers. The value is
 //! an `Arc<Plan>` shared with however many requests are concurrently
 //! executing it.
 //!
@@ -37,16 +41,14 @@ use ppr_query::{Fingerprint, QueryShape};
 use ppr_relalg::Plan;
 use rustc_hash::FxHashMap;
 
-use crate::catalog::DbVersion;
+use crate::catalog::DbFingerprint;
 
-/// Cache key: data identity (database name + version) × canonical query
+/// Cache key: data identity (database content hash) × canonical query
 /// identity × planning method × planner seed.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// Database name the plan's scans are bound to.
-    pub db: String,
-    /// Database version the plan's scans are bound to.
-    pub version: DbVersion,
+    /// Content fingerprint of the database the plan's scans are bound to.
+    pub data: DbFingerprint,
     /// Canonical query fingerprint.
     pub fingerprint: Fingerprint,
     /// Planning method.
@@ -260,8 +262,7 @@ mod tests {
 
     fn keyed(n: u128, method: Method, seed: u64) -> CacheKey {
         CacheKey {
-            db: "default".to_string(),
-            version: DbVersion(1),
+            data: DbFingerprint(1),
             fingerprint: Fingerprint(n),
             method,
             seed,
@@ -326,20 +327,17 @@ mod tests {
     }
 
     #[test]
-    fn database_and_version_are_part_of_the_key() {
+    fn data_fingerprint_is_part_of_the_key() {
         // Plans embed `Arc<Relation>` scans, so a plan is only valid for
-        // the exact database snapshot it was built against.
+        // databases whose content matches the one it was built against.
         let c = PlanCache::new(4);
         c.insert(key(7), shape(), plan(1));
-        let mut bumped = key(7);
-        bumped.version = DbVersion(2);
+        let mut changed = key(7);
+        changed.data = DbFingerprint(2);
         assert!(
-            c.get(&bumped, &shape()).is_none(),
-            "a version bump must re-plan"
+            c.get(&changed, &shape()).is_none(),
+            "a content change must re-plan"
         );
-        let mut other_db = key(7);
-        other_db.db = "graphs".to_string();
-        assert!(c.get(&other_db, &shape()).is_none());
         assert!(c.get(&key(7), &shape()).is_some());
     }
 

@@ -10,7 +10,7 @@ use ppr_relalg::Value;
 
 use ppr_obs::SlowEntry;
 
-use crate::catalog::DbVersion;
+use crate::catalog::{DbInfo, DbVersion};
 use crate::engine::{EngineStats, Request, Response};
 use crate::protocol::{self, Ack, Command, TraceReport};
 use crate::ServiceError;
@@ -137,6 +137,13 @@ impl Client {
     pub fn slowlog(&mut self) -> Result<Vec<SlowEntry>, ServiceError> {
         let reply = self.round_trip("slowlog")?;
         protocol::decode_slowlog(&reply)
+    }
+
+    /// Lists the server's databases: name, version, content fingerprint,
+    /// and relation count, sorted by name.
+    pub fn dbs(&mut self) -> Result<Vec<DbInfo>, ServiceError> {
+        let reply = self.round_trip("dbs")?;
+        protocol::decode_dbs(&reply)
     }
 
     /// Liveness check.

@@ -564,6 +564,11 @@ impl EngineHandle {
             "Bytes held by the result cache",
             results.bytes as u64,
         );
+        // Durable catalogs append the store's own exposition (WAL appends,
+        // fsync latency, snapshot writes, recovery gauges).
+        if let Some(p) = s.catalog.persister() {
+            out.push_str(&p.render_prometheus());
+        }
         out
     }
 }
@@ -837,8 +842,7 @@ fn process(
     // is deliberately not part of the key — budgets bound execution work,
     // and a hit does none.
     let result_key = ResultKey {
-        db: db_name.to_string(),
-        version: snapshot.version,
+        data: snapshot.fingerprint,
         fingerprint: identity.fingerprint,
         method: request.method,
         seed,
@@ -860,8 +864,7 @@ fn process(
     }
 
     let plan_key = CacheKey {
-        db: db_name.to_string(),
-        version: snapshot.version,
+        data: snapshot.fingerprint,
         fingerprint: identity.fingerprint,
         method: request.method,
         seed,

@@ -59,7 +59,9 @@ pub mod result_cache;
 pub mod server;
 
 pub use cache::{CacheStats, PlanCache};
-pub use catalog::{Catalog, CatalogError, DbSnapshot, DbVersion, DEFAULT_DB};
+pub use catalog::{
+    fingerprint_db, Catalog, CatalogError, DbFingerprint, DbInfo, DbSnapshot, DbVersion, DEFAULT_DB,
+};
 pub use client::{Client, Pipeline, Ticket};
 pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response, SpanStats};
 pub use metrics::{render_slowlog, ServiceMetrics, DEFAULT_SLOWLOG_CAPACITY};

@@ -14,7 +14,7 @@ use ppr_relalg::budget::BudgetKind;
 use ppr_relalg::{ExecStats, RelalgError, Value};
 use std::time::Duration;
 
-use crate::catalog::DbVersion;
+use crate::catalog::{DbFingerprint, DbInfo, DbVersion};
 use crate::engine::{EngineStats, Request, Response};
 use crate::ServiceError;
 
@@ -63,6 +63,9 @@ pub enum Command {
     Trace(Request),
     /// Report the slow-query log (worst-N by latency).
     SlowLog,
+    /// List the catalog's databases with their versions, content
+    /// fingerprints, and relation counts.
+    Dbs,
     /// Liveness check.
     Ping,
     /// Protocol negotiation: the highest version the client speaks.
@@ -183,6 +186,7 @@ pub fn encode_command(cmd: &Command) -> String {
         Command::Stats => "stats".to_string(),
         Command::Trace(req) => encode_trace(req),
         Command::SlowLog => "slowlog".to_string(),
+        Command::Dbs => "dbs".to_string(),
         Command::Ping => "ping".to_string(),
         Command::Hello { proto } => format!("hello proto={proto}"),
     }
@@ -202,6 +206,7 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
         "ping" => Ok(Command::Ping),
         "stats" => Ok(Command::Stats),
         "slowlog" => Ok(Command::SlowLog),
+        "dbs" => Ok(Command::Dbs),
         "hello" => {
             let Some(v) = rest.trim().strip_prefix("proto=") else {
                 return perr("hello needs proto=");
@@ -1001,6 +1006,78 @@ pub fn decode_slowlog(line: &str) -> Result<Vec<SlowEntry>, ServiceError> {
     Ok(entries)
 }
 
+/// Encodes the `dbs` reply: `ok n=<count> dbs=` then one
+/// `name,version,fingerprint,relations` record per database,
+/// `;`-separated, sorted by name. Separator-safe because `check_name`
+/// bans `,`/`;` in database names; the fingerprint is 32 lowercase hex
+/// digits.
+pub fn encode_dbs(result: &Result<Vec<DbInfo>, ServiceError>) -> String {
+    let infos = match result {
+        Ok(infos) => infos,
+        Err(e) => return encode_error(e),
+    };
+    let mut line = format!("ok n={} dbs=", infos.len());
+    for (i, d) in infos.iter().enumerate() {
+        if i > 0 {
+            line.push(';');
+        }
+        line.push_str(&format!(
+            "{},{},{},{}",
+            d.name, d.version, d.fingerprint, d.relations
+        ));
+    }
+    line
+}
+
+/// Decodes the `dbs` reply.
+pub fn decode_dbs(line: &str) -> Result<Vec<DbInfo>, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected dbs line, got `{line}`"));
+    };
+    let Some(data_at) = rest.find("dbs=") else {
+        return perr("dbs line needs dbs=");
+    };
+    let mut expected = None;
+    for tok in rest[..data_at].split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "n" => expected = Some(parse_num::<usize>(k, v)?),
+            _ => return perr(format!("unknown key `{k}`")),
+        }
+    }
+    let data = &rest[data_at + "dbs=".len()..];
+    let mut infos = Vec::new();
+    if !data.is_empty() {
+        for record in data.split(';') {
+            let fields: Vec<&str> = record.split(',').collect();
+            let [name, version, fingerprint, relations] = fields[..] else {
+                return perr(format!("bad dbs record `{record}`"));
+            };
+            check_name("database", name)?;
+            infos.push(DbInfo {
+                name: name.to_string(),
+                version: DbVersion(parse_num("version", version)?),
+                fingerprint: DbFingerprint(u128::from_str_radix(fingerprint, 16).map_err(
+                    |_| ServiceError::Protocol(format!("bad fingerprint `{fingerprint}`")),
+                )?),
+                relations: parse_num("relations", relations)?,
+            });
+        }
+    }
+    if let Some(n) = expected {
+        if n != infos.len() {
+            return perr(format!("db count {} does not match n={n}", infos.len()));
+        }
+    }
+    Ok(infos)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1375,6 +1452,39 @@ mod tests {
             decode_slowlog(&encode_slowlog(&Err(err.clone()))).unwrap_err(),
             err
         );
+    }
+
+    #[test]
+    fn dbs_round_trips() {
+        assert_eq!(decode_command("dbs").unwrap(), Command::Dbs);
+        assert_eq!(encode_command(&Command::Dbs), "dbs");
+        let infos = vec![
+            DbInfo {
+                name: "default".into(),
+                version: DbVersion(3),
+                fingerprint: DbFingerprint(u128::MAX - 1),
+                relations: 2,
+            },
+            DbInfo {
+                name: "g-2.test".into(),
+                version: DbVersion(0),
+                fingerprint: DbFingerprint(0),
+                relations: 0,
+            },
+        ];
+        let line = encode_dbs(&Ok(infos.clone()));
+        assert!(line.starts_with("ok n=2 dbs="), "{line}");
+        assert_eq!(decode_dbs(&line).unwrap(), infos);
+        // The fingerprint travels as full-width lowercase hex.
+        assert!(line.contains(&format!("{:032x}", u128::MAX - 1)), "{line}");
+        // An empty catalog round-trips too.
+        assert_eq!(decode_dbs(&encode_dbs(&Ok(Vec::new()))).unwrap(), vec![]);
+        // Count mismatches and malformed records are caught.
+        assert!(decode_dbs("ok n=2 dbs=").is_err());
+        assert!(decode_dbs("ok n=1 dbs=a,b").is_err());
+        assert!(decode_dbs("ok n=1 dbs=a,1,zz,0").is_err(), "bad hex");
+        let err = ServiceError::ShuttingDown;
+        assert_eq!(decode_dbs(&encode_dbs(&Err(err.clone()))).unwrap_err(), err);
     }
 
     /// Every `ServiceError` variant survives the wire losslessly. The

@@ -3,12 +3,18 @@
 //! The plan cache amortizes *planning*; this cache amortizes *execution*.
 //! It is the serving-side analogue of reusing decompositions across
 //! isomorphic instances: the key is
-//! `(database, DbVersion, Fingerprint, Method, seed)`, so a repeated
-//! query — under any variable renaming or atom reordering — returns its
-//! rows without touching the executor, and **any mutation invalidates
-//! naturally**: a `load`/`add` bumps the database version, the next
-//! request computes a key nobody has written, and the stale entry simply
-//! ages out of the LRU. There is no purge logic to get wrong.
+//! `(DbFingerprint, Fingerprint, Method, seed)` — a *content hash* of
+//! the database crossed with the canonical query identity — so a
+//! repeated query — under any variable renaming or atom reordering,
+//! against the same database or any content-identical one (another name,
+//! another load order, a recovered post-crash catalog) — returns its
+//! rows without touching the executor, and **any content-changing
+//! mutation invalidates naturally**: a `load`/`add` that changes the data
+//! changes the fingerprint, the next request computes a key nobody has
+//! written, and the stale entry simply ages out of the LRU. There is no
+//! purge logic to get wrong — and nothing to *wrongly* purge: a restart
+//! or a no-op mutation keeps the fingerprint, so warm entries survive
+//! both.
 //!
 //! Results (unlike plans) have data-dependent size, so the budget is in
 //! **bytes**, not entries: strict LRU eviction runs until the cache fits,
@@ -32,16 +38,14 @@ use ppr_query::{Fingerprint, QueryShape};
 use ppr_relalg::{ExecStats, Value};
 use rustc_hash::FxHashMap;
 
-use crate::catalog::DbVersion;
+use crate::catalog::DbFingerprint;
 
-/// Result-cache key: which data (name + version), which query (canonical
+/// Result-cache key: which data (content hash), which query (canonical
 /// fingerprint), and which plan family (method + tie-breaking seed).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ResultKey {
-    /// Database name the query ran against.
-    pub db: String,
-    /// Database version the rows were computed at.
-    pub version: DbVersion,
+    /// Content fingerprint of the database the rows were computed at.
+    pub data: DbFingerprint,
     /// Canonical query fingerprint.
     pub fingerprint: Fingerprint,
     /// Planning method.
@@ -306,10 +310,9 @@ mod tests {
     use super::*;
     use ppr_query::parse_query;
 
-    fn key(db: &str, version: u64, fp: u128) -> ResultKey {
+    fn key(data: u128, fp: u128) -> ResultKey {
         ResultKey {
-            db: db.to_string(),
-            version: DbVersion(version),
+            data: DbFingerprint(data),
             fingerprint: Fingerprint(fp),
             method: Method::Straightforward,
             seed: 0,
@@ -337,9 +340,9 @@ mod tests {
     #[test]
     fn hit_returns_rows_and_counts() {
         let c = ResultCache::new(1 << 16);
-        assert!(c.get(&key("d", 1, 7), &shape()).is_none());
-        c.insert(key("d", 1, 7), shape(), result(3, 9));
-        let hit = c.get(&key("d", 1, 7), &shape()).unwrap();
+        assert!(c.get(&key(1, 7), &shape()).is_none());
+        c.insert(key(1, 7), shape(), result(3, 9));
+        let hit = c.get(&key(1, 7), &shape()).unwrap();
         assert_eq!(hit.rows.len(), 3);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
@@ -348,31 +351,28 @@ mod tests {
     }
 
     #[test]
-    fn version_is_part_of_the_key() {
+    fn data_fingerprint_is_part_of_the_key() {
         let c = ResultCache::new(1 << 16);
-        c.insert(key("d", 1, 7), shape(), result(3, 9));
+        c.insert(key(1, 7), shape(), result(3, 9));
         assert!(
-            c.get(&key("d", 2, 7), &shape()).is_none(),
-            "a version bump must miss"
+            c.get(&key(2, 7), &shape()).is_none(),
+            "a content change must miss"
         );
-        assert!(c.get(&key("d", 1, 7), &shape()).is_some());
-        // And so is the database name.
-        assert!(c.get(&key("other", 1, 7), &shape()).is_none());
+        // …but the same content under any other name/version hits: only
+        // the fingerprint identifies the data.
+        assert!(c.get(&key(1, 7), &shape()).is_some());
     }
 
     #[test]
     fn shape_mismatch_is_a_collision() {
         let c = ResultCache::new(1 << 16);
-        c.insert(key("d", 1, 7), shape(), result(2, 1));
-        assert!(c.get(&key("d", 1, 7), &other_shape()).is_none());
+        c.insert(key(1, 7), shape(), result(2, 1));
+        assert!(c.get(&key(1, 7), &other_shape()).is_none());
         let s = c.stats();
         assert_eq!((s.collisions, s.misses), (1, 1));
         // The colliding query's result displaces the entry.
-        c.insert(key("d", 1, 7), other_shape(), result(5, 2));
-        assert_eq!(
-            c.get(&key("d", 1, 7), &other_shape()).unwrap().rows.len(),
-            5
-        );
+        c.insert(key(1, 7), other_shape(), result(5, 2));
+        assert_eq!(c.get(&key(1, 7), &other_shape()).unwrap().rows.len(), 5);
         assert_eq!(c.stats().len, 1);
     }
 
@@ -380,13 +380,13 @@ mod tests {
     fn byte_budget_evicts_lru() {
         let one = result(10, 0).approx_bytes();
         let c = ResultCache::new(one * 2 + one / 2); // fits 2, not 3
-        c.insert(key("d", 1, 1), shape(), result(10, 1));
-        c.insert(key("d", 1, 2), shape(), result(10, 2));
-        assert!(c.get(&key("d", 1, 1), &shape()).is_some()); // 2 is LRU
-        c.insert(key("d", 1, 3), shape(), result(10, 3));
-        assert!(c.get(&key("d", 1, 2), &shape()).is_none(), "LRU evicted");
-        assert!(c.get(&key("d", 1, 1), &shape()).is_some());
-        assert!(c.get(&key("d", 1, 3), &shape()).is_some());
+        c.insert(key(1, 1), shape(), result(10, 1));
+        c.insert(key(1, 2), shape(), result(10, 2));
+        assert!(c.get(&key(1, 1), &shape()).is_some()); // 2 is LRU
+        c.insert(key(1, 3), shape(), result(10, 3));
+        assert!(c.get(&key(1, 2), &shape()).is_none(), "LRU evicted");
+        assert!(c.get(&key(1, 1), &shape()).is_some());
+        assert!(c.get(&key(1, 3), &shape()).is_some());
         let s = c.stats();
         assert_eq!(s.evictions, 1);
         assert!(s.bytes <= s.capacity_bytes);
@@ -396,20 +396,20 @@ mod tests {
     fn oversized_results_are_refused_without_flushing() {
         let small = result(2, 0).approx_bytes();
         let c = ResultCache::new(small + small / 2);
-        c.insert(key("d", 1, 1), shape(), result(2, 1));
-        c.insert(key("d", 1, 2), shape(), result(10_000, 2));
+        c.insert(key(1, 1), shape(), result(2, 1));
+        c.insert(key(1, 2), shape(), result(10_000, 2));
         let s = c.stats();
         assert_eq!(s.oversized, 1);
         assert_eq!(s.evictions, 0, "the oversized insert must not evict");
-        assert!(c.get(&key("d", 1, 1), &shape()).is_some());
+        assert!(c.get(&key(1, 1), &shape()).is_some());
     }
 
     #[test]
     fn zero_budget_disables() {
         let c = ResultCache::new(0);
         assert!(!c.enabled());
-        c.insert(key("d", 1, 1), shape(), result(2, 1));
-        assert!(c.get(&key("d", 1, 1), &shape()).is_none());
+        c.insert(key(1, 1), shape(), result(2, 1));
+        assert!(c.get(&key(1, 1), &shape()).is_none());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.len), (0, 0, 0));
     }
@@ -417,9 +417,9 @@ mod tests {
     #[test]
     fn same_shape_race_keeps_first() {
         let c = ResultCache::new(1 << 16);
-        c.insert(key("d", 1, 1), shape(), result(2, 1));
-        c.insert(key("d", 1, 1), shape(), result(9, 2));
-        assert_eq!(c.get(&key("d", 1, 1), &shape()).unwrap().rows.len(), 2);
+        c.insert(key(1, 1), shape(), result(2, 1));
+        c.insert(key(1, 1), shape(), result(9, 2));
+        assert_eq!(c.get(&key(1, 1), &shape()).unwrap().rows.len(), 2);
         assert_eq!(c.stats().len, 1);
     }
 
@@ -431,7 +431,7 @@ mod tests {
             let c = c.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u64 {
-                    let k = key("d", 1, ((t * 4 + i) % 16) as u128);
+                    let k = key(1, ((t * 4 + i) % 16) as u128);
                     if c.get(&k, &shape()).is_none() {
                         c.insert(k, shape(), result(3, i as u32));
                     }

@@ -449,6 +449,7 @@ fn handle_command(cmd: Command, conn: &mut Conn) -> String {
         Command::Ping => "ok pong".to_string(),
         Command::Stats => protocol::encode_stats(&conn.engine.stats()),
         Command::SlowLog => protocol::encode_slowlog(&Ok(conn.engine.metrics().slowlog.snapshot())),
+        Command::Dbs => protocol::encode_dbs(&Ok(conn.engine.catalog().list())),
         Command::Run(mut request) => {
             if request.db.is_none() {
                 request.db = conn.session_db.clone();

@@ -13,9 +13,10 @@
 //!            [--colors K] [--workers N] [--queue N] [--cache N]
 //!            [--result-cache-bytes N] [--exec-threads N] [--max-tuples N]
 //!            [--timeout-ms T] [--metrics-addr HOST:PORT] [--slowlog N]
+//!            [--data-dir DIR] [--no-fsync]
 //! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
 //!            [--db NAME | --use NAME] [--max-tuples N] [--timeout-ms T]
-//!            [--seed S] [--pipeline N] [--stats] [--ping]
+//!            [--seed S] [--pipeline N] [--stats] [--ping] [--dbs]
 //! ppr client [--connect HOST:PORT] (--create NAME | --drop NAME |
 //!            --load 'DB REL 1,2;2,3' | --add 'DB REL 1,2')
 //! ppr bench-pipe [--connect HOST:PORT] [--requests N] [--pipeline W]
@@ -367,10 +368,46 @@ fn serve_database(flags: &Flags) -> Database {
 }
 
 fn cmd_serve(flags: &Flags) {
-    use projection_pushing::service::{Catalog, Engine, EngineConfig, Server};
+    use projection_pushing::durability::{StoreOptions, SyncPolicy};
+    use projection_pushing::service::{Catalog, Engine, EngineConfig, Server, DEFAULT_DB};
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7171");
-    let db = serve_database(flags);
-    eprintln!("database: {:?}", db.names());
+    // --data-dir makes the catalog durable: mutations are committed to a
+    // per-database write-ahead log (fsync on commit unless --no-fsync)
+    // and the catalog is recovered from the directory on startup.
+    let catalog = match flags.get("data-dir") {
+        Some(dir) => {
+            let opts = StoreOptions {
+                sync: if flags.has("no-fsync") {
+                    SyncPolicy::Never
+                } else {
+                    SyncPolicy::Always
+                },
+                ..StoreOptions::default()
+            };
+            let (catalog, report) = Catalog::open_with(dir, opts)
+                .unwrap_or_else(|e| die(&format!("cannot recover data dir {dir}: {e}")));
+            eprintln!(
+                "recovered {} database(s) from {dir}: {} record(s) replayed, \
+                 {} snapshot(s) loaded, {} torn tail(s) truncated, in {} us",
+                report.databases,
+                report.replayed_records,
+                report.snapshots_loaded,
+                report.torn_tails,
+                report.duration_us
+            );
+            catalog
+        }
+        None => Catalog::new(),
+    };
+    // Seed the default database only when the data dir didn't already
+    // carry one — a recovered catalog keeps its own `default`.
+    if catalog.snapshot(DEFAULT_DB).is_none() {
+        let db = serve_database(flags);
+        catalog
+            .insert(DEFAULT_DB, db)
+            .unwrap_or_else(|e| die(&format!("cannot persist default database: {e}")));
+    }
+    eprintln!("databases: {:?}", catalog.names());
     let mut cfg = EngineConfig::default();
     cfg.workers = flags.num("workers", 4usize);
     cfg.queue_capacity = flags.num("queue", 64usize);
@@ -380,7 +417,7 @@ fn cmd_serve(flags: &Flags) {
     cfg.max_budget = Budget::tuples(flags.num("max-tuples", u64::MAX))
         .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000)));
     cfg.slowlog_capacity = flags.num("slowlog", cfg.slowlog_capacity);
-    let engine = Engine::start(Catalog::with_default(db), cfg);
+    let engine = Engine::start(catalog, cfg);
     let server = Server::start(listen, engine.handle())
         .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
     // Optional Prometheus-style pull endpoint: GET /metrics returns the
@@ -407,8 +444,11 @@ fn cmd_serve(flags: &Flags) {
     // Last line before serving: scripts (and the e2e test) wait for it,
     // then may close their end of the stderr pipe.
     eprintln!("ppr-service listening on {}", server.local_addr());
-    // Serve until the process is killed; requests in flight at kill time
-    // are lost, which is fine for a workload server with no durable state.
+    // Serve until the process is killed. Requests in flight at kill time
+    // are lost; with --data-dir every *acknowledged* mutation is already
+    // fsynced to the write-ahead log, so a restart on the same directory
+    // recovers the exact acknowledged catalog (memory-only mode keeps the
+    // old nothing-survives behavior).
     loop {
         std::thread::park();
     }
@@ -441,6 +481,17 @@ fn cmd_client(flags: &Flags) {
     if flags.has("ping") {
         client.ping().unwrap_or_else(|e| die(&e.to_string()));
         println!("pong");
+        return;
+    }
+    if flags.has("dbs") {
+        let infos = client.dbs().unwrap_or_else(|e| die(&e.to_string()));
+        println!("{} database(s)", infos.len());
+        for d in infos {
+            println!(
+                "{}  version={}  fingerprint={}  relations={}",
+                d.name, d.version, d.fingerprint, d.relations
+            );
+        }
         return;
     }
     if flags.has("stats") {

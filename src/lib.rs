@@ -40,6 +40,7 @@
 
 pub use ppr_core as core;
 pub use ppr_costplanner as costplanner;
+pub use ppr_durability as durability;
 pub use ppr_graph as graph;
 pub use ppr_obs as obs;
 pub use ppr_query as query;

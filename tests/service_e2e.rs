@@ -149,13 +149,18 @@ fn catalog_mutations_invalidate_result_cache_over_the_wire() {
     // …and the new version then caches in its own right.
     assert!(client.run(&req).unwrap().result_cache_hit);
 
-    // `load` (replace) also bumps and invalidates: back to two colors,
-    // back to the original answers.
+    // `load` (replace) back to the original two tuples bumps the version
+    // but restores the original *content* — and caches key on the
+    // content fingerprint, so the original cached result revives instead
+    // of re-executing. Same content, same answers, zero execution.
     let pairs = vec![vec![0, 1].into_boxed_slice(), vec![1, 0].into_boxed_slice()];
     let v3 = client.load("two", "edge", pairs).expect("reload");
-    assert!(v3 > v2);
+    assert!(v3 > v2, "reload still bumps the version");
     let reloaded = client.run(&req).unwrap();
-    assert!(!reloaded.result_cache_hit, "load must invalidate results");
+    assert!(
+        reloaded.result_cache_hit,
+        "restored content must revive the fingerprint-keyed cache entry"
+    );
     assert_eq!(reloaded.rows, cold.rows);
 
     // Dropping the database ends the story: named access now fails.
