@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures from the command line.
 //!
 //! ```text
-//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--quick] [--free F] [--plot] [--threads N] [--pipeline N]
+//! experiments <target> [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--quick] [--free F] [--plot] [--threads N] [--pipeline N] [--connections N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          sat3 sat2 theorems
@@ -14,6 +14,15 @@
 //! requests in flight on one v2 connection (1 = the serial v1 protocol)
 //! and, when `N > 1`, also measures a pipeline-1 baseline so the report
 //! records the speedup.
+//!
+//! `--connections N` (also `serve-throughput`-only) pins the concurrent-
+//! connection sweep to exactly `N` connections; without it the sweep runs
+//! a default ladder (100/1000, or 1000/5000/10000 with `--full`, clamped
+//! to the process fd budget). Each point holds that many pipelined v2
+//! connections open from an epoll load driver against the event-loop
+//! backend and reports reqs/sec plus exact p50/p99 latency in the
+//! `connections` array of `results/BENCH_serve.json`. Linux-only; the
+//! array is empty elsewhere.
 //!
 //! `--threads N` switches every sweep to the partitioned parallel executor
 //! with `N` worker threads (`0` = all cores; results are byte-identical to
@@ -73,6 +82,9 @@ fn main() {
             }
             "--pipeline" => {
                 cfg.pipeline = next_val(&args, &mut i);
+            }
+            "--connections" => {
+                cfg.connections = Some(next_val(&args, &mut i));
             }
             "--plot" => {
                 plot = true;
@@ -174,7 +186,8 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
             // Persist the machine-readable report before printing, like
             // ablation-parallel: a closed stdout must not lose the artifact.
             let rows = ppr_bench::serve::serve_throughput_rows(cfg);
-            let json = ppr_bench::serve::serve_report_json(cfg, &rows);
+            let conns = ppr_bench::serve::connection_sweep_rows(cfg);
+            let json = ppr_bench::serve::serve_report_json(cfg, &rows, &conns);
             let path = std::path::Path::new("results");
             if std::fs::create_dir_all(path).is_ok() {
                 let file = path.join("BENCH_serve.json");
@@ -184,6 +197,7 @@ fn run(target: &str, cfg: &Config, free: Option<f64>, mut w: &mut dyn Write) {
                 }
             }
             ppr_bench::serve::print_serve_rows(&mut w, &rows);
+            ppr_bench::serve::print_conn_rows(&mut w, &conns);
         }
         "durability" => {
             // Same artifact discipline as serve-throughput: write the
@@ -243,7 +257,7 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage: experiments <fig1..fig9|sat3|sat2|theorems|ablation-*|all> \
          [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--quick] [--free F] \
-         [--threads N] [--pipeline N]"
+         [--threads N] [--pipeline N] [--connections N]"
     );
     std::process::exit(2)
 }

@@ -38,6 +38,10 @@ pub struct Config {
     /// v1 protocol, >1 keeps that many tagged requests in flight on one
     /// v2 connection (and also measures a pipeline-1 baseline).
     pub pipeline: usize,
+    /// Concurrent-connection count for `serve-throughput`'s connection
+    /// sweep: `Some(n)` measures exactly `n` connections, `None` uses the
+    /// default ladder (clamped to the process fd budget either way).
+    pub connections: Option<usize>,
 }
 
 impl Default for Config {
@@ -50,6 +54,7 @@ impl Default for Config {
             quick: false,
             threads: 1,
             pipeline: 1,
+            connections: None,
         }
     }
 }
@@ -968,6 +973,7 @@ mod tests {
             quick: false,
             threads: 1,
             pipeline: 1,
+            connections: None,
         }
     }
 
@@ -1049,6 +1055,7 @@ mod tests {
             quick: false,
             threads: 2,
             pipeline: 1,
+            connections: None,
         };
         let mut out = Vec::new();
         let rows = ablation_parallel(&mut out, &cfg);

@@ -402,7 +402,11 @@ fn drive_method(
     engine_cfg.result_cache_bytes = 64 << 20;
     let engine = Engine::start(Catalog::with_default(db), engine_cfg);
     let handle = engine.handle();
-    let mut server = Server::start("127.0.0.1:0", engine.handle()).expect("bind ephemeral port");
+    let mut server = Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("bind ephemeral port");
     let addr = server.local_addr();
 
     let mut driver = Driver::connect(addr, depth);
@@ -469,6 +473,148 @@ pub fn serve_throughput_rows(cfg: &Config) -> Vec<ServeRow> {
     .collect()
 }
 
+/// One point on the `--connections` axis: that many concurrent pipelined
+/// v2 connections held open by the epoll load driver while the event-loop
+/// backend serves them.
+#[derive(Debug, Clone)]
+pub struct ConnRow {
+    /// Connections held open.
+    pub connections: usize,
+    /// Per-connection pipeline depth.
+    pub window: usize,
+    /// Requests completed (tagged replies received).
+    pub requests: u64,
+    /// Replies that were wire-level errors (`err …`).
+    pub errors: u64,
+    /// Wall-clock for the request phase, milliseconds.
+    pub elapsed_ms: f64,
+    /// Completed requests per second.
+    pub reqs_per_sec: f64,
+    /// Median enqueue→reply latency, microseconds (exact sample).
+    pub p50_us: u64,
+    /// 99th-percentile enqueue→reply latency, microseconds (exact sample).
+    pub p99_us: u64,
+}
+
+/// The connection ladder for `cfg`, clamped to the process fd budget.
+/// Driver and server share one process here, so every connection costs
+/// two descriptors; 64 fds are reserved for everything else (listener,
+/// epoll fds, stdio, the catalog's log files).
+fn connection_ladder(cfg: &Config) -> Vec<usize> {
+    let ladder: Vec<usize> = match (cfg.connections, cfg.quick, cfg.full) {
+        (Some(n), _, _) => vec![n.max(1)],
+        (None, true, _) => vec![64],
+        (None, false, true) => vec![1_000, 5_000, 10_000],
+        (None, false, false) => vec![100, 1_000],
+    };
+    let budget = ppr_service::net::nofile_limit().unwrap_or(1_024);
+    let usable = ((budget.saturating_sub(64) / 2).max(1) as usize).min(100_000);
+    let mut out: Vec<usize> = Vec::new();
+    for n in ladder {
+        let n = n.min(usable);
+        if out.last() != Some(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Measures the `--connections` axis: requests/sec and tail latency while
+/// N concurrent pipelined connections stay open, served by the event-loop
+/// backend.
+///
+/// Unlike the per-method phases above, the query is held fixed — one
+/// cache-resident request, identical on every connection — so the only
+/// thing that changes between rows is how many sockets the single loop
+/// thread carries. The engine's queue is sized to admit the whole
+/// aggregate window (the axis measures the connection layer, not
+/// admission control). Linux-only: elsewhere the sweep is empty, matching
+/// the builder's fallback to the threaded backend.
+pub fn connection_sweep_rows(cfg: &Config) -> Vec<ConnRow> {
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = cfg;
+        Vec::new()
+    }
+    #[cfg(target_os = "linux")]
+    {
+        use ppr_service::net::load::{run_load, LoadOptions};
+        use ppr_service::protocol;
+        use std::time::Duration;
+
+        // Per-connection pipeline depth: deep enough that the loop always
+        // has queued work per socket, shallow enough that 10k connections
+        // do not ask for 10M-deep engine queues.
+        const CONN_WINDOW: usize = 4;
+        let mut rows = Vec::new();
+        for n in connection_ladder(cfg) {
+            let mut db = Database::new();
+            db.add(edge_relation(3));
+            let mut engine_cfg = EngineConfig::default();
+            engine_cfg.workers = 2;
+            engine_cfg.queue_capacity = CONN_WINDOW * n + 64;
+            engine_cfg.exec_threads = cfg.threads.max(1);
+            engine_cfg.max_budget = cfg.budget();
+            engine_cfg.result_cache_bytes = 64 << 20;
+            let engine = Engine::start(Catalog::with_default(db), engine_cfg);
+            let mut server = Server::builder()
+                .addr("127.0.0.1:0")
+                .engine(engine.handle())
+                .max_connections(n + 16)
+                .start()
+                .expect("bind ephemeral port");
+            let req = Request::new("q(x, y) :- edge(x, y), edge(y, x)", Method::EarlyProjection);
+            let requests = if cfg.quick {
+                (2 * n).max(512)
+            } else {
+                (4 * n).clamp(4_096, 65_536)
+            };
+            let opts = LoadOptions {
+                connections: n,
+                requests,
+                window: CONN_WINDOW,
+                lines: vec![protocol::encode_request(&req)],
+                deadline: Duration::from_secs(600),
+            };
+            let report = run_load(server.local_addr(), &opts).expect("load run completes");
+            server.shutdown();
+            engine.shutdown();
+            rows.push(ConnRow {
+                connections: report.connections,
+                window: CONN_WINDOW,
+                requests: report.requests,
+                errors: report.errors,
+                elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+                reqs_per_sec: report.reqs_per_sec,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+            });
+        }
+        rows
+    }
+}
+
+/// Prints the connection-axis TSV (nothing when the sweep is empty, i.e.
+/// off Linux).
+pub fn print_conn_rows(w: &mut impl std::io::Write, rows: &[ConnRow]) {
+    if rows.is_empty() {
+        return;
+    }
+    writeln!(
+        w,
+        "connections\twindow\trequests\terrors\treqs_per_sec\tp50_us\tp99_us"
+    )
+    .expect("write");
+    for r in rows {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{:.1}\t{}\t{}",
+            r.connections, r.window, r.requests, r.errors, r.reqs_per_sec, r.p50_us, r.p99_us
+        )
+        .expect("write");
+    }
+}
+
 /// Prints the TSV (kept separate from measurement so the harness persists
 /// the JSON artifact before touching stdout). Baseline phases print as
 /// extra `pipeline=1` lines under their method.
@@ -512,8 +658,10 @@ pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
 }
 
 /// Machine-readable report for `results/BENCH_serve.json` (hand-rolled,
-/// like the parallel report — no JSON dependency in the tree).
-pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
+/// like the parallel report — no JSON dependency in the tree). `conns`
+/// is the `--connections` axis; it serializes as an empty array where
+/// the sweep did not run.
+pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> String {
     fn quantiles_json(q: &Quantiles) -> String {
         format!(
             "{{\"n\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
@@ -576,6 +724,28 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow]) -> String {
         "  \"exec_threads_requested\": {},\n",
         cfg.threads.max(1)
     ));
+    if conns.is_empty() {
+        s.push_str("  \"connections\": [],\n");
+    } else {
+        s.push_str("  \"connections\": [\n");
+        for (i, c) in conns.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"connections\": {}, \"window\": {}, \"requests\": {}, \
+                 \"errors\": {}, \"elapsed_ms\": {:.1}, \"reqs_per_sec\": {:.1}, \
+                 \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+                c.connections,
+                c.window,
+                c.requests,
+                c.errors,
+                c.elapsed_ms,
+                c.reqs_per_sec,
+                c.p50_us,
+                c.p99_us,
+                if i + 1 == conns.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+    }
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
@@ -614,6 +784,7 @@ mod tests {
             quick: false,
             threads: 1,
             pipeline: 4,
+            connections: None,
         };
         let queries = tiny_query_mix();
         assert_eq!(queries.len(), 2);
@@ -677,7 +848,22 @@ mod tests {
         assert!(serial_row.baseline_cold.is_none());
         assert!(serial_row.speedup_cold.is_none());
 
-        let json = serve_report_json(&cfg, &[row, serial_row]);
+        let conn_row = ConnRow {
+            connections: 64,
+            window: 4,
+            requests: 512,
+            errors: 0,
+            elapsed_ms: 12.5,
+            reqs_per_sec: 40_960.0,
+            p50_us: 180,
+            p99_us: 900,
+        };
+        let json = serve_report_json(&cfg, &[row.clone(), serial_row.clone()], &[conn_row]);
+        assert!(json.contains("\"connections\": [\n"));
+        assert!(json.contains("\"p99_us\": 900"));
+        let json_no_sweep = serve_report_json(&cfg, &[row, serial_row], &[]);
+        assert!(json_no_sweep.contains("\"connections\": [],"));
+        let json = json_no_sweep;
         assert!(json.contains("\"benchmark\": \"serve_throughput\""));
         assert!(json.contains("\"host\": {\"cpus\": "));
         assert!(json.contains("\"os\": \""));
@@ -688,5 +874,38 @@ mod tests {
         assert!(json.contains("\"speedup_cold\""));
         assert!(json.contains("\"baseline_cold\": null"));
         assert!(json.contains("\"phases\": [\"warmup\", \"cold\", \"warm\"]"));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn connection_sweep_holds_connections_and_reports_tail_latency() {
+        let cfg = Config {
+            quick: true,
+            connections: Some(8),
+            ..Config::default()
+        };
+        assert_eq!(connection_ladder(&cfg), vec![8]);
+        let rows = connection_sweep_rows(&cfg);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.connections, 8);
+        assert_eq!(r.requests, 512, "quick mode floors the request count");
+        assert_eq!(r.errors, 0, "cache-resident mix must not error");
+        assert!(r.reqs_per_sec > 0.0);
+        assert!(r.p50_us <= r.p99_us);
+    }
+
+    #[test]
+    fn connection_ladder_clamps_to_the_fd_budget() {
+        let explicit = Config {
+            connections: Some(usize::MAX),
+            ..Config::default()
+        };
+        let clamped = connection_ladder(&explicit);
+        assert_eq!(clamped.len(), 1);
+        assert!(clamped[0] <= 100_000, "budget clamp missing: {clamped:?}");
+        let default_ladder = connection_ladder(&Config::default());
+        assert!(!default_ladder.is_empty());
+        assert!(default_ladder.windows(2).all(|w| w[0] < w[1]));
     }
 }

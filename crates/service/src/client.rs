@@ -381,7 +381,11 @@ mod tests {
         let mut db = Database::new();
         db.add(ppr_workload::edge_relation(3));
         let engine = Engine::start(Catalog::with_default(db), EngineConfig::default());
-        let server = Server::start("127.0.0.1:0", engine.handle()).expect("bind");
+        let server = Server::builder()
+            .addr("127.0.0.1:0")
+            .engine(engine.handle())
+            .start()
+            .expect("bind");
         let addr = server.local_addr();
         (server, addr, engine)
     }

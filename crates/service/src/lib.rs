@@ -40,10 +40,14 @@
 //!   status, rows, and [`ppr_relalg::ExecStats`] including cache-hit
 //!   flags.
 //! * [`server::Server`] / [`client::Client`] — a `std::net` TCP server
-//!   (thread per connection; no async runtime — the engine's own queue is
-//!   the concurrency limiter, so blocking I/O threads stay cheap) and a
-//!   blocking client. Each connection carries a session database selected
-//!   with `use`, the default for requests that don't name one.
+//!   built with [`server::Server::builder`] and a blocking client. Two
+//!   connection backends share one wire grammar: the default
+//!   single-threaded epoll event loop ([`net`]; Linux, hand-rolled — no
+//!   async runtime, sized for C10K) and a thread-per-connection fallback
+//!   ([`server::ConnectionModel::Threads`], the portability path). Each
+//!   connection carries a session database selected with `use`, the
+//!   default for requests that don't name one, plus an idle (slow-loris)
+//!   timeout and a bounded output buffer for slow readers.
 //!
 //! Everything is std-only; the engine is equally usable embedded (via
 //! [`engine::EngineHandle::execute`]) and over TCP.
@@ -53,6 +57,7 @@ pub mod catalog;
 pub mod client;
 pub mod engine;
 pub mod metrics;
+pub mod net;
 pub mod protocol;
 mod queue;
 pub mod result_cache;
@@ -65,8 +70,9 @@ pub use catalog::{
 pub use client::{Client, Pipeline, Ticket};
 pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response, SpanStats};
 pub use metrics::{render_slowlog, ServiceMetrics, DEFAULT_SLOWLOG_CAPACITY};
+pub use net::{CloseReason, NetMetrics};
 pub use result_cache::{ResultCache, ResultCacheStats};
-pub use server::Server;
+pub use server::{ConnectionModel, Server, ServerBuilder, ServerConfig};
 
 use ppr_relalg::RelalgError;
 

@@ -1,0 +1,109 @@
+//! A coarse hashed timer wheel for idle-connection deadlines.
+//!
+//! One slot per `granularity` of wall clock, a cursor that advances as
+//! time passes, and tokens hashed into the slot their deadline lands in.
+//! Scheduling and firing are O(1); a full wheel revolution covers the
+//! idle timeout with slack, and deadlines beyond the horizon clamp to
+//! the furthest slot (the owner re-schedules on fire if the connection
+//! is not actually idle yet — *lazy* expiry, so per-request activity
+//! never touches the wheel, only the connection's `last_activity`
+//! stamp).
+
+use std::time::{Duration, Instant};
+
+/// The wheel. Tokens are opaque `u64`s (the event loop's slot/generation
+/// connection tokens); stale tokens are the owner's problem to filter,
+/// which is what makes cancellation free.
+pub struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    granularity: Duration,
+    /// Slot index the next tick will drain.
+    cursor: usize,
+    /// Wall-clock time the cursor slot's interval began.
+    base: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel sized for deadlines up to `horizon`, with slot width
+    /// `horizon / 8` clamped to [10 ms, 1 s].
+    pub fn new(horizon: Duration, now: Instant) -> TimerWheel {
+        let granularity = (horizon / 8)
+            .max(Duration::from_millis(10))
+            .min(Duration::from_secs(1));
+        let slots = (horizon.as_nanos() / granularity.as_nanos()).max(1) as usize + 2;
+        TimerWheel {
+            slots: vec![Vec::new(); slots],
+            granularity,
+            cursor: 0,
+            base: now,
+        }
+    }
+
+    /// Files `token` to fire no earlier than `after` from now. Deadlines
+    /// beyond the wheel's horizon clamp to the furthest slot.
+    pub fn schedule(&mut self, token: u64, after: Duration, now: Instant) {
+        let elapsed = now.saturating_duration_since(self.base);
+        let ticks = ((elapsed + after).as_nanos() / self.granularity.as_nanos()) as usize + 1;
+        let slot = (self.cursor + ticks.min(self.slots.len() - 1)) % self.slots.len();
+        self.slots[slot].push(token);
+    }
+
+    /// When the next slot is due — the event loop's `epoll_wait` timeout
+    /// never sleeps past it.
+    pub fn next_deadline(&self) -> Instant {
+        self.base + self.granularity
+    }
+
+    /// Advances the cursor over every slot whose interval has fully
+    /// passed, draining their tokens into `expired`.
+    pub fn tick(&mut self, now: Instant, expired: &mut Vec<u64>) {
+        while now.saturating_duration_since(self.base) >= self.granularity {
+            expired.append(&mut self.slots[self.cursor]);
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.base += self.granularity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_and_clamps_the_horizon() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(800), t0);
+        wheel.schedule(1, Duration::from_millis(150), t0);
+        wheel.schedule(2, Duration::from_millis(650), t0);
+        // Far beyond the horizon: clamped, not lost.
+        wheel.schedule(3, Duration::from_secs(3600), t0);
+
+        let mut fired = Vec::new();
+        wheel.tick(t0 + Duration::from_millis(100), &mut fired);
+        assert!(fired.is_empty(), "nothing due yet: {fired:?}");
+        wheel.tick(t0 + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired, vec![1]);
+        fired.clear();
+        wheel.tick(t0 + Duration::from_millis(2000), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![2, 3], "full revolution drains everything");
+    }
+
+    #[test]
+    fn rescheduling_after_fire_extends_the_deadline() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(400), t0);
+        wheel.schedule(9, Duration::from_millis(120), t0);
+        let mut fired = Vec::new();
+        let t1 = t0 + Duration::from_millis(300);
+        wheel.tick(t1, &mut fired);
+        assert_eq!(fired, vec![9]);
+        fired.clear();
+        // Lazy expiry: the owner saw recent activity and re-files.
+        wheel.schedule(9, Duration::from_millis(120), t1);
+        wheel.tick(t1 + Duration::from_millis(50), &mut fired);
+        assert!(fired.is_empty());
+        wheel.tick(t1 + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired, vec![9]);
+    }
+}

@@ -26,6 +26,65 @@ pub const MAX_LINE: usize = 1 << 20;
 /// serial protocol; v2 adds `id=` tags and out-of-order completion.
 pub const PROTO_VERSION: u32 = 2;
 
+/// Incremental newline framing over a byte stream.
+///
+/// Both connection backends feed whatever the socket produced — a partial
+/// line, many lines, or a line split across reads — into [`push`] and
+/// pull complete lines out of [`next_line`]. The framer enforces
+/// [`MAX_LINE`] on the *unterminated* tail, so a peer cannot make the
+/// server buffer unboundedly by never sending a newline, and it scans
+/// each byte exactly once (the scan cursor survives partial pushes, so
+/// re-polling a half-line is O(new bytes), not O(buffer)).
+///
+/// [`push`]: LineFramer::push
+/// [`next_line`]: LineFramer::next_line
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Bytes below this index are known newline-free.
+    scanned: usize,
+}
+
+impl LineFramer {
+    /// An empty framer.
+    pub fn new() -> LineFramer {
+        LineFramer::default()
+    }
+
+    /// Appends freshly read bytes to the frame buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line (without its newline; lossy UTF-8),
+    /// `Ok(None)` if no full line is buffered yet, or a protocol error
+    /// once the unterminated tail exceeds [`MAX_LINE`].
+    pub fn next_line(&mut self) -> Result<Option<String>, ServiceError> {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(offset) => {
+                let nl = self.scanned + offset;
+                let line = String::from_utf8_lossy(&self.buf[..nl]).into_owned();
+                self.buf.drain(..=nl);
+                self.scanned = 0;
+                Ok(Some(line))
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > MAX_LINE {
+                    perr("line too long")
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Bytes buffered without a terminating newline yet.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 /// A decoded client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -1826,5 +1885,41 @@ mod tests {
                 prop_assert_eq!(decode_ack(&line).unwrap(), ack);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod framer_tests {
+    use super::*;
+
+    #[test]
+    fn framer_reassembles_split_lines_and_bounds_the_tail() {
+        let mut f = LineFramer::new();
+        f.push(b"pi");
+        assert!(f.next_line().unwrap().is_none());
+        f.push(b"ng\nstats\nsl");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("ping"));
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("stats"));
+        assert!(f.next_line().unwrap().is_none());
+        assert_eq!(f.buffered(), 2);
+        f.push(b"owlog\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("slowlog"));
+        assert_eq!(f.buffered(), 0);
+
+        // An unterminated line past MAX_LINE is a protocol error, but a
+        // terminated line of any buffered size under it still frames.
+        let mut f = LineFramer::new();
+        f.push(&vec![b'x'; MAX_LINE + 1]);
+        assert!(matches!(f.next_line(), Err(ServiceError::Protocol(_))));
+    }
+
+    #[test]
+    fn framer_handles_empty_lines_and_crlf_is_not_special() {
+        let mut f = LineFramer::new();
+        f.push(b"\n\nping\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some(""));
+        assert_eq!(f.next_line().unwrap().as_deref(), Some(""));
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("ping"));
+        assert!(f.next_line().unwrap().is_none());
     }
 }

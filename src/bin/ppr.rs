@@ -13,10 +13,12 @@
 //!            [--colors K] [--workers N] [--queue N] [--cache N]
 //!            [--result-cache-bytes N] [--exec-threads N] [--max-tuples N]
 //!            [--timeout-ms T] [--metrics-addr HOST:PORT] [--slowlog N]
-//!            [--data-dir DIR] [--no-fsync]
+//!            [--data-dir DIR] [--no-fsync] [--max-connections N]
+//!            [--idle-timeout-ms T] [--threads]
 //! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
 //!            [--db NAME | --use NAME] [--max-tuples N] [--timeout-ms T]
 //!            [--seed S] [--pipeline N] [--stats] [--ping] [--dbs]
+//!            [--connections N [--requests N] [--window W]]
 //! ppr client [--connect HOST:PORT] (--create NAME | --drop NAME |
 //!            --load 'DB REL 1,2;2,3' | --add 'DB REL 1,2')
 //! ppr bench-pipe [--connect HOST:PORT] [--requests N] [--pipeline W]
@@ -368,46 +370,8 @@ fn serve_database(flags: &Flags) -> Database {
 }
 
 fn cmd_serve(flags: &Flags) {
-    use projection_pushing::durability::{StoreOptions, SyncPolicy};
-    use projection_pushing::service::{Catalog, Engine, EngineConfig, Server, DEFAULT_DB};
+    use projection_pushing::service::{ConnectionModel, EngineConfig, Server};
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7171");
-    // --data-dir makes the catalog durable: mutations are committed to a
-    // per-database write-ahead log (fsync on commit unless --no-fsync)
-    // and the catalog is recovered from the directory on startup.
-    let catalog = match flags.get("data-dir") {
-        Some(dir) => {
-            let opts = StoreOptions {
-                sync: if flags.has("no-fsync") {
-                    SyncPolicy::Never
-                } else {
-                    SyncPolicy::Always
-                },
-                ..StoreOptions::default()
-            };
-            let (catalog, report) = Catalog::open_with(dir, opts)
-                .unwrap_or_else(|e| die(&format!("cannot recover data dir {dir}: {e}")));
-            eprintln!(
-                "recovered {} database(s) from {dir}: {} record(s) replayed, \
-                 {} snapshot(s) loaded, {} torn tail(s) truncated, in {} us",
-                report.databases,
-                report.replayed_records,
-                report.snapshots_loaded,
-                report.torn_tails,
-                report.duration_us
-            );
-            catalog
-        }
-        None => Catalog::new(),
-    };
-    // Seed the default database only when the data dir didn't already
-    // carry one — a recovered catalog keeps its own `default`.
-    if catalog.snapshot(DEFAULT_DB).is_none() {
-        let db = serve_database(flags);
-        catalog
-            .insert(DEFAULT_DB, db)
-            .unwrap_or_else(|e| die(&format!("cannot persist default database: {e}")));
-    }
-    eprintln!("databases: {:?}", catalog.names());
     let mut cfg = EngineConfig::default();
     cfg.workers = flags.num("workers", 4usize);
     cfg.queue_capacity = flags.num("queue", 64usize);
@@ -417,25 +381,51 @@ fn cmd_serve(flags: &Flags) {
     cfg.max_budget = Budget::tuples(flags.num("max-tuples", u64::MAX))
         .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000)));
     cfg.slowlog_capacity = flags.num("slowlog", cfg.slowlog_capacity);
-    let engine = Engine::start(catalog, cfg);
-    let server = Server::start(listen, engine.handle())
-        .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
+
+    // The builder owns the whole stack: with --data-dir the catalog is
+    // durable (recovered on startup, mutations committed to a
+    // write-ahead log, fsync on commit unless --no-fsync); the seed
+    // database applies only when the catalog lacks a `default` — a
+    // recovered data dir keeps its own.
+    let mut builder = Server::builder()
+        .addr(listen)
+        .engine_config(cfg)
+        .database(serve_database(flags))
+        .max_connections(flags.num("max-connections", 10_000usize));
+    let idle_ms: u64 = flags.num("idle-timeout-ms", 300_000u64);
+    builder = builder.idle_timeout((idle_ms > 0).then(|| Duration::from_millis(idle_ms)));
+    if flags.has("threads") {
+        // Escape hatch: the thread-per-connection backend (always the
+        // model on non-Linux hosts, where there is no epoll).
+        builder = builder.connection_model(ConnectionModel::Threads);
+    }
+    if let Some(dir) = flags.get("data-dir") {
+        builder = builder.data_dir(dir).fsync(!flags.has("no-fsync"));
+    }
     // Optional Prometheus-style pull endpoint: GET /metrics returns the
-    // exposition text, GET /slowlog the worst-request table.
-    let _metrics = flags.get("metrics-addr").map(|addr| {
-        use projection_pushing::obs::{MetricsServer, Routes};
-        use projection_pushing::service::render_slowlog;
-        let handle = engine.handle();
-        let routes: Routes = std::sync::Arc::new(move |path| match path {
-            "/metrics" => Some(handle.render_prometheus()),
-            "/slowlog" => Some(render_slowlog(&handle.metrics().slowlog.snapshot())),
-            _ => None,
-        });
-        let srv = MetricsServer::start(addr, routes)
-            .unwrap_or_else(|e| die(&format!("cannot bind metrics endpoint {addr}: {e}")));
-        eprintln!("metrics endpoint on http://{}/metrics", srv.local_addr());
-        srv
-    });
+    // exposition text (engine + connection layer), GET /slowlog the
+    // worst-request table with the accept-error note.
+    if let Some(addr) = flags.get("metrics-addr") {
+        builder = builder.metrics_addr(addr);
+    }
+    let server = builder
+        .start()
+        .unwrap_or_else(|e| die(&format!("cannot listen on {listen}: {e}")));
+    if let Some(report) = server.recovery() {
+        eprintln!(
+            "recovered {} database(s): {} record(s) replayed, \
+             {} snapshot(s) loaded, {} torn tail(s) truncated, in {} us",
+            report.databases,
+            report.replayed_records,
+            report.snapshots_loaded,
+            report.torn_tails,
+            report.duration_us
+        );
+    }
+    eprintln!("databases: {:?}", server.handle().catalog().names());
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("metrics endpoint on http://{addr}/metrics");
+    }
     eprintln!(
         "protocol: `run method=bucket rule=q(x) :- edge(x, y)` per line; also \
          `use`/`create`/`drop`/`load`/`add` for databases, `stats`, `trace`, \
@@ -572,6 +562,20 @@ fn cmd_client(flags: &Flags) {
     request.max_tuples = flags.get("max-tuples").map(|_| flags.num("max-tuples", 0));
     request.timeout_ms = flags.get("timeout-ms").map(|_| flags.num("timeout-ms", 0));
     request.seed = flags.get("seed").map(|_| flags.num("seed", 0));
+    // --connections N holds N concurrent pipelined connections from one
+    // epoll-driven thread and reports throughput + latency percentiles —
+    // the C10K load mode.
+    let connections: usize = flags.num("connections", 0);
+    if connections > 0 {
+        run_client_load(
+            addr,
+            connections,
+            flags.num("requests", 10_000),
+            flags.num("window", 32),
+            projection_pushing::service::protocol::encode_request(&request),
+        );
+        return;
+    }
     // --pipeline N repeats the request N times over one pipelined (v2)
     // connection: the whole burst is in flight at once.
     let depth: usize = flags.num("pipeline", 1);
@@ -648,6 +652,49 @@ fn cmd_client(flags: &Flags) {
     }
 }
 
+/// The `client --connections` load mode: epoll-held concurrent
+/// pipelined connections, single driving thread.
+#[cfg(target_os = "linux")]
+fn run_client_load(addr: &str, connections: usize, requests: usize, window: usize, line: String) {
+    use projection_pushing::service::net::load::{run_load, LoadOptions};
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+    let opts = LoadOptions {
+        connections,
+        requests,
+        window,
+        lines: vec![line],
+        deadline: Duration::from_secs(600),
+    };
+    let report = run_load(sock, &opts).unwrap_or_else(|e| die(&format!("load run failed: {e}")));
+    println!(
+        "connections: {}  requests: {}  errors: {}",
+        report.connections, report.requests, report.errors
+    );
+    println!(
+        "elapsed: {:.2} ms  throughput: {:.0} reqs/sec  p50: {} us  p99: {} us",
+        report.elapsed.as_secs_f64() * 1e3,
+        report.reqs_per_sec,
+        report.p50_us,
+        report.p99_us
+    );
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_client_load(
+    _addr: &str,
+    _connections: usize,
+    _requests: usize,
+    _window: usize,
+    _line: String,
+) {
+    die("--connections load mode needs the Linux epoll driver");
+}
+
 /// Measures pipelining against the serial protocol on one connection
 /// each: the same burst of requests, seeded so every one is a cold
 /// result-cache miss, driven first serially (v1) and then through a
@@ -683,7 +730,10 @@ fn cmd_bench_pipe(flags: &Flags) {
                 std::thread::available_parallelism().map_or(1, |n| n.get()),
             );
             let engine = Engine::start(Catalog::with_default(db), cfg);
-            let server = Server::start("127.0.0.1:0", engine.handle())
+            let server = Server::builder()
+                .addr("127.0.0.1:0")
+                .engine(engine.handle())
+                .start()
                 .unwrap_or_else(|e| die(&format!("cannot bind loopback: {e}")));
             let addr = server.local_addr().to_string();
             local = Some((server, engine));

@@ -42,8 +42,11 @@ fn all_methods() -> Vec<Method> {
 #[test]
 fn wire_answers_match_library_evaluation_per_method() {
     let engine = Engine::start(color_catalog(), EngineConfig::default());
-    let mut server =
-        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
     client.ping().expect("ping");
 
@@ -95,8 +98,11 @@ fn wire_answers_match_library_evaluation_per_method() {
 #[test]
 fn catalog_mutations_invalidate_result_cache_over_the_wire() {
     let engine = Engine::start(color_catalog(), EngineConfig::default());
-    let mut server =
-        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
 
     // Build a fresh 2-colorability database over the wire.
@@ -185,7 +191,11 @@ fn saturated_server_sheds_load_with_overloaded() {
     cfg.max_inflight = 2;
     cfg.result_cache_bytes = 0;
     let engine = Engine::start(color_catalog(), cfg);
-    let server = service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
     let addr = server.local_addr();
 
     // K6: slow enough under `straightforward` to pile up concurrent work.
@@ -222,8 +232,11 @@ fn saturated_server_sheds_load_with_overloaded() {
 #[test]
 fn shutdown_is_graceful_and_then_refuses() {
     let engine = Engine::start(color_catalog(), EngineConfig::default());
-    let mut server =
-        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let handle = engine.handle();
 
@@ -275,6 +288,12 @@ fn strip_timings(line: &str) -> String {
 /// per-request seeds, so plans, cache flags, and the remaining execution
 /// stats have no run-order excuse to differ. The list mixes all seven
 /// methods with two deterministic failures to cover the `err` path too.
+///
+/// The serial reference is pinned to the thread-per-connection backend
+/// while the pipelined run uses the builder's default (the epoll event
+/// loop on Linux), so the permutation check is simultaneously the
+/// cross-backend acceptance bar: two different connection layers, one
+/// byte-identical reply stream.
 #[test]
 fn pipelined_replies_are_a_per_id_permutation_of_serial() {
     use projection_pushing::service::protocol;
@@ -300,8 +319,16 @@ fn pipelined_replies_are_a_per_id_permutation_of_serial() {
     // Serial reference: v1 untagged lines, one reply per request, in order.
     let serial: Vec<String> = {
         let engine = Engine::start(color_catalog(), EngineConfig::default());
-        let mut server =
-            service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+        // The serial reference runs on the thread-per-connection backend,
+        // so the permutation check below doubles as the cross-backend
+        // acceptance bar: the event-loop server must answer byte-identically
+        // to the threaded one.
+        let mut server = service::Server::builder()
+            .addr("127.0.0.1:0")
+            .engine(engine.handle())
+            .connection_model(service::ConnectionModel::Threads)
+            .start()
+            .expect("ephemeral bind");
         let stream = TcpStream::connect(server.local_addr()).expect("connect");
         let mut reader = BufReader::new(stream.try_clone().expect("clone"));
         let mut replies = Vec::new();
@@ -322,8 +349,11 @@ fn pipelined_replies_are_a_per_id_permutation_of_serial() {
     // Pipelined run: same lines, same seeds, fresh engine, ids 1..=N kept
     // in flight up to the advertised window.
     let engine = Engine::start(color_catalog(), EngineConfig::default());
-    let mut server =
-        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     (&stream).write_all(b"hello proto=2\n").expect("hello");
@@ -387,8 +417,11 @@ fn pipelined_duplicate_id_is_rejected_and_the_connection_survives() {
     use std::net::TcpStream;
 
     let engine = Engine::start(color_catalog(), EngineConfig::default());
-    let mut server =
-        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     (&stream).write_all(b"hello proto=2\n").expect("hello");
@@ -555,8 +588,11 @@ fn observability_counters_and_trace_round_trip_end_to_end() {
     use projection_pushing::obs::{MetricsServer, Phase, Routes};
 
     let engine = Engine::start(color_catalog(), EngineConfig::default());
-    let mut server =
-        service::Server::start("127.0.0.1:0", engine.handle()).expect("ephemeral bind");
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
 
     // The same routes `ppr serve --metrics-addr` installs.
     let routes: Routes = std::sync::Arc::new({
@@ -649,4 +685,216 @@ fn observability_counters_and_trace_round_trip_end_to_end() {
     endpoint.shutdown();
     server.shutdown();
     engine.shutdown();
+}
+
+/// Backpressure parity: a single connection that floods far past the
+/// advertised window must never see `Overloaded` — the server simply
+/// stops reading the socket (the threaded reader blocks on a full
+/// window; the event loop deregisters read interest) until completions
+/// free slots. Admission control exists for *aggregate* load across
+/// connections; one well-behaved pipelined connection is always
+/// admissible.
+#[test]
+fn window_full_connection_never_sees_overloaded() {
+    use projection_pushing::service::protocol;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    // A deliberately tiny engine: the advertised window collapses to a
+    // few slots, and with the result cache off every request executes.
+    let mut cfg = EngineConfig::default();
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    cfg.result_cache_bytes = 0;
+    let engine = Engine::start(color_catalog(), cfg);
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream).write_all(b"hello proto=2\n").expect("hello");
+    let mut ack = String::new();
+    assert!(reader.read_line(&mut ack).expect("read") > 0);
+    let hello = protocol::decode_hello_ok(&ack).expect("hello ack");
+
+    // One burst, several windows deep.
+    let flood = (4 * hello.window).max(64) as u64;
+    let mut burst = String::new();
+    for id in 1..=flood {
+        let mut request = Request::new(PENTAGON, Method::EarlyProjection);
+        request.seed = Some(40_000 + id);
+        burst.push_str(&protocol::tag_request(
+            id,
+            &protocol::encode_request(&request),
+        ));
+        burst.push('\n');
+    }
+    (&stream).write_all(burst.as_bytes()).expect("flood");
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..flood {
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).expect("read") > 0);
+        let (id, payload) = protocol::split_reply_tag(&reply).expect("tagged reply");
+        assert!(seen.insert(id.expect("tagged id")), "duplicate reply");
+        assert!(
+            payload.starts_with("ok "),
+            "window-full flood must never shed load: {payload}"
+        );
+    }
+    assert_eq!(
+        engine.handle().stats().rejected,
+        0,
+        "admission control must never fire for a single windowed connection"
+    );
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// The slow-loris guard end to end: a connection that sends nothing is
+/// closed after the configured idle timeout and counted on
+/// `ppr_idle_timeout_closes_total`, while a connection doing steady work
+/// sails through several timeout windows untouched.
+#[test]
+fn idle_connections_are_closed_and_counted() {
+    use std::io::Read;
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .idle_timeout(Some(Duration::from_millis(200)))
+        .start()
+        .expect("ephemeral bind");
+
+    let mut idle = TcpStream::connect(server.local_addr()).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut busy = Client::connect(server.local_addr()).expect("connect");
+
+    let reaped = std::thread::spawn(move || {
+        let started = Instant::now();
+        let mut buf = [0u8; 16];
+        let n = idle.read(&mut buf).expect("idle read");
+        (n, started.elapsed())
+    });
+    // Steady traffic on the busy connection while the idle one waits for
+    // the reaper: activity must keep resetting its timer.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !reaped.is_finished() {
+        busy.ping()
+            .expect("active connection must survive the reaper");
+        assert!(Instant::now() < deadline, "idle connection never closed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (n, waited) = reaped.join().expect("reaper watcher");
+    assert_eq!(n, 0, "idle connection must see EOF, not data");
+    assert!(
+        waited >= Duration::from_millis(150),
+        "closed after {waited:?} — before the timeout"
+    );
+    busy.ping()
+        .expect("busy connection still serves after the close");
+    assert_eq!(server.net_metrics().idle_closes.get(), 1);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// The C10K acceptance bar against the real binary: `ppr serve` holds a
+/// thousand concurrent pipelined connections (scaled down only if the fd
+/// budget demands it), answers every request with zero wire errors, and
+/// keeps its OS thread count at O(workers) — sampled from
+/// `/proc/<pid>/status` *while* the connections are open — instead of
+/// O(connections).
+#[cfg(target_os = "linux")]
+#[test]
+fn binary_serves_a_thousand_concurrent_connections_on_few_threads() {
+    use projection_pushing::service::net::load::{run_load, LoadOptions};
+    use projection_pushing::service::{net, protocol};
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // This process pays one fd per connection and the server pays one;
+    // both run under the same rlimit, so budget half of it minus slack
+    // for listeners, logs, epoll fds, and stdio.
+    let budget = net::nofile_limit().unwrap_or(1_024);
+    let connections = 1_000.min((budget.saturating_sub(128) / 2).max(8) as usize);
+
+    // The engine queue must admit the whole aggregate window
+    // (connections × window): this test measures the connection layer,
+    // not admission control.
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_ppr"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--queue", "8192"])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn ppr serve");
+    let stderr = serve.stderr.take().expect("stderr");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("ppr-service listening on ") {
+                let _ = tx.send(rest.trim().to_string());
+            }
+        }
+    });
+    let addr: std::net::SocketAddr = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("serve never reported its address")
+        .parse()
+        .expect("parse bound address");
+
+    // Sample the server's thread count while the load is in flight.
+    let status_path = format!("/proc/{}/status", serve.id());
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_threads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(text) = std::fs::read_to_string(&status_path) {
+                    if let Some(n) = text.lines().find_map(|l| l.strip_prefix("Threads:")) {
+                        max_threads = max_threads.max(n.trim().parse().unwrap_or(0));
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            max_threads
+        })
+    };
+
+    let request = Request::new("q(x, y) :- edge(x, y), edge(y, x)", Method::EarlyProjection);
+    let opts = LoadOptions {
+        connections,
+        requests: (4 * connections).max(2_000),
+        window: 2,
+        lines: vec![protocol::encode_request(&request)],
+        deadline: Duration::from_secs(300),
+    };
+    let report = run_load(addr, &opts).expect("load run completes");
+    stop.store(true, Ordering::Relaxed);
+    let max_threads = monitor.join().expect("thread monitor");
+    let _ = serve.kill();
+    let _ = serve.wait();
+
+    assert_eq!(report.connections, connections);
+    assert_eq!(
+        report.requests as usize, opts.requests,
+        "every request must be answered"
+    );
+    assert_eq!(report.errors, 0, "wire errors at {connections} connections");
+    assert!(report.p50_us <= report.p99_us);
+    assert!(
+        max_threads > 0 && max_threads < 64,
+        "server thread count {max_threads} scales with connections, not workers"
+    );
 }
