@@ -8,7 +8,7 @@
 //! many-small-queries regime: 3-COLOR queries over tiny paths, where
 //! per-request round-trip latency rather than execution dominates.
 //!
-//! Three phases per method, all over the same request list:
+//! Four phases per method, all over the same request list:
 //!
 //! 1. **warmup** (untimed) — throwaway seeds; absorbs first-touch costs.
 //! 2. **cold** (timed) — every request carries a fresh planner seed, and
@@ -16,6 +16,13 @@
 //!    request plans and executes.
 //! 3. **warm** (timed) — the cold requests replayed verbatim, so rows
 //!    come straight from the result cache.
+//! 4. **warm_plan** (timed) — a catalog mutation bumps the content
+//!    fingerprint (invalidating every plan- and result-cache entry), then
+//!    the cold requests are replayed once more: every request re-plans
+//!    and re-executes, but bucket methods skip re-decomposition because
+//!    the structure-keyed [`ppr_service::DecompCache`] still holds their
+//!    variable orders (the order cache deliberately omits the data
+//!    fingerprint — see docs/PLANNING.md).
 //!
 //! With `--pipeline N > 1` the connection speaks protocol v2 and keeps up
 //! to `N` tagged requests in flight (double-buffered half-`N` bursts); a
@@ -36,9 +43,10 @@ use ppr_core::methods::{Method, OrderHeuristic};
 use ppr_graph::{families, Graph};
 use ppr_obs::{HistSnapshot, Histogram, Phase, Quantiles};
 use ppr_query::Database;
+use ppr_relalg::Value;
 use ppr_service::{
     Catalog, Client, Engine, EngineConfig, EngineHandle, EngineStats, Pipeline, Request, Server,
-    Ticket,
+    Ticket, DEFAULT_DB,
 };
 use ppr_workload::edge_relation;
 
@@ -80,6 +88,12 @@ pub struct PhaseStats {
     pub plan_cache_hit_rate: f64,
     /// Fraction of this phase's responses served from the result cache.
     pub result_cache_hit_rate: f64,
+    /// Fraction of this phase's *planned* requests (plan-cache misses)
+    /// whose decomposition was skipped via the structure-keyed order
+    /// cache. Nonzero only for bucket methods in the warm_plan phase:
+    /// cold requests carry fresh seeds (the order cache keys on the
+    /// seed), and warm requests never reach the planner.
+    pub decomp_hit_rate: f64,
     /// Deepest client window reached: tagged requests in flight at once
     /// (1 for the serial driver).
     pub window_depth: usize,
@@ -96,16 +110,25 @@ pub struct ServeRow {
     pub cold: PhaseStats,
     /// Timed warm phase: the cold requests replayed, result-cache hits.
     pub warm: PhaseStats,
+    /// Timed warm-plan phase: a catalog mutation invalidated both caches,
+    /// then the cold requests replayed — everything re-plans, but bucket
+    /// methods reuse their cached variable orders.
+    pub warm_plan: PhaseStats,
     /// Executor threads the responses reported using (max observed).
     pub threads_used: u64,
     /// Interleaved same-server pipeline-1 cold baseline (`pipeline > 1`).
     pub baseline_cold: Option<PhaseStats>,
     /// Interleaved same-server pipeline-1 warm baseline (`pipeline > 1`).
     pub baseline_warm: Option<PhaseStats>,
+    /// Interleaved same-server pipeline-1 warm-plan baseline
+    /// (`pipeline > 1`).
+    pub baseline_warm_plan: Option<PhaseStats>,
     /// Cold reqs/sec over the baseline's (only when `pipeline > 1`).
     pub speedup_cold: Option<f64>,
     /// Warm reqs/sec over the baseline's (only when `pipeline > 1`).
     pub speedup_warm: Option<f64>,
+    /// Warm-plan reqs/sec over the baseline's (only when `pipeline > 1`).
+    pub speedup_warm_plan: Option<f64>,
 }
 
 /// Untimed requests absorbing first-touch costs before the cold phase.
@@ -299,7 +322,11 @@ fn finish_phase(raw: PhaseRaw, before: &EngineSnap, after: &EngineSnap) -> Phase
     let latency = raw.latency_us.snapshot().quantiles();
     let ok = raw.ok;
     let plan_hits = after.stats.cache.hits - before.stats.cache.hits;
-    let plan_total = plan_hits + (after.stats.cache.misses - before.stats.cache.misses);
+    let plan_misses = after.stats.cache.misses - before.stats.cache.misses;
+    let plan_total = plan_hits + plan_misses;
+    // Every plan-cache miss ran the pass pipeline exactly once, so the
+    // decomposition-skip rate is decomp hits over planned requests.
+    let decomp_hits = after.stats.decomp_cache_hits - before.stats.decomp_cache_hits;
     PhaseStats {
         ok,
         errors: raw.errors,
@@ -323,6 +350,11 @@ fn finish_phase(raw: PhaseRaw, before: &EngineSnap, after: &EngineSnap) -> Phase
         } else {
             raw.result_hits as f64 / ok as f64
         },
+        decomp_hit_rate: if plan_misses == 0 {
+            0.0
+        } else {
+            decomp_hits as f64 / plan_misses as f64
+        },
         window_depth: raw.window_depth,
     }
 }
@@ -333,18 +365,24 @@ fn finish_phase(raw: PhaseRaw, before: &EngineSnap, after: &EngineSnap) -> Phase
 struct BestPhases {
     cold: Option<PhaseStats>,
     warm: Option<PhaseStats>,
+    warm_plan: Option<PhaseStats>,
     threads_used: u64,
 }
 
 impl BestPhases {
-    /// Runs one cold+warm repetition on `driver` and keeps it if it beat
-    /// the repetitions so far. `cold` must carry seeds no other phase has
-    /// used, so every request misses both caches.
+    /// Runs one cold+warm+warm_plan repetition on `driver` and keeps each
+    /// phase if it beat the repetitions so far. `cold` must carry seeds no
+    /// other phase has used, so every request misses both caches. `salt`
+    /// must be unique per call across *all* drivers: the warm_plan phase
+    /// appends a distinct `edge` tuple so the catalog mutation really
+    /// changes the content fingerprint (a duplicate tuple would dedupe
+    /// away and leave every cache entry valid).
     fn repetition(
         &mut self,
         driver: &mut Driver,
         handle: &ppr_service::EngineHandle,
         cold: &[Request],
+        salt: u64,
     ) {
         // Stat snapshots settle before each is read: every reply of the
         // prior phase has been redeemed, and workers bump cache counters
@@ -354,22 +392,37 @@ impl BestPhases {
         let mid = engine_snap(handle);
         let warm_raw = driver.run_phase(cold);
         let after = engine_snap(handle);
+        // Invalidate plans and results (they key on the content
+        // fingerprint) while the structure-keyed order cache — which
+        // deliberately does not — stays warm, then replay.
+        let tuple = vec![10_000 + salt as Value, 20_000 + salt as Value];
+        handle
+            .catalog()
+            .add(DEFAULT_DB, "edge", tuple.into())
+            .expect("bench mutation");
+        let warm_plan_raw = driver.run_phase(cold);
+        let end = engine_snap(handle);
 
         self.threads_used = self
             .threads_used
             .max(cold_raw.threads_used)
-            .max(warm_raw.threads_used);
+            .max(warm_raw.threads_used)
+            .max(warm_plan_raw.threads_used);
         let better = |best: &Option<PhaseStats>, candidate: &PhaseStats| {
             best.as_ref()
                 .is_none_or(|b| candidate.reqs_per_sec > b.reqs_per_sec)
         };
         let cold_stats = finish_phase(cold_raw, &before, &mid);
         let warm_stats = finish_phase(warm_raw, &mid, &after);
+        let warm_plan_stats = finish_phase(warm_plan_raw, &after, &end);
         if better(&self.cold, &cold_stats) {
             self.cold = Some(cold_stats);
         }
         if better(&self.warm, &warm_stats) {
             self.warm = Some(warm_stats);
+        }
+        if better(&self.warm_plan, &warm_plan_stats) {
+            self.warm_plan = Some(warm_plan_stats);
         }
     }
 }
@@ -421,10 +474,10 @@ fn drive_method(
     let mut base = BestPhases::default();
     for rep in 0..REPS {
         let cold = phase_requests(queries, method, count, 2_000_000 + (rep * count) as u64);
-        main.repetition(&mut driver, &handle, &cold);
+        main.repetition(&mut driver, &handle, &cold, 2 * rep as u64);
         if let Some(d) = baseline_driver.as_mut() {
             let cold = phase_requests(queries, method, count, 5_000_000 + (rep * count) as u64);
-            base.repetition(d, &handle, &cold);
+            base.repetition(d, &handle, &cold, 2 * rep as u64 + 1);
         }
     }
     drop(driver);
@@ -434,6 +487,7 @@ fn drive_method(
     engine.shutdown();
 
     let (cold, warm) = (main.cold.expect("REPS >= 1"), main.warm.expect("REPS >= 1"));
+    let warm_plan = main.warm_plan.expect("REPS >= 1");
     let speedup = |phase: &PhaseStats, base: &Option<PhaseStats>| {
         base.as_ref().map(|b| {
             if b.reqs_per_sec > 0.0 {
@@ -449,10 +503,13 @@ fn drive_method(
         threads_used: main.threads_used.max(base.threads_used),
         speedup_cold: speedup(&cold, &base.cold),
         speedup_warm: speedup(&warm, &base.warm),
+        speedup_warm_plan: speedup(&warm_plan, &base.warm_plan),
         cold,
         warm,
+        warm_plan,
         baseline_cold: base.cold,
         baseline_warm: base.warm,
+        baseline_warm_plan: base.warm_plan,
     }
 }
 
@@ -621,14 +678,14 @@ pub fn print_conn_rows(w: &mut impl std::io::Write, rows: &[ConnRow]) {
 pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
     writeln!(
         w,
-        "method\tpipeline\tphase\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tqueue_wait_p50_us\texec_p50_us\tplan_cache_hit_rate\tresult_cache_hit_rate\twindow_depth\tspeedup"
+        "method\tpipeline\tphase\tok\terrors\treqs_per_sec\tp50_ms\tp95_ms\tqueue_wait_p50_us\texec_p50_us\tplan_cache_hit_rate\tresult_cache_hit_rate\tdecomp_hit_rate\twindow_depth\tspeedup"
     )
     .expect("write");
     for r in rows {
         let mut line = |phase: &str, pipeline: usize, p: &PhaseStats, speedup: Option<f64>| {
             writeln!(
                 w,
-                "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}\t{:.3}\t{:.3}\t{}\t{}",
+                "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{}\t{}",
                 r.method.name(),
                 pipeline,
                 phase,
@@ -641,6 +698,7 @@ pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
                 p.exec_us.p50,
                 p.plan_cache_hit_rate,
                 p.result_cache_hit_rate,
+                p.decomp_hit_rate,
                 p.window_depth,
                 speedup.map_or_else(|| "-".to_string(), |s| format!("{s:.2}")),
             )
@@ -648,11 +706,15 @@ pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
         };
         line("cold", r.pipeline, &r.cold, r.speedup_cold);
         line("warm", r.pipeline, &r.warm, r.speedup_warm);
+        line("warm_plan", r.pipeline, &r.warm_plan, r.speedup_warm_plan);
         if let Some(b) = &r.baseline_cold {
             line("cold", 1, b, None);
         }
         if let Some(b) = &r.baseline_warm {
             line("warm", 1, b, None);
+        }
+        if let Some(b) = &r.baseline_warm_plan {
+            line("warm_plan", 1, b, None);
         }
     }
 }
@@ -673,7 +735,8 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> 
             "{{\"ok\": {}, \"errors\": {}, \"elapsed_ms\": {:.1}, \"reqs_per_sec\": {:.1}, \
              \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
              \"queue_wait_us\": {}, \"exec_us\": {}, \"plan_cache_hit_rate\": {:.3}, \
-             \"result_cache_hit_rate\": {:.3}, \"window_depth\": {}}}",
+             \"result_cache_hit_rate\": {:.3}, \"decomp_hit_rate\": {:.3}, \
+             \"window_depth\": {}}}",
             p.ok,
             p.errors,
             p.elapsed_ms,
@@ -684,6 +747,7 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> 
             quantiles_json(&p.exec_us),
             p.plan_cache_hit_rate,
             p.result_cache_hit_rate,
+            p.decomp_hit_rate,
             p.window_depth
         )
     }
@@ -718,7 +782,7 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> 
         "  \"distinct_queries\": {},\n",
         tiny_query_mix().len()
     ));
-    s.push_str("  \"phases\": [\"warmup\", \"cold\", \"warm\"],\n");
+    s.push_str("  \"phases\": [\"warmup\", \"cold\", \"warm\", \"warm_plan\"],\n");
     s.push_str(&format!("  \"timeout_ms\": {},\n", cfg.timeout.as_millis()));
     s.push_str(&format!(
         "  \"exec_threads_requested\": {},\n",
@@ -750,18 +814,22 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> 
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"method\": \"{}\", \"pipeline\": {}, \"threads_used\": {},\n     \
-             \"cold\": {},\n     \"warm\": {},\n     \
+             \"cold\": {},\n     \"warm\": {},\n     \"warm_plan\": {},\n     \
              \"baseline_cold\": {},\n     \"baseline_warm\": {},\n     \
-             \"speedup_cold\": {}, \"speedup_warm\": {}}}{}\n",
+             \"baseline_warm_plan\": {},\n     \
+             \"speedup_cold\": {}, \"speedup_warm\": {}, \"speedup_warm_plan\": {}}}{}\n",
             r.method.name(),
             r.pipeline,
             r.threads_used,
             phase_json(&r.cold),
             phase_json(&r.warm),
+            phase_json(&r.warm_plan),
             opt_phase(&r.baseline_cold),
             opt_phase(&r.baseline_warm),
+            opt_phase(&r.baseline_warm_plan),
             opt_num(r.speedup_cold),
             opt_num(r.speedup_warm),
+            opt_num(r.speedup_warm_plan),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -831,6 +899,23 @@ mod tests {
             "warm result-cache hit rate {} too low",
             warm.result_cache_hit_rate
         );
+        // The warm_plan phase replays after a catalog mutation: both
+        // content-keyed caches are invalid, so everything re-plans and
+        // re-executes. Early projection has no decomposition to reuse.
+        let warm_plan = &row.warm_plan;
+        assert_eq!(warm_plan.errors, 0);
+        assert!(
+            warm_plan.result_cache_hit_rate < 0.1,
+            "mutation must invalidate results: {}",
+            warm_plan.result_cache_hit_rate
+        );
+        assert!(
+            warm_plan.plan_cache_hit_rate < 0.1,
+            "mutation must invalidate plans: {}",
+            warm_plan.plan_cache_hit_rate
+        );
+        assert!(warm_plan.exec_us.p99 > 0, "warm_plan re-executes");
+        assert_eq!(warm_plan.decomp_hit_rate, 0.0);
 
         // The serial baseline rode along on the same server, over the
         // untagged v1 protocol, with its own cold seed range.
@@ -847,6 +932,23 @@ mod tests {
         assert_eq!(serial_row.cold.window_depth, 1);
         assert!(serial_row.baseline_cold.is_none());
         assert!(serial_row.speedup_cold.is_none());
+
+        // Bucket elimination is where the warm_plan phase pays off: its
+        // decompositions are structure-keyed, so the post-mutation replay
+        // skips them while the cold phase (fresh seeds) cannot.
+        let bucket = drive_method(
+            &cfg,
+            Method::BucketElimination(OrderHeuristic::Mcs),
+            1,
+            &queries,
+            16,
+        );
+        assert_eq!(bucket.cold.decomp_hit_rate, 0.0, "fresh seeds stay cold");
+        assert!(
+            bucket.warm_plan.decomp_hit_rate > 0.9,
+            "replayed bucket requests must reuse cached orders: {}",
+            bucket.warm_plan.decomp_hit_rate
+        );
 
         let conn_row = ConnRow {
             connections: 64,
@@ -873,7 +975,10 @@ mod tests {
         assert!(json.contains("\"window_depth\""));
         assert!(json.contains("\"speedup_cold\""));
         assert!(json.contains("\"baseline_cold\": null"));
-        assert!(json.contains("\"phases\": [\"warmup\", \"cold\", \"warm\"]"));
+        assert!(json.contains("\"warm_plan\""));
+        assert!(json.contains("\"speedup_warm_plan\""));
+        assert!(json.contains("\"decomp_hit_rate\""));
+        assert!(json.contains("\"phases\": [\"warmup\", \"cold\", \"warm\", \"warm_plan\"]"));
     }
 
     #[cfg(target_os = "linux")]

@@ -9,11 +9,16 @@
 //! * [`convert`] — Algorithms 1–3: the constructive conversions between
 //!   join-expression trees and tree decompositions of the join graph that
 //!   prove Theorem 1 (`join width = treewidth + 1`).
-//! * [`methods`] — the five evaluation methods of the experimental study
-//!   as plan constructors and SQL emitters: naive, straightforward, early
-//!   projection (§4), greedy reordering (§4), and bucket elimination (§5,
-//!   with the MCS order as in the paper, or min-degree / min-fill for the
-//!   ablations).
+//! * [`methods`] — the evaluation-method taxonomy of the experimental
+//!   study (naive, straightforward, early projection §4, greedy
+//!   reordering §4, bucket elimination §5 with MCS / min-degree /
+//!   min-fill orders) plus the legacy one-shot planners, kept as the
+//!   parity oracle for the pass pipeline.
+//! * [`passes`] — the composable optimizer-pass pipeline: each method is
+//!   a recipe of typed [`passes::OptimizerPass`]es (join-order selection,
+//!   chain building, projection pushdown, decomposition) producing plans
+//!   byte-identical to the legacy planners, with hooks for the serving
+//!   layer's decomposition cache (see docs/PLANNING.md).
 //! * [`width`] — join width / induced width APIs surfacing Theorems 1–2 as
 //!   checkable properties.
 //! * [`sqlgen`] — a generic plan → Appendix-A-style SQL emitter.
@@ -33,6 +38,7 @@ pub mod jet;
 pub mod methods;
 pub mod minibucket;
 pub mod minimize;
+pub mod passes;
 pub mod reduce;
 pub mod sqlgen;
 pub mod width;
@@ -40,3 +46,11 @@ pub mod yannakakis;
 
 pub use jet::Jet;
 pub use methods::{build_plan, emit_sql, Method, OrderHeuristic};
+pub use passes::{plan_query, OptimizerPass, PassContext, PassManager, PlanReport, PlanState};
+
+/// Compiles and runs every Rust snippet in docs/PLANNING.md as a doctest
+/// of this crate, so the planning guide cannot drift from the pipeline
+/// API it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/PLANNING.md")]
+pub struct PlanningGuide;

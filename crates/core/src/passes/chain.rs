@@ -1,0 +1,50 @@
+//! The plan-building pass for chain recipes.
+//!
+//! Contract: consumes [`PlanState::query`] in its current atom order and
+//! sets [`PlanState::plan`] to the left-deep scan-join chain
+//! `π_free((…(a_1 ⋈ a_2) ⋈ …) ⋈ a_m)` — the straightforward method's
+//! plan (paper §3). The query is left unchanged, so downstream rewrite
+//! passes ([`crate::passes::pushdown`]) still see the order the chain was
+//! built in.
+
+use super::{OptimizerPass, PassContext, PlanState};
+use crate::methods::straightforward;
+
+/// Builds the left-deep scan-join chain over the query's current atom
+/// order, projecting the free variables once at the root.
+pub struct BuildJoinChain;
+
+impl OptimizerPass for BuildJoinChain {
+    fn name(&self) -> &'static str {
+        "build-join-chain"
+    }
+
+    fn run(&self, mut state: PlanState, ctx: &mut PassContext<'_>) -> PlanState {
+        state.plan = Some(straightforward::plan(&state.query, ctx.db));
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::pentagon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_matches_straightforward() {
+        let (q, db) = pentagon();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut src: &mut StdRng = &mut rng;
+        let mut ctx = PassContext::new(&db, &mut src);
+        let state = PlanState {
+            query: q.clone(),
+            plan: None,
+        };
+        let out = BuildJoinChain.run(state, &mut ctx);
+        let plan = out.plan.expect("chain pass builds a plan");
+        let legacy = straightforward::plan(&q, &db);
+        assert_eq!(format!("{plan:?}"), format!("{legacy:?}"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Parity suite for the optimizer-pass pipeline: for every method and
+//! seed, the recipe run by `ppr_core::passes` must produce a plan
+//! **byte-identical** to the legacy monolithic planner it replaced. The
+//! legacy planners stay in `ppr_core::methods::*` precisely to serve as
+//! this oracle. "Byte-identical" is checked on the full `Debug` rendering
+//! of the plan tree, which includes scan bindings, relation contents, and
+//! projection keep-lists in order — any drift in structure, labels, or
+//! randomness consumption shows up here.
+
+use ppr_core::methods::{bucket, early_projection, reordering, straightforward};
+use ppr_core::methods::{Method, OrderHeuristic};
+use ppr_core::passes::plan_query;
+use ppr_query::{ConjunctiveQuery, Database};
+use ppr_workload::{color_query, ColorQueryOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random 3-COLOR instance: `n` vertices, `m` edge attempts, Boolean or
+/// 20%-free, derived deterministically from the given seed.
+fn instance(n: usize, m: usize, boolean: bool, seed: u64) -> (ConjunctiveQuery, Database) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = ppr_graph::generate::random_graph(n, m, &mut rng);
+    let options = if boolean {
+        ColorQueryOptions::boolean()
+    } else {
+        ColorQueryOptions::non_boolean()
+    };
+    color_query(&g, &options, &mut rng)
+}
+
+/// The legacy monolithic plan for `method`, seeded like the engine seeds
+/// planning: a fresh `StdRng` per plan build.
+fn legacy_plan(method: Method, q: &ConjunctiveQuery, db: &Database, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = match method {
+        Method::Naive | Method::Straightforward => straightforward::plan(q, db),
+        Method::EarlyProjection => early_projection::plan(q, db),
+        Method::Reordering => reordering::plan(q, db, &mut rng),
+        Method::BucketElimination(h) => bucket::plan(q, db, h, &mut rng),
+    };
+    format!("{plan:?}")
+}
+
+/// The pipeline plan for `method` under the same seeding discipline.
+fn pipeline_plan(method: Method, q: &ConjunctiveQuery, db: &Database, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    format!("{:?}", plan_query(method, q, db, &mut rng, None).plan)
+}
+
+fn all_methods() -> [Method; 7] {
+    [
+        Method::Naive,
+        Method::Straightforward,
+        Method::EarlyProjection,
+        Method::Reordering,
+        Method::BucketElimination(OrderHeuristic::Mcs),
+        Method::BucketElimination(OrderHeuristic::MinDegree),
+        Method::BucketElimination(OrderHeuristic::MinFill),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pipeline ≡ legacy across random instances, methods, and seeds.
+    #[test]
+    fn pipeline_plans_are_byte_identical_to_legacy(
+        n in 3usize..9,
+        extra in 0usize..8,
+        boolean in prop::bool::ANY,
+        gen_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+    ) {
+        // Connected-ish (a spanning tree's worth of attempts), capped at
+        // the simple-graph maximum.
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let (q, db) = instance(n, m, boolean, gen_seed);
+        for method in all_methods() {
+            prop_assert_eq!(
+                pipeline_plan(method, &q, &db, plan_seed),
+                legacy_plan(method, &q, &db, plan_seed),
+                "method {} diverged (n={}, m={}, boolean={}, gen_seed={}, plan_seed={})",
+                method.name(), n, m, boolean, gen_seed, plan_seed
+            );
+        }
+    }
+
+    /// A cached decomposition handed back as a hint reproduces the exact
+    /// cold plan for the same query and seed (the decomposition cache's
+    /// byte-identity contract on exact repeats).
+    #[test]
+    fn bucket_hint_round_trip_is_byte_identical(
+        n in 3usize..9,
+        extra in 0usize..8,
+        gen_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+    ) {
+        let (q, db) = instance(n, (n - 1 + extra).min(n * (n - 1) / 2), true, gen_seed);
+        let method = Method::BucketElimination(OrderHeuristic::Mcs);
+        let mut rng = StdRng::seed_from_u64(plan_seed);
+        let cold = plan_query(method, &q, &db, &mut rng, None);
+        let order = cold.chosen_order.clone().expect("bucket chooses an order");
+        let mut rng = StdRng::seed_from_u64(plan_seed);
+        let warm = plan_query(method, &q, &db, &mut rng, Some(order));
+        prop_assert!(warm.used_hint);
+        prop_assert_eq!(format!("{:?}", warm.plan), format!("{:?}", cold.plan));
+    }
+}
+
+/// The paper's fixed families, pinned without proptest shrinkage noise:
+/// cycles (the pentagon included), grids, and complete graphs.
+#[test]
+fn pipeline_matches_legacy_on_fixed_families() {
+    let graphs = [
+        ppr_graph::families::cycle(5),
+        ppr_graph::families::cycle(8),
+        ppr_graph::families::grid(3, 3),
+        ppr_graph::families::complete(4),
+        ppr_graph::families::path(6),
+    ];
+    for (gi, g) in graphs.iter().enumerate() {
+        for boolean in [true, false] {
+            let mut rng = StdRng::seed_from_u64(gi as u64);
+            let options = if boolean {
+                ColorQueryOptions::boolean()
+            } else {
+                ColorQueryOptions::non_boolean()
+            };
+            let (q, db) = color_query(g, &options, &mut rng);
+            for method in all_methods() {
+                for seed in [0u64, 1, 17, 12345] {
+                    assert_eq!(
+                        pipeline_plan(method, &q, &db, seed),
+                        legacy_plan(method, &q, &db, seed),
+                        "family {gi} boolean={boolean} method {} seed {seed}",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+}

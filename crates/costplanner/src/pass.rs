@@ -1,0 +1,139 @@
+//! The cost model as an optimizer-pass input.
+//!
+//! [`CostJoinOrder`] plugs this crate's planners into `ppr-core`'s
+//! composable pass pipeline ([`ppr_core::passes`]): it is a join-order
+//! selection pass, interchangeable with the paper's greedy heuristic
+//! (`GreedyJoinOrder`) in any recipe. Where the greedy pass counts dying
+//! variables, this pass runs a full cost-based search — System-R dynamic
+//! programming, GEQO, or the trivial fixed-order planner — over the
+//! index-aware cost model ([`crate::cost`], which prices `Scan` /
+//! `HashJoin` / `IndexJoin` alternatives per join step) and permutes the
+//! query's atoms into the winning order.
+//!
+//! Contract (same as every order pass): the output query is a permutation
+//! of the input's atoms; free list, interner, and Boolean flag unchanged;
+//! any existing plan is left untouched. Randomness: exactly one draw from
+//! the context to seed the (GEQO) search, so pipeline runs stay
+//! deterministic per seed.
+//!
+//! ```
+//! use ppr_core::passes::{PassManager, PassContext};
+//! use ppr_core::passes::chain::BuildJoinChain;
+//! use ppr_core::passes::pushdown::ProjectionPushdown;
+//! use ppr_costplanner::pass::CostJoinOrder;
+//! use ppr_costplanner::Planner;
+//! use rand::SeedableRng;
+//!
+//! let q = ppr_query::parse_query("q() :- e(a,b), e(b,c), e(c,a)").unwrap();
+//! let mut db = ppr_query::Database::new();
+//! db.add(ppr_query::parse_relation("e = {(1,2),(2,3),(3,1)}", 100).unwrap());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut src: &mut rand::rngs::StdRng = &mut rng;
+//! let mut ctx = PassContext::new(&db, &mut src);
+//! let pipeline = PassManager::new()
+//!     .with(CostJoinOrder::new(Planner::ExhaustiveDp))
+//!     .with(BuildJoinChain)
+//!     .with(ProjectionPushdown);
+//! let plan = pipeline.run(&q, &mut ctx);
+//! assert_eq!(plan.scan_count(), 3);
+//! ```
+
+use ppr_core::passes::{OptimizerPass, PassContext, PlanState};
+
+use crate::{compile, Planner};
+
+/// Join-order selection by cost-based search: permutes the query's atoms
+/// into the order chosen by the configured [`Planner`] over the
+/// index-aware cost model.
+pub struct CostJoinOrder {
+    planner: Planner,
+}
+
+impl CostJoinOrder {
+    /// An order pass running `planner`'s search.
+    pub fn new(planner: Planner) -> Self {
+        CostJoinOrder { planner }
+    }
+}
+
+impl OptimizerPass for CostJoinOrder {
+    fn name(&self) -> &'static str {
+        "cost-join-order"
+    }
+
+    fn run(&self, mut state: PlanState, ctx: &mut PassContext<'_>) -> PlanState {
+        let seed = ctx.rng.next_u64();
+        let result = compile(self.planner, &state.query, ctx.db, seed);
+        state.query = state.query.permuted(&result.order);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppr_core::passes::chain::BuildJoinChain;
+    use ppr_core::passes::pushdown::ProjectionPushdown;
+    use ppr_core::passes::PassManager;
+    use ppr_relalg::{exec, Budget};
+    use ppr_workload::{color_query, ColorQueryOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (ppr_query::ConjunctiveQuery, ppr_query::Database) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = ppr_graph::generate::random_graph(6, 8, &mut rng);
+        color_query(&g, &ColorQueryOptions::boolean(), &mut rng)
+    }
+
+    #[test]
+    fn cost_ordered_pipeline_preserves_semantics() {
+        let (q, db) = fixture();
+        for planner in [Planner::ExhaustiveDp, Planner::FixedOrder] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut src: &mut StdRng = &mut rng;
+            let mut ctx = PassContext::new(&db, &mut src);
+            let pipeline = PassManager::new()
+                .with(CostJoinOrder::new(planner))
+                .with(BuildJoinChain)
+                .with(ProjectionPushdown);
+            let plan = pipeline.run(&q, &mut ctx);
+            let (rows, _) = exec::execute(&plan, &Budget::unlimited()).unwrap();
+            let baseline = ppr_core::methods::straightforward::plan(&q, &db);
+            let (expected, _) = exec::execute(&baseline, &Budget::unlimited()).unwrap();
+            assert!(rows.set_eq(&expected), "{planner:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_order_pass_is_listing_order() {
+        let (q, db) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src: &mut StdRng = &mut rng;
+        let mut ctx = PassContext::new(&db, &mut src);
+        let state = PlanState {
+            query: q.clone(),
+            plan: None,
+        };
+        let out = CostJoinOrder::new(Planner::FixedOrder).run(state, &mut ctx);
+        assert_eq!(out.query.atoms, q.atoms);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (q, db) = fixture();
+        let order_of = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut src: &mut StdRng = &mut rng;
+            let mut ctx = PassContext::new(&db, &mut src);
+            let state = PlanState {
+                query: q.clone(),
+                plan: None,
+            };
+            let out = CostJoinOrder::new(Planner::Geqo(crate::geqo::PoolPolicy::Fixed(32)))
+                .run(state, &mut ctx);
+            out.query.atoms.clone()
+        };
+        assert_eq!(order_of(7), order_of(7));
+    }
+}

@@ -127,9 +127,19 @@ fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
     acc
 }
 
-/// One refinement pass at a fixed `seed`; two independent seeds give the
-/// two 64-bit halves of the [`Fingerprint`].
-fn half(query: &ConjunctiveQuery, seed: u64) -> u64 {
+/// The stabilized WL refinement at a fixed `seed`: the query's variables
+/// (in first-occurrence order), the index map, and the final variable and
+/// atom colors. Shared by the fingerprint halves and by
+/// [`canonical_var_order`].
+struct Refinement {
+    vars: Vec<AttrId>,
+    var_index: FxHashMap<AttrId, usize>,
+    var_color: Vec<u64>,
+    atom_color: Vec<u64>,
+}
+
+/// Runs WL color refinement to stabilization at `seed`.
+fn refine(query: &ConjunctiveQuery, seed: u64) -> Refinement {
     let vars: Vec<AttrId> = query.all_vars();
     let var_index: FxHashMap<AttrId, usize> =
         vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
@@ -192,6 +202,24 @@ fn half(query: &ConjunctiveQuery, seed: u64) -> u64 {
         }
         distinct = now;
     }
+    Refinement {
+        vars,
+        var_index,
+        var_color,
+        atom_color,
+    }
+}
+
+/// One refinement pass at a fixed `seed`; two independent seeds give the
+/// two 64-bit halves of the [`Fingerprint`].
+fn half(query: &ConjunctiveQuery, seed: u64) -> u64 {
+    let Refinement {
+        vars,
+        var_index,
+        var_color,
+        atom_color,
+    } = refine(query, seed);
+    let boolean = query.is_boolean();
 
     // Final digest: sorted atom-color multiset, then the sorted multiset
     // of per-connected-component digests, then the *ordered* free colors,
@@ -290,6 +318,31 @@ pub fn fingerprint(query: &ConjunctiveQuery) -> Fingerprint {
     let hi = half(query, 0x9e37_79b9_7f4a_7c15);
     let lo = half(query, 0xc2b2_ae3d_27d4_eb4f);
     Fingerprint(((hi as u128) << 64) | lo as u128)
+}
+
+/// A canonical ordering of the query's variables: first-occurrence order
+/// stably re-sorted by the stabilized WL color (the same refinement the
+/// fingerprint uses, at its first seed). Because the colors are invariant
+/// under variable renaming and atom reordering, two isomorphic queries
+/// list *corresponding* variables at the same positions — up to WL color
+/// ties, where the first-occurrence tiebreak can differ between renamings
+/// of a symmetric query.
+///
+/// This is the coordinate system of `ppr-service`'s decomposition cache:
+/// a bucket-elimination variable order is stored as ranks into this
+/// sequence (structure, not [`AttrId`]s, which are per-query interner
+/// artifacts) and decoded against the *new* query's canonical order. For
+/// an exact textual repeat the round trip is the identity; for a renamed
+/// isomorph with color ties it decodes to some valid variable
+/// permutation, which bucket elimination accepts with at most a width
+/// penalty — never a wrong answer.
+pub fn canonical_var_order(query: &ConjunctiveQuery) -> Vec<AttrId> {
+    let Refinement {
+        vars, var_color, ..
+    } = refine(query, 0x9e37_79b9_7f4a_7c15);
+    let mut idx: Vec<usize> = (0..vars.len()).collect();
+    idx.sort_by_key(|&i| (var_color[i], i));
+    idx.into_iter().map(|i| vars[i]).collect()
 }
 
 /// A query's cache-lookup identity: the canonical [`Fingerprint`] plus
@@ -428,6 +481,53 @@ mod tests {
         // Boolean flag.
         let boolean = QueryShape::of(&parse_query("q() :- e(x, y), e(y, z)").unwrap());
         assert_ne!(base, boolean);
+    }
+
+    #[test]
+    fn canonical_order_lists_every_variable_once() {
+        let q = parse_query("q(x) :- e(x, y), e(y, z), f(z, x)").unwrap();
+        let canon = canonical_var_order(&q);
+        let mut sorted = canon.clone();
+        sorted.sort_unstable();
+        let mut all = q.all_vars();
+        all.sort_unstable();
+        assert_eq!(sorted, all);
+    }
+
+    #[test]
+    fn canonical_order_tracks_renaming() {
+        // Asymmetric query: every variable gets a distinct WL color, so
+        // corresponding variables land at identical canonical positions.
+        let a = parse_query("q(x) :- e(x, y), e(y, z)").unwrap();
+        let b = parse_query("q(u) :- e(u, w), e(w, t)").unwrap();
+        let ca = canonical_var_order(&a);
+        let cb = canonical_var_order(&b);
+        assert_eq!(ca.len(), cb.len());
+        // x↔u, y↔w, z↔t: read positions back through each query's vars.
+        let name = |q: &ConjunctiveQuery, id| q.vars.name(id);
+        let pa: Vec<String> = ca.iter().map(|&v| name(&a, v)).collect();
+        let pb: Vec<String> = cb.iter().map(|&v| name(&b, v)).collect();
+        let map = [("x", "u"), ("y", "w"), ("z", "t")];
+        for (i, va) in pa.iter().enumerate() {
+            let expected = map.iter().find(|(from, _)| from == va).unwrap().1;
+            assert_eq!(pb[i], expected, "position {i}");
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_atom_order_invariant() {
+        let a = parse_query("q(x) :- e(x, y), f(y, z)").unwrap();
+        let b = parse_query("q(x) :- f(y, z), e(x, y)").unwrap();
+        // Same interner order (x, y, z interned by first occurrence per
+        // parse), so the AttrIds differ between the two queries — compare
+        // by name.
+        let name_seq = |q: &ConjunctiveQuery| -> Vec<String> {
+            canonical_var_order(q)
+                .iter()
+                .map(|&v| q.vars.name(v))
+                .collect()
+        };
+        assert_eq!(name_seq(&a), name_seq(&b));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod vars;
 
 pub use atom::Atom;
 pub use cq::{ConjunctiveQuery, Database};
-pub use fingerprint::{fingerprint, Fingerprint, QueryIdentity, QueryShape};
+pub use fingerprint::{canonical_var_order, fingerprint, Fingerprint, QueryIdentity, QueryShape};
 pub use joingraph::JoinGraph;
 pub use parse::{parse_query, parse_relation};
 pub use vars::Vars;

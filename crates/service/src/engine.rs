@@ -40,7 +40,8 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ppr_core::methods::{build_plan, Method, OrderHeuristic};
+use ppr_core::methods::{Method, OrderHeuristic};
+use ppr_core::passes::plan_query;
 use ppr_obs::{Phase, Quantiles, SlowEntry, TraceSpans, PHASES};
 use ppr_query::{ConjunctiveQuery, Database, QueryIdentity};
 use ppr_relalg::{exec, parallel, Budget, ExecStats, Value};
@@ -49,6 +50,7 @@ use rand::SeedableRng;
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
 use crate::catalog::{Catalog, DbSnapshot, DEFAULT_DB};
+use crate::decomp::{self, DecompCache, DecompKey, DecompStats};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::result_cache::{CachedResult, ResultCache, ResultCacheStats, ResultKey};
@@ -249,6 +251,7 @@ struct Job {
 struct Shared {
     catalog: Arc<Catalog>,
     cache: PlanCache,
+    decomps: DecompCache,
     results: ResultCache,
     queue: BoundedQueue<Job>,
     accepting: AtomicBool,
@@ -281,6 +284,14 @@ pub struct EngineStats {
     /// Secondary indexes built (cache misses); stops growing once the
     /// serving snapshot's indexes are warm.
     pub index_builds: u64,
+    /// Optimizer passes executed by the planning pipeline across all
+    /// planned requests (plan- and result-cache hits run none).
+    pub passes_run: u64,
+    /// Bucket decompositions skipped because the structure-keyed
+    /// [`DecompCache`] supplied the variable order as a pass hint.
+    pub decomp_cache_hits: u64,
+    /// Decomposition-cache counters.
+    pub decomps: DecompStats,
     /// Per-phase latency quantiles from the shared histograms.
     pub spans: SpanStats,
 }
@@ -477,6 +488,9 @@ impl EngineHandle {
             results: self.shared.results.stats(),
             index_probes: obs.index_probes.get(),
             index_builds: obs.index_builds.get(),
+            passes_run: obs.passes_run.get(),
+            decomp_cache_hits: obs.decomp_hits.get(),
+            decomps: self.shared.decomps.stats(),
             spans: SpanStats {
                 phase: std::array::from_fn(|i| obs.phase_us[i].snapshot().quantiles()),
                 total: obs.total_us.snapshot().quantiles(),
@@ -594,6 +608,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             catalog: Arc::new(catalog),
             cache: PlanCache::new(cfg.cache_capacity),
+            decomps: DecompCache::new(cfg.cache_capacity),
             results: ResultCache::new(cfg.result_cache_bytes),
             queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
             accepting: AtomicBool::new(true),
@@ -878,7 +893,43 @@ fn process(
         None => {
             let started = Instant::now();
             let mut rng = StdRng::seed_from_u64(seed);
-            let built = Arc::new(build_plan(request.method, &query, &snapshot.db, &mut rng));
+            // Bucket elimination's expensive step is choosing the variable
+            // order, which depends only on query *structure* — so unlike
+            // the plan (which embeds snapshot scans), it is reusable
+            // across catalog mutations. A cached order, rank-decoded into
+            // this query's own ids, rides into the pass pipeline as a
+            // hint; the `Decompose` pass consumes it instead of
+            // re-decomposing (docs/PLANNING.md).
+            let decomp_key = match request.method {
+                Method::BucketElimination(heuristic) => Some(DecompKey {
+                    fingerprint: identity.fingerprint,
+                    heuristic,
+                    seed,
+                }),
+                _ => None,
+            };
+            let canonical = decomp_key
+                .is_some()
+                .then(|| ppr_query::canonical_var_order(&query));
+            let hint = match (&decomp_key, &canonical) {
+                (Some(key), Some(canonical)) => shared
+                    .decomps
+                    .get(key, &identity.shape)
+                    .and_then(|ranks| decomp::decode_order(&ranks, canonical)),
+                _ => None,
+            };
+            let report = plan_query(request.method, &query, &snapshot.db, &mut rng, hint);
+            shared.obs.passes_run.add(report.passes_run as u64);
+            if report.used_hint {
+                shared.obs.decomp_hits.inc();
+            } else if let (Some(key), Some(canonical), Some(order)) =
+                (decomp_key, &canonical, &report.chosen_order)
+            {
+                if let Some(ranks) = decomp::encode_order(order, canonical) {
+                    shared.decomps.insert(key, identity.shape.clone(), ranks);
+                }
+            }
+            let built = Arc::new(report.plan);
             let micros = started.elapsed().as_micros() as u64;
             // A racing worker may have published the same key first; the
             // cache keeps the existing plan so concurrent identical
@@ -1035,6 +1086,72 @@ mod tests {
         let stats = h.stats();
         assert_eq!(stats.cache.hits, 2);
         assert_eq!(stats.cache.misses, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn decomp_cache_survives_catalog_mutation() {
+        let engine = Engine::start(three_color_catalog(), plan_only_cfg());
+        let h = engine.handle();
+        let m = Method::BucketElimination(OrderHeuristic::Mcs);
+        let cold = h.execute(pentagon_request(m)).unwrap();
+        assert!(!cold.cache_hit);
+        let stats = h.stats();
+        assert_eq!(stats.decomp_cache_hits, 0, "cold request decomposes");
+        assert_eq!(stats.passes_run, 2, "bucket recipe = decompose + build");
+        // A mutation bumps the content fingerprint: every cached plan is
+        // stale (plans embed snapshot scans)…
+        h.catalog()
+            .add(DEFAULT_DB, "edge", vec![4, 5].into())
+            .unwrap();
+        // …but the variable order is pure query structure, so a renamed
+        // isomorphic query re-plans without re-decomposing.
+        let renamed = Request::new(
+            "q() :- edge(v,w), edge(u,v), edge(z,u), edge(y,z), edge(w,y)",
+            m,
+        );
+        let fresh = h.execute(renamed).unwrap();
+        assert!(!fresh.cache_hit, "content change must re-plan");
+        let stats = h.stats();
+        assert!(
+            stats.decomp_cache_hits > 0,
+            "repeated structure must skip decomposition: {stats:?}"
+        );
+        assert_eq!(stats.passes_run, 4, "both requests ran the pipeline");
+        assert_eq!(stats.decomps.hits, 1);
+        assert_eq!(stats.decomps.misses, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn exact_repeat_with_decomp_hint_is_byte_identical() {
+        // The plan a hinted pipeline builds for an *exact* repeat must be
+        // byte-identical to the cold plan: the decode is the identity and
+        // the Decompose pass consumes no randomness when hinted.
+        let engine = Engine::start(three_color_catalog(), plan_only_cfg());
+        let h = engine.handle();
+        let req = || {
+            Request::new(
+                "q(a, b) :- edge(a,b), edge(b,c), edge(c,d), edge(d,f), edge(f,a)",
+                Method::BucketElimination(OrderHeuristic::MinFill),
+            )
+        };
+        let cold = h.execute(req()).unwrap();
+        h.catalog()
+            .add(DEFAULT_DB, "edge", vec![7, 8].into())
+            .unwrap();
+        h.catalog()
+            .add(DEFAULT_DB, "edge", vec![8, 7].into())
+            .unwrap();
+        let warm = h.execute(req()).unwrap();
+        assert!(!warm.cache_hit);
+        assert!(h.stats().decomp_cache_hits > 0);
+        // The added colors 7/8 pair only with each other, and an odd
+        // cycle needs three colors, so the pentagon's answers are
+        // unchanged — the hinted plan rebuilt the same bucket structure
+        // over the new snapshot.
+        assert!(!cold.rows.is_empty());
+        assert_eq!(cold.rows, warm.rows);
         engine.shutdown();
     }
 

@@ -26,6 +26,12 @@
 //!   [`ppr_query::QueryShape`] so a fingerprint collision between
 //!   structurally different queries costs a re-plan, never a wrong
 //!   answer.
+//! * [`decomp::DecompCache`] — a structure-keyed LRU of bucket
+//!   elimination's chosen variable orders, keyed **without** the database
+//!   identity: a catalog mutation forces a re-plan, but a structurally
+//!   repeated query skips re-decomposition because the optimizer pipeline
+//!   ([`ppr_core::passes`], docs/PLANNING.md) consumes the cached order
+//!   as a pass hint.
 //! * [`engine::Engine`] — a worker pool executing requests over the
 //!   serial or partitioned-parallel executor, with per-request tuple/time
 //!   budgets clamped by a server-side maximum, **admission control**
@@ -55,6 +61,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod decomp;
 pub mod engine;
 pub mod metrics;
 pub mod net;
@@ -68,6 +75,7 @@ pub use catalog::{
     fingerprint_db, Catalog, CatalogError, DbFingerprint, DbInfo, DbSnapshot, DbVersion, DEFAULT_DB,
 };
 pub use client::{Client, Pipeline, Ticket};
+pub use decomp::{DecompCache, DecompKey, DecompStats};
 pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response, SpanStats};
 pub use metrics::{render_slowlog, ServiceMetrics, DEFAULT_SLOWLOG_CAPACITY};
 pub use net::{CloseReason, NetMetrics};

@@ -49,6 +49,14 @@ pub struct ServiceMetrics {
     /// `ppr_index_builds_total` — secondary indexes built (cache misses;
     /// warm snapshots stop incrementing this).
     pub index_builds: Arc<Counter>,
+    /// `ppr_passes_run_total` — optimizer passes executed by the planning
+    /// pipeline across all planned requests (plan- and result-cache hits
+    /// run none).
+    pub passes_run: Arc<Counter>,
+    /// `ppr_decomp_cache_hits_total` — bucket decompositions skipped
+    /// because the structure-keyed [`crate::DecompCache`] supplied the
+    /// variable order as a pass hint.
+    pub decomp_hits: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -93,6 +101,14 @@ impl ServiceMetrics {
             index_builds: registry.counter(
                 "ppr_index_builds_total",
                 "Secondary indexes built on cache miss by the streaming executor",
+            ),
+            passes_run: registry.counter(
+                "ppr_passes_run_total",
+                "Optimizer passes executed by the planning pipeline",
+            ),
+            decomp_hits: registry.counter(
+                "ppr_decomp_cache_hits_total",
+                "Bucket decompositions skipped via the structure-keyed order cache",
             ),
             slowlog: Arc::new(SlowLog::new(if slowlog_capacity == 0 {
                 DEFAULT_SLOWLOG_CAPACITY
@@ -154,6 +170,8 @@ mod tests {
             "ppr_exec_rows_scanned",
             "ppr_index_probes_total",
             "ppr_index_builds_total",
+            "ppr_passes_run_total",
+            "ppr_decomp_cache_hits_total",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }

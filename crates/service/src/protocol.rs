@@ -765,6 +765,18 @@ pub fn encode_stats(s: &EngineStats) -> String {
         " ix_probes={} ix_builds={}",
         s.index_probes, s.index_builds
     ));
+    line.push_str(&format!(
+        " passes={} decomp_hits={} d_hits={} d_misses={} d_evictions={} d_collisions={} \
+         d_len={} d_cap={}",
+        s.passes_run,
+        s.decomp_cache_hits,
+        s.decomps.hits,
+        s.decomps.misses,
+        s.decomps.evictions,
+        s.decomps.collisions,
+        s.decomps.len,
+        s.decomps.capacity,
+    ));
     let mut push_quantiles = |name: &str, q: &Quantiles| {
         line.push_str(&format!(
             " {name}_n={} {name}_p50={} {name}_p95={} {name}_p99={}",
@@ -811,6 +823,14 @@ pub fn decode_stats(line: &str) -> Result<EngineStats, ServiceError> {
             "r_cap" => s.results.capacity_bytes = parse_num(k, v)?,
             "ix_probes" => s.index_probes = parse_num(k, v)?,
             "ix_builds" => s.index_builds = parse_num(k, v)?,
+            "passes" => s.passes_run = parse_num(k, v)?,
+            "decomp_hits" => s.decomp_cache_hits = parse_num(k, v)?,
+            "d_hits" => s.decomps.hits = parse_num(k, v)?,
+            "d_misses" => s.decomps.misses = parse_num(k, v)?,
+            "d_evictions" => s.decomps.evictions = parse_num(k, v)?,
+            "d_collisions" => s.decomps.collisions = parse_num(k, v)?,
+            "d_len" => s.decomps.len = parse_num(k, v)?,
+            "d_cap" => s.decomps.capacity = parse_num(k, v)?,
             // Span quantiles: `{phase}_{n|p50|p95|p99}` or `total_…`.
             other => {
                 let quantile = other.rsplit_once('_').and_then(|(prefix, suffix)| {
@@ -1367,6 +1387,14 @@ mod tests {
         s.results.capacity_bytes = 8 << 20;
         s.index_probes = 31;
         s.index_builds = 4;
+        s.passes_run = 12;
+        s.decomp_cache_hits = 3;
+        s.decomps.hits = 3;
+        s.decomps.misses = 2;
+        s.decomps.evictions = 1;
+        s.decomps.collisions = 1;
+        s.decomps.len = 1;
+        s.decomps.capacity = 256;
         s.spans.phase[Phase::QueueWait as usize] = Quantiles {
             count: 10,
             p50: 3,

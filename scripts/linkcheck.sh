@@ -10,6 +10,18 @@ cd "$(dirname "$0")/.."
 fail=0
 files=(README.md docs/*.md)
 
+# Load-bearing docs that must exist by name: the glob above would
+# silently shrink if one were deleted, so pin them explicitly.
+# PLANNING.md is additionally doc-tested from ppr-core
+# (crates/core/src/lib.rs includes it under cfg(doctest)).
+for required in docs/ARCHITECTURE.md docs/PLANNING.md docs/PROTOCOL.md \
+                docs/DURABILITY.md docs/OBSERVABILITY.md; do
+  if [ ! -f "$required" ]; then
+    echo "linkcheck: required doc missing: $required" >&2
+    fail=1
+  fi
+done
+
 for md in "${files[@]}"; do
   [ -f "$md" ] || { echo "linkcheck: missing markdown file $md" >&2; fail=1; continue; }
   dir=$(dirname "$md")

@@ -509,6 +509,17 @@ fn cmd_client(flags: &Flags) {
             s.results.bytes,
             s.results.capacity_bytes
         );
+        println!(
+            "planner: {} passes run, {} decomp-cache plan hits ({} hits / {} misses, \
+             {} evictions, {} collisions, {} cached orders)",
+            s.passes_run,
+            s.decomp_cache_hits,
+            s.decomps.hits,
+            s.decomps.misses,
+            s.decomps.evictions,
+            s.decomps.collisions,
+            s.decomps.len
+        );
         return;
     }
     // Catalog verbs: one mutation per invocation, acknowledged with the
