@@ -8,6 +8,8 @@
 //!          ablation-orders ablation-pipeline ablation-minibucket
 //!          ablation-distinct ablation-join ablation-parallel
 //!          serve-throughput durability semijoin all
+//!
+//! experiments bench-gate [--baseline PATH] --fresh PATH
 //! ```
 //!
 //! `--pipeline N` only affects `serve-throughput`: it keeps `N` tagged
@@ -42,6 +44,15 @@
 //!
 //! Each figure target also runs its non-Boolean (20%-free) variant when
 //! the paper plots one; pass `--free 0` to restrict to Boolean.
+//!
+//! `bench-gate` compares a fresh `BENCH_serve.json` (`--fresh`) against
+//! the committed baseline (`--baseline`, default
+//! `results/BENCH_serve.json`) and exits non-zero when any method's cold
+//! throughput regressed beyond the host-aware tolerance — 25% when both
+//! reports come from the same host shape, 60% otherwise. Rows only
+//! compare at matching pipeline depth, so the fresh measurement must run
+//! with the baseline's `--pipeline` value.
+//! `scripts/bench_gate.sh` runs the whole measure-then-compare cycle.
 
 use std::io::Write;
 use std::time::Duration;
@@ -54,6 +65,11 @@ fn main() {
         usage_and_exit();
     }
     let target = args[0].clone();
+    // `bench-gate` takes string flags (--baseline/--fresh paths) that the
+    // numeric flag loop below would reject, so it is handled first.
+    if target == "bench-gate" {
+        bench_gate(&args[1..]);
+    }
     let mut cfg = Config::default();
     let mut free: Option<f64> = None;
     let mut plot = false;
@@ -119,6 +135,64 @@ fn main() {
         let mut w = out.lock();
         run(&target, &cfg, free, &mut w);
     }
+}
+
+/// `experiments bench-gate [--baseline PATH] [--fresh PATH]`: compares a
+/// fresh serve report's cold throughput against the committed baseline
+/// (see [`ppr_bench::gate`]) and exits 1 on a regression beyond the
+/// host-aware tolerance. Never returns.
+fn bench_gate(args: &[String]) -> ! {
+    let mut baseline = String::from("results/BENCH_serve.json");
+    let mut fresh = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline = next_str(args, &mut i);
+            }
+            "--fresh" => {
+                fresh = Some(next_str(args, &mut i));
+            }
+            other => {
+                eprintln!("unknown bench-gate flag {other}");
+                eprintln!("usage: experiments bench-gate [--baseline PATH] --fresh PATH");
+                std::process::exit(2)
+            }
+        }
+    }
+    let Some(fresh) = fresh else {
+        eprintln!("bench-gate requires --fresh PATH");
+        std::process::exit(2)
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2)
+        })
+    };
+    let (base_text, fresh_text) = (read(&baseline), read(&fresh));
+    match ppr_bench::gate::compare(&base_text, &fresh_text) {
+        Ok(report) => {
+            print!("{}", ppr_bench::gate::render(&report));
+            std::process::exit(i32::from(!report.passed()))
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn next_str(args: &[String], i: &mut usize) -> String {
+    let v = args
+        .get(*i + 1)
+        .unwrap_or_else(|| {
+            eprintln!("missing value for {}", args[*i]);
+            std::process::exit(2)
+        })
+        .clone();
+    *i += 2;
+    v
 }
 
 fn next_val<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T
@@ -257,7 +331,8 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "usage: experiments <fig1..fig9|sat3|sat2|theorems|ablation-*|all> \
          [--seeds N] [--timeout-ms T] [--max-tuples M] [--full] [--quick] [--free F] \
-         [--threads N] [--pipeline N] [--connections N]"
+         [--threads N] [--pipeline N] [--connections N]\n       \
+         experiments bench-gate [--baseline PATH] --fresh PATH"
     );
     std::process::exit(2)
 }

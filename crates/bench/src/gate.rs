@@ -1,0 +1,477 @@
+//! Bench-regression gate: compares a freshly measured
+//! `BENCH_serve.json` against the committed baseline and fails on a
+//! cold-throughput regression beyond tolerance.
+//!
+//! The reports are hand-rolled JSON (see [`crate::serve`]); this module
+//! carries its own minimal JSON reader for the same reason the writer is
+//! hand-rolled — no JSON dependency in the tree. Tolerances are
+//! host-aware: benchmark numbers only transfer between *matching* hosts
+//! (same CPU count and OS string), so a mismatched host widens the
+//! allowed regression from the CI gate's 25% to 60% instead of failing
+//! spuriously on someone's laptop.
+
+use std::collections::BTreeMap;
+
+/// Allowed cold-throughput regression when fresh and baseline reports
+/// come from matching hosts (CI comparing against CI).
+pub const MATCHED_TOLERANCE: f64 = 0.25;
+
+/// Allowed regression when the hosts differ: the comparison still
+/// catches order-of-magnitude breakage but tolerates hardware deltas.
+pub const MISMATCHED_TOLERANCE: f64 = 0.60;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure to navigate the bench
+/// reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the reports only use values f64 represents exactly
+    /// enough for comparison).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. BTreeMap keeps iteration deterministic for tests.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array elements, empty for non-arrays.
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// Numeric value, `None` otherwise.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, `None` otherwise.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {}", *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    // The bench reports never emit \b, \f, or \u escapes.
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------
+
+/// One method's cold-throughput comparison.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Planning method the row measures.
+    pub method: String,
+    /// Client pipeline depth both rows were measured at. Rows only
+    /// compare at matching depth — pipelined throughput is a different
+    /// quantity from serial throughput, not a noisier estimate of it.
+    pub pipeline: u64,
+    /// Baseline cold reqs/sec.
+    pub baseline_rps: f64,
+    /// Fresh cold reqs/sec.
+    pub fresh_rps: f64,
+    /// `1 - fresh/baseline`; positive is a regression.
+    pub regression: f64,
+    /// Whether the regression exceeds the applied tolerance.
+    pub failed: bool,
+}
+
+/// The gate's verdict over all comparable rows.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-method comparisons (methods present in both reports).
+    pub rows: Vec<GateRow>,
+    /// Tolerance fraction that was applied.
+    pub tolerance: f64,
+    /// Whether both reports come from matching hosts (cpus + os).
+    pub hosts_match: bool,
+    /// Method/depth pairs present in the baseline but missing from the
+    /// fresh report (rendered `method@pipeline`) — a silent coverage
+    /// loss the gate refuses to ignore. A fresh report measured at the
+    /// wrong pipeline depth lands here rather than comparing
+    /// incomparable numbers.
+    pub missing_methods: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no row regressed beyond tolerance and no method
+    /// disappeared.
+    pub fn passed(&self) -> bool {
+        self.missing_methods.is_empty() && self.rows.iter().all(|r| !r.failed)
+    }
+}
+
+fn host_key(doc: &Json) -> Option<(f64, String)> {
+    let host = doc.get("host")?;
+    Some((host.get("cpus")?.num()?, host.get("os")?.str()?.to_string()))
+}
+
+/// `(method, pipeline) -> cold reqs_per_sec` for every row carrying a
+/// method and a cold throughput. A row without a `pipeline` field
+/// counts as depth 1 (the serial protocol).
+fn cold_rps(doc: &Json) -> BTreeMap<(String, u64), f64> {
+    let mut out = BTreeMap::new();
+    for row in doc.get("rows").map(Json::items).unwrap_or_default() {
+        let (Some(method), Some(rps)) = (
+            row.get("method").and_then(Json::str),
+            row.get("cold")
+                .and_then(|c| c.get("reqs_per_sec"))
+                .and_then(Json::num),
+        ) else {
+            continue;
+        };
+        let pipeline = row
+            .get("pipeline")
+            .and_then(Json::num)
+            .map_or(1, |p| p as u64);
+        out.insert((method.to_string(), pipeline), rps);
+    }
+    out
+}
+
+/// Compares two serve reports' cold throughput per method. `baseline`
+/// and `fresh` are the raw JSON texts; a parse failure is an error (a
+/// gate that cannot read its inputs must not pass).
+pub fn compare(baseline: &str, fresh: &str) -> Result<GateReport, String> {
+    let base = Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = Json::parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let hosts_match = match (host_key(&base), host_key(&new)) {
+        (Some(a), Some(b)) => a == b,
+        // A report without host identity cannot claim a matched host.
+        _ => false,
+    };
+    let tolerance = if hosts_match {
+        MATCHED_TOLERANCE
+    } else {
+        MISMATCHED_TOLERANCE
+    };
+    let base_rps = cold_rps(&base);
+    let fresh_rps = cold_rps(&new);
+    if base_rps.is_empty() {
+        return Err("baseline has no rows with cold.reqs_per_sec".into());
+    }
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (key, &b) in &base_rps {
+        let (method, pipeline) = key;
+        let Some(&f) = fresh_rps.get(key) else {
+            missing.push(format!("{method}@{pipeline}"));
+            continue;
+        };
+        let regression = if b > 0.0 { 1.0 - f / b } else { 0.0 };
+        rows.push(GateRow {
+            method: method.clone(),
+            pipeline: *pipeline,
+            baseline_rps: b,
+            fresh_rps: f,
+            regression,
+            failed: regression > tolerance,
+        });
+    }
+    Ok(GateReport {
+        rows,
+        tolerance,
+        hosts_match,
+        missing_methods: missing,
+    })
+}
+
+/// Renders the verdict as the table the CI log shows.
+pub fn render(report: &GateReport) -> String {
+    let mut out = format!(
+        "bench gate: cold throughput, tolerance {:.0}% ({} host)\n",
+        report.tolerance * 100.0,
+        if report.hosts_match {
+            "matched"
+        } else {
+            "mismatched"
+        }
+    );
+    out.push_str("method\tpipeline\tbaseline_rps\tfresh_rps\tdelta\tverdict\n");
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{}\t{}\t{:.1}\t{:.1}\t{:+.1}%\t{}\n",
+            r.method,
+            r.pipeline,
+            r.baseline_rps,
+            r.fresh_rps,
+            -r.regression * 100.0,
+            if r.failed { "FAIL" } else { "ok" }
+        ));
+    }
+    for m in &report.missing_methods {
+        out.push_str(&format!("{m}\tmissing from fresh report\tFAIL\n"));
+    }
+    out.push_str(if report.passed() {
+        "bench gate: PASS\n"
+    } else {
+        "bench gate: FAIL\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal serve report with the given per-method cold throughput,
+    /// measured at pipeline depth 32 (the committed baseline's depth).
+    fn report(cpus: u32, os: &str, methods: &[(&str, f64)]) -> String {
+        let rows: Vec<String> = methods
+            .iter()
+            .map(|(m, rps)| {
+                format!(
+                    "{{\"method\": \"{m}\", \"pipeline\": 32, \
+                     \"cold\": {{\"reqs_per_sec\": {rps}, \
+                     \"ok\": 256, \"errors\": 0}}, \"warm\": null}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"benchmark\": \"serve_throughput\", \
+             \"host\": {{\"cpus\": {cpus}, \"os\": \"{os}\"}}, \
+             \"rows\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn parses_the_committed_report_shape() {
+        let doc = Json::parse(&report(1, "linux-x86_64", &[("sf", 69897.3)])).unwrap();
+        assert_eq!(host_key(&doc), Some((1.0, "linux-x86_64".to_string())));
+        assert_eq!(cold_rps(&doc).get(&("sf".to_string(), 32)), Some(&69897.3));
+        // Escapes, nested arrays, and null survive.
+        let v = Json::parse("{\"a\": [1, -2.5e1, \"x\\ny\", null, true]}").unwrap();
+        let items = v.get("a").unwrap().items();
+        assert_eq!(items[1].num(), Some(-25.0));
+        assert_eq!(items[2].str(), Some("x\ny"));
+        assert_eq!(items[3], Json::Null);
+        // Garbage is an error, not a default.
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn green_within_tolerance_red_beyond_it() {
+        let base = report(1, "linux-x86_64", &[("sf", 1000.0), ("ep", 2000.0)]);
+        // 10% down: within the 25% matched-host tolerance.
+        let ok = report(1, "linux-x86_64", &[("sf", 900.0), ("ep", 1900.0)]);
+        let rep = compare(&base, &ok).unwrap();
+        assert!(rep.hosts_match);
+        assert_eq!(rep.tolerance, MATCHED_TOLERANCE);
+        assert!(rep.passed(), "{}", render(&rep));
+        // Perturb one method 30% down: that row (and only it) fails.
+        let bad = report(1, "linux-x86_64", &[("sf", 700.0), ("ep", 1900.0)]);
+        let rep = compare(&base, &bad).unwrap();
+        assert!(!rep.passed(), "{}", render(&rep));
+        let failed: Vec<&str> = rep
+            .rows
+            .iter()
+            .filter(|r| r.failed)
+            .map(|r| r.method.as_str())
+            .collect();
+        assert_eq!(failed, ["sf"]);
+        assert!(render(&rep).contains("FAIL"));
+    }
+
+    #[test]
+    fn mismatched_hosts_widen_the_tolerance() {
+        let base = report(8, "linux-x86_64", &[("sf", 1000.0)]);
+        // 40% down would fail on a matched host but not across hosts …
+        let fresh = report(1, "linux-x86_64", &[("sf", 600.0)]);
+        let rep = compare(&base, &fresh).unwrap();
+        assert!(!rep.hosts_match);
+        assert_eq!(rep.tolerance, MISMATCHED_TOLERANCE);
+        assert!(rep.passed(), "{}", render(&rep));
+        // … while 70% down fails everywhere.
+        let broken = report(1, "linux-x86_64", &[("sf", 300.0)]);
+        assert!(!compare(&base, &broken).unwrap().passed());
+    }
+
+    #[test]
+    fn rows_only_compare_at_matching_pipeline_depth() {
+        let base = report(1, "linux-x86_64", &[("sf", 70000.0)]);
+        // Same method remeasured serially (depth 1, so ~4x slower): not a
+        // regression, but not comparable either — the gate treats the
+        // depth-32 baseline row as missing rather than comparing it
+        // against serial throughput.
+        let serial = base.replace("\"pipeline\": 32", "\"pipeline\": 1");
+        let rep = compare(&base, &serial).unwrap();
+        assert_eq!(rep.missing_methods, ["sf@32"]);
+        assert!(!rep.passed());
+        // A row with no pipeline field counts as depth 1.
+        let unversioned = base.replace("\"pipeline\": 32, ", "");
+        let rep = compare(&serial, &unversioned).unwrap();
+        assert_eq!(rep.rows.len(), 1);
+        assert_eq!(rep.rows[0].pipeline, 1);
+        assert!(rep.passed(), "{}", render(&rep));
+    }
+
+    #[test]
+    fn a_method_vanishing_from_the_fresh_report_fails_the_gate() {
+        let base = report(1, "linux-x86_64", &[("sf", 1000.0), ("ep", 2000.0)]);
+        let fresh = report(1, "linux-x86_64", &[("sf", 1000.0)]);
+        let rep = compare(&base, &fresh).unwrap();
+        assert_eq!(rep.missing_methods, ["ep@32"]);
+        assert!(!rep.passed());
+        // Unreadable input is an error, never a pass.
+        assert!(compare("not json", &fresh).is_err());
+        assert!(
+            compare(&base, "{\"rows\": []}").is_err() || {
+                let r = compare(&base, "{\"rows\": []}").unwrap();
+                !r.passed()
+            }
+        );
+    }
+}

@@ -129,6 +129,14 @@ pub struct ServeRow {
     pub speedup_warm: Option<f64>,
     /// Warm-plan reqs/sec over the baseline's (only when `pipeline > 1`).
     pub speedup_warm_plan: Option<f64>,
+    /// Timed cold phase against a second server running with
+    /// `profile_ops` on: every serial execution builds its operator
+    /// profile, so `cold` vs this column is the profiler's overhead.
+    pub profiled_cold: Option<PhaseStats>,
+    /// Profiling overhead in percent: `100 * (1 - profiled/plain)` cold
+    /// throughput. Negative values are host noise (profiled measured
+    /// faster).
+    pub profiling_overhead_pct: Option<f64>,
 }
 
 /// Untimed requests absorbing first-touch costs before the cold phase.
@@ -510,7 +518,59 @@ fn drive_method(
         baseline_cold: base.cold,
         baseline_warm: base.warm,
         baseline_warm_plan: base.warm_plan,
+        profiled_cold: None,
+        profiling_overhead_pct: None,
     }
+}
+
+/// Measures the cold phase alone on a server with operator profiling
+/// forced on ([`EngineConfig::profile_ops`]). Same workload, seeds
+/// disjoint from every [`drive_method`] phase; best-of-[`REPS`] like the
+/// main phases, so the overhead comparison uses two stable estimates.
+fn drive_profiled_cold(
+    cfg: &Config,
+    method: Method,
+    depth: usize,
+    queries: &[String],
+    count: usize,
+) -> PhaseStats {
+    let mut db = Database::new();
+    db.add(edge_relation(3));
+    let mut engine_cfg = EngineConfig::default();
+    engine_cfg.workers = 2;
+    engine_cfg.queue_capacity = 256;
+    engine_cfg.exec_threads = cfg.threads.max(1);
+    engine_cfg.max_budget = cfg.budget();
+    engine_cfg.cache_capacity = 4 * requests_per_phase(cfg);
+    engine_cfg.result_cache_bytes = 64 << 20;
+    engine_cfg.profile_ops = true;
+    let engine = Engine::start(Catalog::with_default(db), engine_cfg);
+    let handle = engine.handle();
+    let mut server = Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("bind ephemeral port");
+    let mut driver = Driver::connect(server.local_addr(), depth);
+    let _ = driver.run_phase(&phase_requests(queries, method, WARMUP, 1_000_000));
+    let mut best: Option<PhaseStats> = None;
+    for rep in 0..REPS {
+        let cold = phase_requests(queries, method, count, 8_000_000 + (rep * count) as u64);
+        let before = engine_snap(&handle);
+        let raw = driver.run_phase(&cold);
+        let after = engine_snap(&handle);
+        let stats = finish_phase(raw, &before, &after);
+        if best
+            .as_ref()
+            .is_none_or(|b| stats.reqs_per_sec > b.reqs_per_sec)
+        {
+            best = Some(stats);
+        }
+    }
+    drop(driver);
+    server.shutdown();
+    engine.shutdown();
+    best.expect("REPS >= 1")
 }
 
 /// Runs the throughput sweep: one row per method over the same query mix,
@@ -526,7 +586,16 @@ pub fn serve_throughput_rows(cfg: &Config) -> Vec<ServeRow> {
         Method::BucketElimination(OrderHeuristic::Mcs),
     ]
     .into_iter()
-    .map(|method| drive_method(cfg, method, depth, &queries, count))
+    .map(|method| {
+        let mut row = drive_method(cfg, method, depth, &queries, count);
+        let profiled = drive_profiled_cold(cfg, method, depth, &queries, count);
+        if row.cold.reqs_per_sec > 0.0 {
+            row.profiling_overhead_pct =
+                Some(100.0 * (1.0 - profiled.reqs_per_sec / row.cold.reqs_per_sec));
+        }
+        row.profiled_cold = Some(profiled);
+        row
+    })
     .collect()
 }
 
@@ -707,6 +776,9 @@ pub fn print_serve_rows(w: &mut impl std::io::Write, rows: &[ServeRow]) {
         line("cold", r.pipeline, &r.cold, r.speedup_cold);
         line("warm", r.pipeline, &r.warm, r.speedup_warm);
         line("warm_plan", r.pipeline, &r.warm_plan, r.speedup_warm_plan);
+        if let Some(p) = &r.profiled_cold {
+            line("cold_profiled", r.pipeline, p, None);
+        }
         if let Some(b) = &r.baseline_cold {
             line("cold", 1, b, None);
         }
@@ -817,6 +889,7 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> 
              \"cold\": {},\n     \"warm\": {},\n     \"warm_plan\": {},\n     \
              \"baseline_cold\": {},\n     \"baseline_warm\": {},\n     \
              \"baseline_warm_plan\": {},\n     \
+             \"profiled_cold\": {},\n     \"profiling_overhead_pct\": {},\n     \
              \"speedup_cold\": {}, \"speedup_warm\": {}, \"speedup_warm_plan\": {}}}{}\n",
             r.method.name(),
             r.pipeline,
@@ -827,6 +900,8 @@ pub fn serve_report_json(cfg: &Config, rows: &[ServeRow], conns: &[ConnRow]) -> 
             opt_phase(&r.baseline_cold),
             opt_phase(&r.baseline_warm),
             opt_phase(&r.baseline_warm_plan),
+            opt_phase(&r.profiled_cold),
+            opt_num(r.profiling_overhead_pct),
             opt_num(r.speedup_cold),
             opt_num(r.speedup_warm),
             opt_num(r.speedup_warm_plan),

@@ -35,8 +35,11 @@ pub mod decompose;
 pub mod order;
 pub mod pushdown;
 
+use std::time::Instant;
+
 use rand::Rng;
 
+use ppr_obs::PassSpan;
 use ppr_query::{ConjunctiveQuery, Database};
 use ppr_relalg::{AttrId, Plan};
 
@@ -102,6 +105,10 @@ pub struct PassContext<'a> {
     pub used_hint: bool,
     /// Names of the passes run, in order.
     pub trace: Vec<&'static str>,
+    /// Per-pass timing and plan-delta spans, one per `trace` entry: wall
+    /// time plus plan node counts before/after (0 before any build pass).
+    /// `explain plan` renders these.
+    pub pass_spans: Vec<PassSpan>,
 }
 
 impl<'a> PassContext<'a> {
@@ -115,6 +122,7 @@ impl<'a> PassContext<'a> {
             chosen_order: None,
             used_hint: false,
             trace: Vec::new(),
+            pass_spans: Vec::new(),
         }
     }
 }
@@ -197,8 +205,18 @@ impl PassManager {
             plan: None,
         };
         for pass in &self.passes {
+            let nodes_before = state.plan.as_ref().map_or(0, |p| p.node_count() as u64);
+            let started = Instant::now();
             state = pass.run(state, ctx);
+            let micros = started.elapsed().as_micros() as u64;
+            let nodes_after = state.plan.as_ref().map_or(0, |p| p.node_count() as u64);
             ctx.trace.push(pass.name());
+            ctx.pass_spans.push(PassSpan {
+                name: pass.name().to_string(),
+                micros,
+                nodes_before,
+                nodes_after,
+            });
         }
         state
             .plan
@@ -219,6 +237,9 @@ pub struct PlanReport {
     pub chosen_order: Option<Vec<AttrId>>,
     /// Whether a supplied order hint was consumed, skipping decomposition.
     pub used_hint: bool,
+    /// Per-pass wall time and plan-delta spans, in pass order (one entry
+    /// per pass counted by `passes_run`).
+    pub pass_spans: Vec<PassSpan>,
 }
 
 /// Plans `query` for `method` through the pass pipeline and reports what
@@ -243,6 +264,7 @@ pub fn plan_query<R: Rng + ?Sized>(
         passes_run: ctx.trace.len(),
         chosen_order: ctx.chosen_order,
         used_hint: ctx.used_hint,
+        pass_spans: ctx.pass_spans,
     }
 }
 
@@ -283,6 +305,27 @@ mod tests {
         assert!(!report.used_hint);
         let order = report.chosen_order.expect("bucket methods choose an order");
         assert_eq!(order.len(), q.all_vars().len());
+    }
+
+    #[test]
+    fn pass_spans_mirror_the_trace_and_track_plan_growth() {
+        let (q, db) = triangle_free_pair();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = plan_query(Method::EarlyProjection, &q, &db, &mut rng, None);
+        assert_eq!(report.pass_spans.len(), report.passes_run);
+        let names: Vec<&str> = report.pass_spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["listing-order", "build-join-chain", "projection-pushdown"]
+        );
+        // No plan exists until the build pass runs; afterwards every span
+        // sees a non-empty tree.
+        assert_eq!(report.pass_spans[0].nodes_before, 0);
+        assert_eq!(report.pass_spans[0].nodes_after, 0);
+        assert_eq!(report.pass_spans[1].nodes_before, 0);
+        assert!(report.pass_spans[1].nodes_after > 0);
+        let last = report.pass_spans.last().unwrap();
+        assert_eq!(last.nodes_after, report.plan.node_count() as u64);
     }
 
     #[test]

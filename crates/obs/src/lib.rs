@@ -14,9 +14,13 @@
 //!   and the fixed-size [`TraceSpans`] record engine workers fill in.
 //! - [`slowlog`] — a fixed-capacity worst-N-by-latency log of requests
 //!   with their span breakdown, queryable at runtime.
+//! - [`profile`] — operator- and pass-level profiling records: the
+//!   per-request [`OpProfile`] tree the executor fills in under
+//!   [`ProfileMode::On`], and the [`PassSpan`]s the planning pipeline
+//!   records, both shipped by the `explain` verb.
 //! - [`log`] — a tiny leveled logger gated by the `PPR_LOG` env var
-//!   (`error|warn|info|debug|off`, default `warn`), for diagnostics
-//!   that must never pollute CLI stdout.
+//!   (`error|warn|info|debug|off`, default `warn`, plus a `json` output
+//!   mode), for diagnostics that must never pollute CLI stdout.
 //! - [`expose`] — Prometheus-style text rendering plus a minimal
 //!   HTTP/1.1 endpoint ([`MetricsServer`]) for `ppr serve
 //!   --metrics-addr`.
@@ -29,11 +33,13 @@
 pub mod expose;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod slowlog;
 pub mod trace;
 
 pub use expose::{MetricsServer, Routes};
-pub use log::Level;
+pub use log::{Level, LogFormat};
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Quantiles, Registry};
+pub use profile::{OpKind, OpNode, OpProfile, PassSpan, ProfileMode, OP_KINDS};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use trace::{Phase, TraceSpans, PHASES};

@@ -140,11 +140,18 @@ impl Histogram {
         }
     }
 
-    /// Records one sample. Lock-free; safe from any thread.
+    /// Records one sample. Lock-free; safe from any thread. The running
+    /// sum saturates at `u64::MAX` instead of wrapping, so a pathological
+    /// sample (or very long uptime) degrades the mean, never corrupts it.
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        // fetch_update never fails with a total function.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
@@ -204,13 +211,14 @@ impl HistSnapshot {
         self.count == 0
     }
 
-    /// Folds `other` into `self`: counts and sums add, min/max widen.
+    /// Folds `other` into `self`: counts and sums add (saturating, to
+    /// match [`Histogram::record`]), min/max widen.
     pub fn merge(&mut self, other: &HistSnapshot) {
         for i in 0..BUCKETS {
-            self.buckets[i] += other.buckets[i];
+            self.buckets[i] = self.buckets[i].saturating_add(other.buckets[i]);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -561,6 +569,27 @@ mod tests {
     }
 
     #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, u64::MAX); // saturated, not wrapped to MAX-1
+        assert_eq!(s.min, u64::MAX);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[BUCKETS - 1], 2);
+        let (lo, hi) = s.quantile_bounds(0.99);
+        assert!(lo <= hi);
+        assert_eq!(hi, u64::MAX);
+        // Merging saturated snapshots stays saturated too.
+        let mut m = s.clone();
+        m.merge(&h.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, u64::MAX);
+    }
+
+    #[test]
     fn concurrent_recording_loses_nothing() {
         let h = Arc::new(Histogram::new());
         let mut joins = Vec::new();
@@ -649,6 +678,65 @@ mod props {
                 prop_assert!(lo <= truth, "q={} lo={} > truth={}", q, lo, truth);
                 prop_assert!(hi >= truth, "q={} hi={} < truth={}", q, hi, truth);
                 prop_assert_eq!(s.quantile(q), hi);
+            }
+        }
+
+        #[test]
+        fn bucket_boundaries_route_and_bracket(i in 1usize..64) {
+            // The exact powers of two at a bucket's edges land inside
+            // it, and their immediate neighbours land one bucket over.
+            let lo = bucket_lo(i);
+            let hi = bucket_hi(i);
+            prop_assert_eq!(bucket_of(lo), i);
+            prop_assert_eq!(bucket_of(hi), i);
+            if i >= 2 {
+                prop_assert_eq!(bucket_of(lo - 1), i - 1);
+            }
+            if i < 63 {
+                prop_assert_eq!(bucket_of(hi + 1), i + 1);
+            }
+            let h = Histogram::new();
+            h.record(lo);
+            h.record(hi);
+            let s = h.snapshot();
+            prop_assert_eq!(s.buckets[i], 2);
+            let (qlo, qhi) = s.quantile_bounds(0.5);
+            prop_assert!(qlo <= lo && lo <= qhi, "bounds ({}, {}) miss {}", qlo, qhi, lo);
+            prop_assert_eq!(s.quantile(1.0), hi);
+        }
+
+        #[test]
+        fn concurrent_writers_keep_quantiles_consistent(
+            per_thread in prop::collection::vec(
+                prop::collection::vec(0u64..1_000_000, 1..40), 2..5),
+        ) {
+            let h = Arc::new(Histogram::new());
+            let mut joins = Vec::new();
+            for chunk in per_thread.clone() {
+                let h = h.clone();
+                joins.push(std::thread::spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            // After all writers join, the snapshot must be exactly the
+            // multiset union: interleaving may not lose or split samples.
+            let s = h.snapshot();
+            let mut all: Vec<u64> = per_thread.into_iter().flatten().collect();
+            all.sort_unstable();
+            prop_assert_eq!(s.count, all.len() as u64);
+            prop_assert_eq!(s.sum, all.iter().sum::<u64>());
+            prop_assert_eq!(s.min, all[0]);
+            prop_assert_eq!(s.max, *all.last().unwrap());
+            for &q in &[0.5, 0.95, 0.99] {
+                let truth = true_quantile(&all, q);
+                let (lo, hi) = s.quantile_bounds(q);
+                prop_assert!(lo <= truth && truth <= hi,
+                    "q={} bounds ({}, {}) miss {}", q, lo, hi, truth);
             }
         }
 

@@ -47,6 +47,16 @@ pub struct SlowEntry {
     /// low values on repeated queries show the streaming executor's
     /// cached secondary indexes at work.
     pub rows_scanned: u64,
+    /// Optimizer passes the planning pipeline ran for this request
+    /// (0 on a plan- or result-cache hit).
+    pub passes_run: u64,
+    /// Whether planning reused a cached bucket decomposition (the
+    /// structure-keyed order cache supplied the variable order).
+    pub decomp_hit: bool,
+    /// Compact operator-profile digest
+    /// ([`crate::profile::OpProfile::digest`]) when the engine ran with
+    /// operator profiling on; empty otherwise.
+    pub op_digest: String,
     /// Monotone admission sequence number (ties and ordering debug).
     pub seq: u64,
 }
@@ -139,6 +149,9 @@ mod tests {
             join_stages: 0,
             threads_used: 1,
             rows_scanned: 0,
+            passes_run: 0,
+            decomp_hit: false,
+            op_digest: String::new(),
             seq,
         }
     }

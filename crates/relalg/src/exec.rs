@@ -67,6 +67,16 @@ pub struct ExecOptions {
     /// `ablation_distinct` bench uses this to show that de-duplication at
     /// projection boundaries is what makes projection pushing effective.
     pub dedup_subqueries: bool,
+    /// Operator-level profiling ([`ppr_obs::ProfileMode`], default
+    /// `Off`). Honoured by the streaming executor, which fills
+    /// [`ExecStats::op_profile`] with a per-operator tree of actual
+    /// rows, probes, and self time; the decision is made once at
+    /// pipeline build, so `Off` adds no clock reads to the row loop.
+    /// The oracle executors ignore it (their physical shapes are not
+    /// what serving runs).
+    ///
+    /// [`ExecStats::op_profile`]: crate::stats::ExecStats::op_profile
+    pub profile: ppr_obs::ProfileMode,
 }
 
 impl Default for ExecOptions {
@@ -74,6 +84,7 @@ impl Default for ExecOptions {
         ExecOptions {
             mode: ExecMode::default(),
             dedup_subqueries: true,
+            profile: ppr_obs::ProfileMode::Off,
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod value;
 
 pub use budget::Budget;
 pub use error::RelalgError;
+pub use pipelined::streaming_shape;
 pub use plan::Plan;
 pub use relation::Relation;
 pub use schema::{AttrId, Schema};

@@ -41,6 +41,9 @@
 //! win comes from.
 
 use std::sync::Arc;
+use std::time::Instant;
+
+use ppr_obs::{OpKind, OpProfile};
 
 use crate::budget::Meter;
 use crate::error::RelalgError;
@@ -92,6 +95,89 @@ enum StreamStage {
     },
 }
 
+/// Per-operator accumulator while a profiled pipeline runs.
+///
+/// `incl_ns` is *inclusive* push-loop time — this operator plus
+/// everything downstream of it — measured per visit. Because the
+/// pipeline is a chain, operator `i`'s inclusive time contains operator
+/// `i+1`'s, so self time falls out as a subtraction in
+/// [`PipeProf::finish`] instead of needing per-row clock pairs at every
+/// level.
+struct NodeAcc {
+    op: OpKind,
+    target: String,
+    rows_in: u64,
+    rows_out: u64,
+    probes: u64,
+    /// Operator construction time (index/hash builds), outside the push
+    /// loop.
+    build_ns: u64,
+    /// Inclusive push-loop time (see type docs).
+    incl_ns: u64,
+    /// Profiles of subquery pipelines materialized to feed this
+    /// operator.
+    subs: Vec<OpProfile>,
+}
+
+impl NodeAcc {
+    fn new(op: OpKind, target: &str) -> NodeAcc {
+        NodeAcc {
+            op,
+            target: target.to_string(),
+            rows_in: 0,
+            rows_out: 0,
+            probes: 0,
+            build_ns: 0,
+            incl_ns: 0,
+            subs: Vec::new(),
+        }
+    }
+}
+
+/// Profiling state for one streaming pipeline, allocated only under
+/// [`ppr_obs::ProfileMode::On`] — the `Off` hot path carries a `None`
+/// and pays a null check per row, never a clock read.
+///
+/// `nodes` is in pipeline order: `[source, stage 1, …, stage n, sink]`.
+struct PipeProf {
+    nodes: Vec<NodeAcc>,
+}
+
+impl PipeProf {
+    /// Converts the accumulators into the sink-rooted [`OpProfile`]
+    /// tree: self time = build time + inclusive time − downstream
+    /// inclusive time, children = the upstream operator plus any
+    /// subquery profiles.
+    fn finish(mut self, sink_rows_out: u64) -> OpProfile {
+        if let Some(sink) = self.nodes.last_mut() {
+            sink.rows_out = sink_rows_out;
+        }
+        let self_ns: Vec<u64> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let downstream = self.nodes.get(i + 1).map_or(0, |d| d.incl_ns);
+                node.build_ns + node.incl_ns.saturating_sub(downstream)
+            })
+            .collect();
+        let mut tree: Option<OpProfile> = None;
+        for (i, acc) in self.nodes.into_iter().enumerate() {
+            let mut node = OpProfile::node(acc.op, acc.target);
+            node.rows_in = acc.rows_in;
+            node.rows_out = acc.rows_out;
+            node.probes = acc.probes;
+            node.time_us = self_ns[i] / 1_000;
+            if let Some(upstream) = tree.take() {
+                node.children.push(upstream);
+            }
+            node.children.extend(acc.subs);
+            tree = Some(node);
+        }
+        tree.expect("a pipeline has at least a source and a sink")
+    }
+}
+
 /// The shape `ops::bind` would give a scan, computed without touching any
 /// rows: the bound schema (first-occurrence attribute order), the base-row
 /// positions to stream (`None` when the binding has no repeats), and the
@@ -125,27 +211,128 @@ fn eq_ok(eq_checks: &[(usize, usize)], row: &[Value]) -> bool {
     eq_checks.iter().all(|&(a, b)| row[a] == row[b])
 }
 
+/// The operator tree the streaming executor *would* run for `plan` under
+/// default [`ExecOptions`], computed without touching any rows: kinds,
+/// targets, and structure only — every counter stays zero. `explain plan`
+/// renders this, so the planned tree lines up node for node with the
+/// measured tree `explain analyze` produces.
+pub fn streaming_shape(plan: &Plan) -> OpProfile {
+    match plan {
+        Plan::Scan { .. } | Plan::Join { .. } => pipeline_shape(plan, false),
+        Plan::ProjectDistinct { input, keep } => match ix_scan_shape(input, keep) {
+            Some(node) => node,
+            None => pipeline_shape(input, true),
+        },
+    }
+}
+
+/// Shape counterpart of [`ix_scan_distinct`]'s applicability test.
+fn ix_scan_shape(input: &Plan, keep: &[AttrId]) -> Option<OpProfile> {
+    if keep.len() != 1 {
+        return None;
+    }
+    let Plan::Scan { base, binding } = input else {
+        return None;
+    };
+    let (_, out_pos, _) = bind_shape(binding);
+    if out_pos.is_some() || !binding.contains(&keep[0]) {
+        return None;
+    }
+    Some(OpProfile::node(OpKind::IxScan, base.name()))
+}
+
+/// Shape counterpart of [`pipeline_streaming`]: walks the join chain
+/// making the same IxJoin-vs-HashJoin choices, building zeroed nodes.
+fn pipeline_shape(plan: &Plan, distinct: bool) -> OpProfile {
+    let chain = join_chain(plan);
+    let (mut acc, mut tree) = match chain[0] {
+        Plan::Scan { base, binding } => {
+            let (schema, _, _) = bind_shape(binding);
+            (schema, OpProfile::node(OpKind::TableScan, base.name()))
+        }
+        sub @ Plan::ProjectDistinct { keep, .. } => {
+            let mut node = OpProfile::node(OpKind::TableScan, "");
+            node.children.push(streaming_shape(sub));
+            (Schema::new(keep.clone()), node)
+        }
+        Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
+    };
+    for node in &chain[1..] {
+        let (kind, target, schema, sub) = match node {
+            Plan::Scan { base, binding } => {
+                let (schema, _, _) = bind_shape(binding);
+                let kind = if acc.common(&schema).len() == 1 {
+                    OpKind::IxJoin
+                } else {
+                    OpKind::HashJoin
+                };
+                (kind, base.name().to_string(), schema, None)
+            }
+            sub @ Plan::ProjectDistinct { keep, .. } => (
+                OpKind::HashJoin,
+                String::new(),
+                Schema::new(keep.clone()),
+                Some(streaming_shape(sub)),
+            ),
+            Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
+        };
+        acc = acc.join(&schema);
+        let mut stage = OpProfile::node(kind, target);
+        stage.children.push(tree);
+        stage.children.extend(sub);
+        tree = stage;
+    }
+    let mut root = OpProfile::node(
+        if distinct {
+            OpKind::Distinct
+        } else {
+            OpKind::Bag
+        },
+        "",
+    );
+    root.children.push(tree);
+    root
+}
+
 /// Streaming counterpart of the classic executor's `materialize`: runs the
 /// pipeline ending at `plan`, recursing into `ProjectDistinct` inputs.
+/// Under [`ppr_obs::ProfileMode::On`] the per-operator profile of the
+/// root pipeline lands in [`ExecStats::op_profile`].
 pub(crate) fn materialize_streaming(
     plan: &Plan,
     meter: &mut Meter,
     stats: &mut ExecStats,
     options: ExecOptions,
 ) -> Result<Relation> {
+    let (rel, prof) = materialize_streaming_prof(plan, meter, stats, options)?;
+    if let Some(p) = prof {
+        stats.op_profile = Some(Box::new(p));
+    }
+    Ok(rel)
+}
+
+/// [`materialize_streaming`] returning the pipeline's profile instead of
+/// stashing it, so subquery recursion can attach child profiles to the
+/// operator they feed.
+fn materialize_streaming_prof(
+    plan: &Plan,
+    meter: &mut Meter,
+    stats: &mut ExecStats,
+    options: ExecOptions,
+) -> Result<(Relation, Option<OpProfile>)> {
     match plan {
         Plan::Scan { .. } | Plan::Join { .. } => {
             pipeline_streaming(plan, None, meter, stats, options)
         }
         Plan::ProjectDistinct { input, keep } => {
-            let rel = match ix_scan_distinct(input, keep, meter, stats, options)? {
-                Some(rel) => rel,
+            let (rel, prof) = match ix_scan_distinct(input, keep, meter, stats, options)? {
+                Some(pair) => pair,
                 None => pipeline_streaming(input, Some(keep.clone()), meter, stats, options)?,
             };
             stats.materializations += 1;
             stats.peak_materialized = stats.peak_materialized.max(rel.len() as u64);
             stats.materialized_rows_out += rel.len() as u64;
-            Ok(rel)
+            Ok((rel, prof))
         }
     }
 }
@@ -165,7 +352,7 @@ fn ix_scan_distinct(
     meter: &mut Meter,
     stats: &mut ExecStats,
     options: ExecOptions,
-) -> Result<Option<Relation>> {
+) -> Result<Option<(Relation, Option<OpProfile>)>> {
     if !options.dedup_subqueries || keep.len() != 1 {
         return Ok(None);
     }
@@ -180,6 +367,7 @@ fn ix_scan_distinct(
     let Some(col) = binding.iter().position(|&a| a == keep[0]) else {
         return Ok(None);
     };
+    let start = options.profile.is_on().then(Instant::now);
     let (index, built) = base.column_index(col);
     stats.index_builds += built as u64;
     if built {
@@ -200,9 +388,17 @@ fn ix_scan_distinct(
     }
     stats.rows_emitted += keys.len() as u64;
     let rows: Vec<Tuple> = keys.iter().map(|&v| vec![v].into_boxed_slice()).collect();
+    let prof = start.map(|s| {
+        let mut node = OpProfile::node(OpKind::IxScan, base.name());
+        node.rows_in = base.len() as u64;
+        node.rows_out = keys.len() as u64;
+        node.probes = 1;
+        node.time_us = s.elapsed().as_micros() as u64;
+        node
+    });
     let mut rel = Relation::new("result", Schema::new(vec![keep[0]]), rows);
     rel.assume_deduped();
-    Ok(Some(rel))
+    Ok(Some((rel, prof)))
 }
 
 /// Wires and runs one streaming join pipeline: a [`Source`], a stage per
@@ -214,15 +410,22 @@ fn pipeline_streaming(
     meter: &mut Meter,
     stats: &mut ExecStats,
     options: ExecOptions,
-) -> Result<Relation> {
+) -> Result<(Relation, Option<OpProfile>)> {
     let chain = join_chain(plan);
     let mut scratch: Vec<Value> = Vec::new();
+    // The profile-or-not decision is made here, once per pipeline build:
+    // `None` keeps the per-row cost at a null check, no clock reads.
+    let profiling = options.profile.is_on();
+    let mut prof: Option<PipeProf> = profiling.then(|| PipeProf { nodes: Vec::new() });
 
     // Source: scans stream straight off the base relation (no bind copy);
     // subqueries materialize first, as in every mode.
     let (mut acc, source) = match chain[0] {
         Plan::Scan { base, binding } => {
             let (schema, out_pos, eq_checks) = bind_shape(binding);
+            if let Some(p) = prof.as_mut() {
+                p.nodes.push(NodeAcc::new(OpKind::TableScan, base.name()));
+            }
             (
                 schema,
                 Source::Table {
@@ -233,7 +436,14 @@ fn pipeline_streaming(
             )
         }
         sub @ Plan::ProjectDistinct { .. } => {
-            let rel = materialize_streaming(sub, meter, stats, options)?;
+            let (rel, sub_prof) = materialize_streaming_prof(sub, meter, stats, options)?;
+            if let Some(p) = prof.as_mut() {
+                // Streaming a materialized intermediate: the subquery
+                // that produced it hangs off the scan node.
+                let mut node = NodeAcc::new(OpKind::TableScan, "");
+                node.subs.extend(sub_prof);
+                p.nodes.push(node);
+            }
             (rel.schema().clone(), Source::Materialized(rel))
         }
         Plan::Join { .. } => unreachable!("join_chain flattens both spines"),
@@ -254,6 +464,7 @@ fn pipeline_streaming(
                         .iter()
                         .position(|&a| a == key)
                         .expect("key is bound");
+                    let build_start = profiling.then(Instant::now);
                     let (index, built) = base.column_index(col);
                     stats.index_builds += built as u64;
                     if built {
@@ -272,21 +483,41 @@ fn pipeline_streaming(
                         eq_checks,
                         extra_pos,
                     };
+                    if let Some(p) = prof.as_mut() {
+                        let mut n = NodeAcc::new(OpKind::IxJoin, base.name());
+                        n.build_ns = build_start.expect("profiling").elapsed().as_nanos() as u64;
+                        p.nodes.push(n);
+                    }
                     acc = acc.join(&schema);
                     stage
                 } else {
+                    let build_start = profiling.then(Instant::now);
                     stats.rows_scanned += base.len() as u64;
                     let bound = ops::bind(base, binding);
                     stats.rows_scanned += bound.len() as u64;
                     let stage = build_stage(&acc, &bound, &mut scratch);
+                    if let Some(p) = prof.as_mut() {
+                        let mut n = NodeAcc::new(OpKind::HashJoin, base.name());
+                        n.build_ns = build_start.expect("profiling").elapsed().as_nanos() as u64;
+                        p.nodes.push(n);
+                    }
                     acc = acc.join(bound.schema());
                     StreamStage::Hash(stage)
                 }
             }
             sub @ Plan::ProjectDistinct { .. } => {
-                let rel = materialize_streaming(sub, meter, stats, options)?;
+                let (rel, sub_prof) = materialize_streaming_prof(sub, meter, stats, options)?;
                 stats.rows_scanned += rel.len() as u64;
+                // Time only the hash build: the subquery's own time is
+                // already inside `sub_prof`'s nodes.
+                let build_start = profiling.then(Instant::now);
                 let stage = build_stage(&acc, &rel, &mut scratch);
+                if let Some(p) = prof.as_mut() {
+                    let mut n = NodeAcc::new(OpKind::HashJoin, "");
+                    n.build_ns = build_start.expect("profiling").elapsed().as_nanos() as u64;
+                    n.subs.extend(sub_prof);
+                    p.nodes.push(n);
+                }
                 acc = acc.join(rel.schema());
                 StreamStage::Hash(stage)
             }
@@ -298,6 +529,14 @@ fn pipeline_streaming(
     stats.join_stages += stages.len() as u64;
 
     let distinct = keep.is_some() && options.dedup_subqueries;
+    if let Some(p) = prof.as_mut() {
+        let kind = if keep.is_some() {
+            OpKind::Distinct
+        } else {
+            OpKind::Bag
+        };
+        p.nodes.push(NodeAcc::new(kind, ""));
+    }
     let out_schema = match &keep {
         Some(attrs) => acc.project(attrs),
         None => acc.clone(),
@@ -324,6 +563,10 @@ fn pipeline_streaming(
             out_pos,
         } => {
             stats.rows_scanned += base.len() as u64;
+            if let Some(p) = prof.as_mut() {
+                p.nodes[0].rows_in += base.len() as u64;
+            }
+            let loop_start = profiling.then(Instant::now);
             for t in base.tuples() {
                 if !eq_ok(&eq_checks, t) {
                     continue;
@@ -336,20 +579,54 @@ fn pipeline_streaming(
                     None => buf.extend_from_slice(t),
                     Some(pos) => buf.extend(pos.iter().map(|&p| t[p])),
                 }
-                probe_streaming(&stages, 0, &mut buf, &mut scratch, &mut sink, meter, stats)
-                    .map_err(|e| attach_flow(e, meter))?;
+                if let Some(p) = prof.as_mut() {
+                    p.nodes[0].rows_out += 1;
+                }
+                probe_streaming(
+                    &stages,
+                    0,
+                    &mut buf,
+                    &mut scratch,
+                    &mut sink,
+                    meter,
+                    stats,
+                    prof.as_mut(),
+                )
+                .map_err(|e| attach_flow(e, meter))?;
+            }
+            if let (Some(p), Some(s)) = (prof.as_mut(), loop_start) {
+                p.nodes[0].incl_ns += s.elapsed().as_nanos() as u64;
             }
         }
         Source::Materialized(rel) => {
             stats.rows_scanned += rel.len() as u64;
+            if let Some(p) = prof.as_mut() {
+                p.nodes[0].rows_in += rel.len() as u64;
+            }
+            let loop_start = profiling.then(Instant::now);
             for t in rel.tuples() {
                 if let Some(kind) = meter.on_tuple() {
                     return Err(budget_err(kind, meter));
                 }
                 buf.clear();
                 buf.extend_from_slice(t);
-                probe_streaming(&stages, 0, &mut buf, &mut scratch, &mut sink, meter, stats)
-                    .map_err(|e| attach_flow(e, meter))?;
+                if let Some(p) = prof.as_mut() {
+                    p.nodes[0].rows_out += 1;
+                }
+                probe_streaming(
+                    &stages,
+                    0,
+                    &mut buf,
+                    &mut scratch,
+                    &mut sink,
+                    meter,
+                    stats,
+                    prof.as_mut(),
+                )
+                .map_err(|e| attach_flow(e, meter))?;
+            }
+            if let (Some(p), Some(s)) = (prof.as_mut(), loop_start) {
+                p.nodes[0].incl_ns += s.elapsed().as_nanos() as u64;
             }
         }
     }
@@ -362,11 +639,17 @@ fn pipeline_streaming(
     if distinct {
         rel.assume_deduped();
     }
-    Ok(rel)
+    let profile = prof.map(|p| p.finish(rel.len() as u64));
+    Ok((rel, profile))
 }
 
 /// Depth-first push through the stages — the streaming counterpart of the
 /// classic executor's `probe`, with identical meter ticks.
+///
+/// `prof`, when present, indexes stage `idx` at `nodes[idx + 1]` (node 0
+/// is the source) and the sink at the last node. All bookkeeping hides
+/// behind the `Option` check, so the unprofiled path is unchanged.
+#[allow(clippy::too_many_arguments)]
 fn probe_streaming(
     stages: &[StreamStage],
     idx: usize,
@@ -375,13 +658,35 @@ fn probe_streaming(
     sink: &mut Sink,
     meter: &mut Meter,
     stats: &mut ExecStats,
+    mut prof: Option<&mut PipeProf>,
 ) -> Result<()> {
     if idx == stages.len() {
-        return sink.emit(buf, scratch, meter, stats);
+        return match prof {
+            None => sink.emit(buf, scratch, meter, stats),
+            Some(p) => {
+                let start = Instant::now();
+                let r = sink.emit(buf, scratch, meter, stats);
+                let node = p.nodes.last_mut().expect("sink node");
+                node.rows_in += 1;
+                node.incl_ns += start.elapsed().as_nanos() as u64;
+                r
+            }
+        };
     }
+    let start = prof.as_ref().map(|_| Instant::now());
     match &stages[idx] {
         StreamStage::Hash(stage) => {
-            if let Some(matches) = stage.table.get(&stage.key_pos_in_buf, buf, scratch) {
+            let matches = stage.table.get(&stage.key_pos_in_buf, buf, scratch);
+            if let Some(p) = prof.as_deref_mut() {
+                let n = &mut p.nodes[idx + 1];
+                n.probes += 1;
+                if let Some(m) = &matches {
+                    // Every match row is passed downstream unfiltered.
+                    n.rows_in += m.len() as u64;
+                    n.rows_out += m.len() as u64;
+                }
+            }
+            if let Some(matches) = matches {
                 let base_len = buf.len();
                 for &ri in matches {
                     if let Some(kind) = meter.on_tuple() {
@@ -393,7 +698,16 @@ fn probe_streaming(
                     let row = &stage.rows[ri];
                     buf.truncate(base_len);
                     buf.extend(stage.extra_pos.iter().map(|&p| row[p]));
-                    probe_streaming(stages, idx + 1, buf, scratch, sink, meter, stats)?;
+                    probe_streaming(
+                        stages,
+                        idx + 1,
+                        buf,
+                        scratch,
+                        sink,
+                        meter,
+                        stats,
+                        prof.as_deref_mut(),
+                    )?;
                 }
                 buf.truncate(base_len);
             }
@@ -408,6 +722,11 @@ fn probe_streaming(
             stats.index_probes += 1;
             let postings = index.postings(buf[*key_pos_in_buf]);
             stats.rows_scanned += postings.len() as u64;
+            if let Some(p) = prof.as_deref_mut() {
+                let n = &mut p.nodes[idx + 1];
+                n.probes += 1;
+                n.rows_in += postings.len() as u64;
+            }
             let rows = base.tuples();
             let base_len = buf.len();
             for &ri in postings {
@@ -424,10 +743,25 @@ fn probe_streaming(
                 }
                 buf.truncate(base_len);
                 buf.extend(extra_pos.iter().map(|&p| row[p]));
-                probe_streaming(stages, idx + 1, buf, scratch, sink, meter, stats)?;
+                if let Some(p) = prof.as_deref_mut() {
+                    p.nodes[idx + 1].rows_out += 1;
+                }
+                probe_streaming(
+                    stages,
+                    idx + 1,
+                    buf,
+                    scratch,
+                    sink,
+                    meter,
+                    stats,
+                    prof.as_deref_mut(),
+                )?;
             }
             buf.truncate(base_len);
         }
+    }
+    if let (Some(p), Some(s)) = (prof, start) {
+        p.nodes[idx + 1].incl_ns += s.elapsed().as_nanos() as u64;
     }
     Ok(())
 }
@@ -545,6 +879,133 @@ mod tests {
         assert!(warm.rows_scanned < cold.rows_scanned);
         assert_eq!(warm.tuples_flowed, cold.tuples_flowed);
         assert!(e.indexed_columns() > 0);
+    }
+
+    #[test]
+    fn profiling_reports_exact_rows_and_identical_results() {
+        use ppr_obs::{OpKind, ProfileMode};
+        let e = edge(4);
+        let plan = Plan::scan(e.clone(), vec![a(1), a(2)])
+            .join(Plan::scan(e.clone(), vec![a(2), a(3)]))
+            .join(Plan::scan(e, vec![a(1), a(3)]))
+            .project(vec![a(1)]);
+        let (plain_rel, plain) = streaming(&plan);
+        let (rel, stats) = execute_with(
+            &plan,
+            &Budget::unlimited(),
+            ExecOptions {
+                mode: ExecMode::Streaming,
+                profile: ProfileMode::On,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        // Profiling must be observation-only: same rows, same order,
+        // same logical flow.
+        assert_eq!(rel.tuples(), plain_rel.tuples());
+        assert_eq!(stats.tuples_flowed, plain.tuples_flowed);
+        assert!(plain.op_profile.is_none(), "off by default");
+
+        let profile = stats.op_profile.as_deref().expect("profile on");
+        let flat = profile.flatten();
+        assert_eq!(flat.len(), 4, "sink + 2 stages + source: {flat:?}");
+        // Root is the distinct sink; its outputs are the result rows and
+        // its inputs are every row the pipeline emitted.
+        assert_eq!(flat[0].op, OpKind::Distinct);
+        assert_eq!(flat[0].rows_out, rel.len() as u64);
+        assert_eq!(flat[0].rows_in, stats.rows_emitted);
+        // The source streams the whole base relation.
+        let source = flat.last().unwrap();
+        assert_eq!(source.op, OpKind::TableScan);
+        assert_eq!(source.target, "edge");
+        assert_eq!(source.rows_in, 12);
+        assert_eq!(source.rows_out, 12);
+        // Index-join probes in the tree sum to the stats counter.
+        let tree_probes: u64 = flat
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::IxJoin | OpKind::IxScan))
+            .map(|n| n.probes)
+            .sum();
+        assert_eq!(tree_probes, stats.index_probes);
+        // Rows flowing between operators are consistent: each stage's
+        // outputs feed the next operator's visits.
+        assert_eq!(flat[1].rows_out, stats.rows_emitted);
+    }
+
+    #[test]
+    fn subquery_profiles_attach_to_their_consumer() {
+        use ppr_obs::{OpKind, ProfileMode};
+        let e = edge(4);
+        // π_{v3}( π_{v2}(edge(v1,v2)) ⋈ edge(v2,v3) ): the subquery is
+        // answered by IxScan and feeds the outer pipeline's source.
+        let sub = Plan::scan(e.clone(), vec![a(1), a(2)]).project(vec![a(2)]);
+        let plan = sub
+            .join(Plan::scan(e, vec![a(2), a(3)]))
+            .project(vec![a(3)]);
+        let (_, stats) = execute_with(
+            &plan,
+            &Budget::unlimited(),
+            ExecOptions {
+                mode: ExecMode::Streaming,
+                profile: ProfileMode::On,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let profile = stats.op_profile.as_deref().expect("profile on");
+        let flat = profile.flatten();
+        let ix_scans: Vec<_> = flat.iter().filter(|n| n.op == OpKind::IxScan).collect();
+        assert_eq!(ix_scans.len(), 1, "subquery collapses to IxScan: {flat:?}");
+        assert_eq!(ix_scans[0].target, "edge");
+        assert_eq!(ix_scans[0].rows_out, 4, "four distinct v2 values");
+        // The IxScan is deeper than the outer source that consumes it.
+        let source_depth = flat
+            .iter()
+            .find(|n| n.op == OpKind::TableScan)
+            .expect("outer source")
+            .depth;
+        assert!(ix_scans[0].depth > source_depth);
+    }
+
+    #[test]
+    fn streaming_shape_matches_the_measured_tree() {
+        use ppr_obs::ProfileMode;
+        let e = edge(4);
+        // Triangle with an IxScan-answered subquery on one side: covers
+        // TableScan, IxJoin, HashJoin, IxScan, and the Distinct sink.
+        let sub = Plan::scan(e.clone(), vec![a(1), a(2)]).project(vec![a(2)]);
+        let plan = Plan::scan(e.clone(), vec![a(2), a(3)])
+            .join(Plan::scan(e, vec![a(3), a(4)]))
+            .join(sub)
+            .project(vec![a(2)]);
+        let shape = streaming_shape(&plan);
+        let (_, stats) = execute_with(
+            &plan,
+            &Budget::unlimited(),
+            ExecOptions {
+                mode: ExecMode::Streaming,
+                profile: ProfileMode::On,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let measured = stats.op_profile.as_deref().expect("profile on");
+        let planned: Vec<_> = shape
+            .flatten()
+            .iter()
+            .map(|n| (n.depth, n.op, n.target.clone()))
+            .collect();
+        let actual: Vec<_> = measured
+            .flatten()
+            .iter()
+            .map(|n| (n.depth, n.op, n.target.clone()))
+            .collect();
+        assert_eq!(planned, actual);
+        // Shape rendering never touches rows.
+        assert!(shape
+            .flatten()
+            .iter()
+            .all(|n| n.rows_in == 0 && n.rows_out == 0 && n.probes == 0 && n.time_us == 0));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use ppr_obs::OpProfile;
+
 /// Statistics for a single plan execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -56,6 +58,11 @@ pub struct ExecStats {
     /// Secondary indexes built this execution (cache misses; a reused
     /// index cached on the relation's `Arc` snapshot costs nothing).
     pub index_builds: u64,
+    /// Per-operator profile tree, filled by the streaming executor when
+    /// [`crate::exec::ExecOptions::profile`] is
+    /// [`ppr_obs::ProfileMode::On`]; `None` otherwise (the zero-cost
+    /// default). Boxed so the disabled case costs one pointer.
+    pub op_profile: Option<Box<OpProfile>>,
 }
 
 /// Fixed-width summary of an execution — the quantities a trace span or
@@ -122,6 +129,10 @@ impl ExecStats {
         self.rows_emitted += other.rows_emitted;
         self.index_probes += other.index_probes;
         self.index_builds += other.index_builds;
+        // Profiles do not merge across fragments; keep the first one.
+        if self.op_profile.is_none() {
+            self.op_profile = other.op_profile.clone();
+        }
     }
 }
 

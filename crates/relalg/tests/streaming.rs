@@ -139,6 +139,7 @@ fn run(
         ExecOptions {
             mode,
             dedup_subqueries: dedup,
+            ..ExecOptions::default()
         },
     )
 }

@@ -11,8 +11,8 @@ use ppr_relalg::Value;
 use ppr_obs::SlowEntry;
 
 use crate::catalog::{DbInfo, DbVersion};
-use crate::engine::{EngineStats, Request, Response};
-use crate::protocol::{self, Ack, Command, TraceReport};
+use crate::engine::{EngineStats, ExplainMode, Request, Response};
+use crate::protocol::{self, Ack, Command, ExplainReport, TraceReport};
 use crate::ServiceError;
 
 /// A connected client. One request is in flight at a time per client;
@@ -131,6 +131,22 @@ impl Client {
     pub fn trace(&mut self, request: &Request) -> Result<TraceReport, ServiceError> {
         let reply = self.round_trip(&protocol::encode_trace(request))?;
         protocol::decode_trace_report(&reply)
+    }
+
+    /// Explains a query: the optimizer pass trace plus the physical
+    /// operator tree. `mode` picks between rendering the planned shape
+    /// without executing ([`ExplainMode::Plan`]) and executing with
+    /// per-operator profiling ([`ExplainMode::Analyze`]); a request
+    /// already carrying a mode is overridden. Explain bypasses the
+    /// server's plan and result caches.
+    pub fn explain(
+        &mut self,
+        request: &Request,
+        mode: ExplainMode,
+    ) -> Result<ExplainReport, ServiceError> {
+        let req = request.clone().explain(mode);
+        let reply = self.round_trip(&protocol::encode_explain(&req))?;
+        protocol::decode_explain_report(&reply)
     }
 
     /// Fetches the server's slow-query log, slowest first.

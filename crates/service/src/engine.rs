@@ -42,9 +42,9 @@ use std::time::{Duration, Instant};
 
 use ppr_core::methods::{Method, OrderHeuristic};
 use ppr_core::passes::plan_query;
-use ppr_obs::{Phase, Quantiles, SlowEntry, TraceSpans, PHASES};
+use ppr_obs::{OpNode, PassSpan, Phase, ProfileMode, Quantiles, SlowEntry, TraceSpans, PHASES};
 use ppr_query::{ConjunctiveQuery, Database, QueryIdentity};
-use ppr_relalg::{exec, parallel, Budget, ExecStats, Value};
+use ppr_relalg::{exec, parallel, streaming_shape, Budget, ExecStats, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,6 +59,40 @@ use crate::ServiceError;
 /// Completion callback for an asynchronously submitted request. Invoked
 /// exactly once — with the response, or with the admission/refusal error.
 pub type ReplyFn = Box<dyn FnOnce(Result<Response, ServiceError>) + Send + 'static>;
+
+/// What an `explain` request wants back.
+///
+/// `#[non_exhaustive]`: future modes (e.g. verbose costing) extend the
+/// enum without a breaking change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ExplainMode {
+    /// Not an explain request: execute normally.
+    #[default]
+    None,
+    /// Run the optimizer pipeline and render the operator tree the
+    /// streaming executor *would* run, without executing anything.
+    Plan,
+    /// Execute with per-operator profiling on and annotate the tree with
+    /// measured rows, probes, and self times.
+    Analyze,
+}
+
+/// The planner and executor detail an `explain` request carries back on
+/// its [`Response`]. Boxed there so non-explain responses pay one
+/// pointer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExplainData {
+    /// True when the operators carry measured counters
+    /// (`explain analyze`); false for the zero-counter planned tree.
+    pub analyze: bool,
+    /// Per-pass wall time and plan-delta spans from the optimizer run.
+    /// Explain bypasses the plan cache, so these are always fresh.
+    pub passes: Vec<PassSpan>,
+    /// The operator tree, pre-order with depths. Counters are zero under
+    /// `explain plan`, measured under `explain analyze`.
+    pub ops: Vec<OpNode>,
+}
 
 /// One query request, embedded or decoded from the wire.
 ///
@@ -86,6 +120,11 @@ pub struct Request {
     /// Planner tie-breaking seed; `None` uses the engine default so that
     /// repeated requests are deterministic.
     pub seed: Option<u64>,
+    /// Explain mode. Anything but [`ExplainMode::None`] bypasses both
+    /// caches (the report must describe a fresh planner run) and returns
+    /// [`Response::explain`] data; `Analyze` additionally forces the
+    /// serial streaming executor with per-operator profiling on.
+    pub explain: ExplainMode,
 }
 
 impl Request {
@@ -98,6 +137,7 @@ impl Request {
             max_tuples: None,
             timeout_ms: None,
             seed: None,
+            explain: ExplainMode::None,
         }
     }
 
@@ -137,6 +177,12 @@ impl Request {
         self.seed = Some(seed);
         self
     }
+
+    /// Selects an explain mode (see [`Request::explain`]).
+    pub fn explain(mut self, mode: ExplainMode) -> Self {
+        self.explain = mode;
+        self
+    }
 }
 
 /// A successful evaluation.
@@ -169,6 +215,11 @@ pub struct Response {
     /// Zeroed on wire-decoded responses — `run` replies do not carry it;
     /// the `trace` verb does.
     pub trace: TraceSpans,
+    /// Planner/operator detail, present exactly when the request carried
+    /// an explain mode. `None` on every other path (including wire
+    /// decodes of `run` replies — `explain` replies travel as an
+    /// [`crate::protocol::ExplainReport`] instead).
+    pub explain: Option<Box<ExplainData>>,
 }
 
 impl Response {
@@ -184,6 +235,7 @@ impl Response {
             result_cache_hit: false,
             plan_micros: 0,
             trace: TraceSpans::new(),
+            explain: None,
         }
     }
 }
@@ -218,6 +270,12 @@ pub struct EngineConfig {
     /// Slow-query-log entries retained (worst-N by latency); 0 selects
     /// [`crate::metrics::DEFAULT_SLOWLOG_CAPACITY`].
     pub slowlog_capacity: usize,
+    /// Run every serial execution with per-operator profiling on, feeding
+    /// the `ppr_op_*` metrics and slow-log operator digests. Costs a few
+    /// clock reads per row on the streaming executor's hot path, so it is
+    /// off by default; `explain analyze` profiles its own request
+    /// regardless.
+    pub profile_ops: bool,
 }
 
 impl Default for EngineConfig {
@@ -232,6 +290,7 @@ impl Default for EngineConfig {
             max_budget: Budget::tuples(u64::MAX).with_timeout(Duration::from_secs(60)),
             default_seed: 0,
             slowlog_capacity: 0,
+            profile_ops: false,
         }
     }
 }
@@ -262,6 +321,7 @@ struct Shared {
     exec_threads: usize,
     max_budget: Budget,
     default_seed: u64,
+    profile_ops: bool,
     obs: Arc<ServiceMetrics>,
 }
 
@@ -619,6 +679,7 @@ impl Engine {
             exec_threads: cfg.exec_threads,
             max_budget: cfg.max_budget,
             default_seed: cfg.default_seed,
+            profile_ops: cfg.profile_ops,
             obs: ServiceMetrics::new(cfg.slowlog_capacity),
         });
         let handles = (0..workers)
@@ -716,6 +777,10 @@ struct SlowIdentity {
     db: String,
     version: u64,
     fingerprint: u128,
+    /// Optimizer passes this request ran (0 on plan/result-cache hits).
+    passes_run: u64,
+    /// Whether the decomposition cache supplied the variable order.
+    decomp_hit: bool,
 }
 
 /// Records one completed request into the metrics registry and, when its
@@ -736,25 +801,43 @@ fn record_completion(
         obs.phase_us[p as usize].record(spans.get(p));
     }
     obs.total_us.record(total_us);
-    let (rows, digest, outcome) = match result {
+    let (rows, digest, op_digest, outcome) = match result {
         Ok(resp) => {
             obs.result_rows.record(resp.rows.len() as u64);
-            let digest = if resp.result_cache_hit {
+            let (digest, op_digest) = if resp.result_cache_hit {
                 // A result-cache hit executed nothing; recording the
-                // original execution's flow would double-count it.
-                ppr_relalg::ExecDigest::default()
+                // original execution's flow (or its operator profile)
+                // would double-count it.
+                (ppr_relalg::ExecDigest::default(), String::new())
             } else {
-                resp.stats.digest()
+                let op_digest = match resp.stats.op_profile.as_deref() {
+                    Some(profile) => {
+                        // Per-operator metrics ride on the same profile
+                        // the slow-log digest compresses.
+                        for node in profile.flatten() {
+                            obs.op_rows[node.op as usize].add(node.rows_out);
+                            obs.op_time_us[node.op as usize].record(node.time_us);
+                        }
+                        profile.digest()
+                    }
+                    None => String::new(),
+                };
+                (resp.stats.digest(), op_digest)
             };
             obs.tuples_flowed.record(digest.tuples_flowed);
             obs.rows_scanned.record(digest.rows_scanned);
             obs.index_probes.add(digest.index_probes);
             obs.index_builds.add(digest.index_builds);
-            (resp.rows.len() as u64, digest, "ok")
+            (resp.rows.len() as u64, digest, op_digest, "ok")
         }
         Err(e) => {
             obs.errors_total.inc();
-            (0, ppr_relalg::ExecDigest::default(), e.kind())
+            (
+                0,
+                ppr_relalg::ExecDigest::default(),
+                String::new(),
+                e.kind(),
+            )
         }
     };
     if let Some(id) = slow_id {
@@ -773,6 +856,9 @@ fn record_completion(
             join_stages: digest.join_stages,
             threads_used: digest.threads_used,
             rows_scanned: digest.rows_scanned,
+            passes_run: id.passes_run,
+            decomp_hit: id.decomp_hit,
+            op_digest,
             seq,
         });
     }
@@ -851,7 +937,14 @@ fn process(
         db: db_name.to_string(),
         version: snapshot.version.0,
         fingerprint: identity.fingerprint.0,
+        passes_run: 0,
+        decomp_hit: false,
     });
+
+    // Explain requests bypass both caches — lookup *and* insert — so the
+    // report always describes a fresh planner run and leaves no footprint
+    // a later cached request would be answered from.
+    let explaining = request.explain != ExplainMode::None;
 
     // Result cache first: a hit is rows with zero execution. The budget
     // is deliberately not part of the key — budgets bound execution work,
@@ -863,7 +956,11 @@ fn process(
         seed,
     };
     let started = Instant::now();
-    let cached = shared.results.get(&result_key, &identity.shape);
+    let cached = if explaining {
+        None
+    } else {
+        shared.results.get(&result_key, &identity.shape)
+    };
     let mut lookup_us = started.elapsed().as_micros() as u64;
     spans.set(Phase::CacheLookup, lookup_us);
     if let Some(cached) = cached {
@@ -875,6 +972,7 @@ fn process(
             result_cache_hit: true,
             plan_micros: 0,
             trace: TraceSpans::new(),
+            explain: None,
         });
     }
 
@@ -885,11 +983,15 @@ fn process(
         seed,
     };
     let started = Instant::now();
-    let cached_plan = shared.cache.get(&plan_key, &identity.shape);
+    let cached_plan = if explaining {
+        None
+    } else {
+        shared.cache.get(&plan_key, &identity.shape)
+    };
     lookup_us += started.elapsed().as_micros() as u64;
     spans.set(Phase::CacheLookup, lookup_us);
-    let (plan, cache_hit, plan_micros) = match cached_plan {
-        Some(plan) => (plan, true, 0),
+    let (plan, cache_hit, plan_micros, pass_spans) = match cached_plan {
+        Some(plan) => (plan, true, 0, Vec::new()),
         None => {
             let started = Instant::now();
             let mut rng = StdRng::seed_from_u64(seed);
@@ -920,6 +1022,10 @@ fn process(
             };
             let report = plan_query(request.method, &query, &snapshot.db, &mut rng, hint);
             shared.obs.passes_run.add(report.passes_run as u64);
+            if let Some(id) = slow_id.as_mut() {
+                id.passes_run = report.passes_run as u64;
+                id.decomp_hit = report.used_hint;
+            }
             if report.used_hint {
                 shared.obs.decomp_hits.inc();
             } else if let (Some(key), Some(canonical), Some(order)) =
@@ -934,14 +1040,36 @@ fn process(
             // A racing worker may have published the same key first; the
             // cache keeps the existing plan so concurrent identical
             // requests all run one plan.
-            (
-                shared.cache.insert(plan_key, identity.shape.clone(), built),
-                false,
-                micros,
-            )
+            let plan = if explaining {
+                built
+            } else {
+                shared.cache.insert(plan_key, identity.shape.clone(), built)
+            };
+            (plan, false, micros, report.pass_spans)
         }
     };
     spans.set(Phase::Plan, plan_micros);
+
+    if request.explain == ExplainMode::Plan {
+        // Plan mode never executes: render the operator tree the streaming
+        // executor *would* build, with every counter zero.
+        let shape = streaming_shape(&plan);
+        let columns: Vec<String> = query.free.iter().map(|&f| query.vars.name(f)).collect();
+        return Ok(Response {
+            columns,
+            rows: Vec::new(),
+            stats: ExecStats::default(),
+            cache_hit,
+            result_cache_hit: false,
+            plan_micros,
+            trace: TraceSpans::new(),
+            explain: Some(Box::new(ExplainData {
+                analyze: false,
+                passes: pass_spans,
+                ops: shape.flatten(),
+            })),
+        });
+    }
 
     let mut budget = Budget::unlimited();
     if let Some(t) = request.max_tuples {
@@ -960,8 +1088,24 @@ fn process(
     // every later request against the same catalog version probes them
     // for free — copy-on-write catalog updates clone the relation and
     // start cold, which keeps sharing sound.
-    let executed = if shared.exec_threads == 1 {
-        exec::execute(&plan, &budget)
+    // `explain analyze` forces the serial streaming path: the parallel
+    // executor has no profiling hooks, and an annotated tree is the whole
+    // point of the request.
+    let analyze = request.explain == ExplainMode::Analyze;
+    let profile = if analyze || (shared.profile_ops && shared.exec_threads == 1) {
+        ProfileMode::On
+    } else {
+        ProfileMode::Off
+    };
+    let executed = if shared.exec_threads == 1 || analyze {
+        exec::execute_with(
+            &plan,
+            &budget,
+            exec::ExecOptions {
+                profile,
+                ..Default::default()
+            },
+        )
     } else {
         parallel::execute_parallel(&plan, &budget, shared.exec_threads)
     };
@@ -970,15 +1114,28 @@ fn process(
 
     let columns: Vec<String> = query.free.iter().map(|&f| query.vars.name(f)).collect();
     let rows = rel.tuples().to_vec();
-    shared.results.insert(
-        result_key,
-        identity.shape,
-        Arc::new(CachedResult {
-            columns: columns.clone(),
-            rows: rows.clone(),
-            stats: stats.clone(),
-        }),
-    );
+    if !explaining {
+        shared.results.insert(
+            result_key,
+            identity.shape,
+            Arc::new(CachedResult {
+                columns: columns.clone(),
+                rows: rows.clone(),
+                stats: stats.clone(),
+            }),
+        );
+    }
+    let explain = analyze.then(|| {
+        Box::new(ExplainData {
+            analyze: true,
+            passes: pass_spans,
+            ops: stats
+                .op_profile
+                .as_deref()
+                .map(|p| p.flatten())
+                .unwrap_or_default(),
+        })
+    });
     Ok(Response {
         columns,
         rows,
@@ -987,6 +1144,7 @@ fn process(
         result_cache_hit: false,
         plan_micros,
         trace: TraceSpans::new(),
+        explain,
     })
 }
 
@@ -1438,5 +1596,93 @@ mod tests {
             h.execute(pentagon_request(Method::EarlyProjection)),
             Err(ServiceError::ShuttingDown)
         ));
+    }
+
+    /// A binary query on K3's edge relation: 6 rows, a real pipeline.
+    fn mutual_edge_request() -> Request {
+        Request::query("q(x, y) :- edge(x, y), edge(y, x)").method(Method::EarlyProjection)
+    }
+
+    #[test]
+    fn explain_analyze_profiles_and_bypasses_both_caches() {
+        let engine = Engine::start(three_color_catalog(), small_cfg());
+        let h = engine.handle();
+        // Warm the plan and result caches with a plain run …
+        let warm = h.execute(mutual_edge_request()).unwrap();
+        assert!(h.execute(mutual_edge_request()).unwrap().result_cache_hit);
+        // … then explain analyze must plan and execute fresh anyway.
+        let resp = h
+            .execute(mutual_edge_request().explain(ExplainMode::Analyze))
+            .unwrap();
+        assert!(!resp.cache_hit, "explain bypasses the plan cache");
+        assert!(!resp.result_cache_hit, "explain bypasses the result cache");
+        assert_eq!(resp.rows, warm.rows, "analyze returns the real rows");
+        let data = resp.explain.as_deref().expect("explain data");
+        assert!(data.analyze);
+        // EarlyProjection's pipeline is three passes, each with a span.
+        let names: Vec<&str> = data.passes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["listing-order", "build-join-chain", "projection-pushdown"]
+        );
+        // The measured tree's root is the sink: its output is the result.
+        assert_eq!(data.ops[0].depth, 0);
+        assert_eq!(data.ops[0].rows_out, resp.rows.len() as u64);
+        assert!(
+            data.ops.iter().any(|n| n.rows_out > 0),
+            "measured counters populated: {:?}",
+            data.ops
+        );
+        // The response's stats carry the same profile for the slow log.
+        assert!(resp.stats.op_profile.is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn explain_plan_renders_the_shape_without_executing() {
+        let engine = Engine::start(three_color_catalog(), small_cfg());
+        let h = engine.handle();
+        let plan = h
+            .execute(mutual_edge_request().explain(ExplainMode::Plan))
+            .unwrap();
+        assert!(plan.rows.is_empty(), "plan mode never executes");
+        assert_eq!(plan.columns, ["x", "y"], "but the header is real");
+        let plan_data = plan.explain.as_deref().expect("explain data");
+        assert!(!plan_data.analyze);
+        assert!(!plan_data.passes.is_empty());
+        assert!(plan_data
+            .ops
+            .iter()
+            .all(|n| n.rows_in == 0 && n.rows_out == 0 && n.probes == 0 && n.time_us == 0));
+        // The planned shape is the measured tree, node for node.
+        let analyzed = h
+            .execute(mutual_edge_request().explain(ExplainMode::Analyze))
+            .unwrap();
+        let measured = &analyzed.explain.as_deref().unwrap().ops;
+        let planned_shape: Vec<_> = plan_data
+            .ops
+            .iter()
+            .map(|n| (n.depth, n.op, n.target.clone()))
+            .collect();
+        let measured_shape: Vec<_> = measured
+            .iter()
+            .map(|n| (n.depth, n.op, n.target.clone()))
+            .collect();
+        assert_eq!(planned_shape, measured_shape);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn profile_ops_config_populates_stats_on_plain_runs() {
+        let mut cfg = small_cfg();
+        cfg.profile_ops = true;
+        cfg.result_cache_bytes = 0;
+        let engine = Engine::start(three_color_catalog(), cfg);
+        let h = engine.handle();
+        let resp = h.execute(mutual_edge_request()).unwrap();
+        assert!(resp.explain.is_none(), "a plain run has no explain data");
+        let profile = resp.stats.op_profile.as_deref().expect("profile");
+        assert_eq!(profile.flatten()[0].rows_out, resp.rows.len() as u64);
+        engine.shutdown();
     }
 }

@@ -76,7 +76,10 @@ pub use catalog::{
 };
 pub use client::{Client, Pipeline, Ticket};
 pub use decomp::{DecompCache, DecompKey, DecompStats};
-pub use engine::{Engine, EngineConfig, EngineHandle, EngineStats, Request, Response, SpanStats};
+pub use engine::{
+    Engine, EngineConfig, EngineHandle, EngineStats, ExplainData, ExplainMode, Request, Response,
+    SpanStats,
+};
 pub use metrics::{render_slowlog, ServiceMetrics, DEFAULT_SLOWLOG_CAPACITY};
 pub use net::{CloseReason, NetMetrics};
 pub use result_cache::{ResultCache, ResultCacheStats};

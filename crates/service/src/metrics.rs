@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use ppr_obs::{Counter, Histogram, Phase, Registry, SlowEntry, SlowLog, PHASES};
+use ppr_obs::{Counter, Histogram, Phase, Registry, SlowEntry, SlowLog, OP_KINDS, PHASES};
 
 /// Requests the slow-query log retains by default
 /// ([`crate::EngineConfig::slowlog_capacity`] = 0 selects it).
@@ -57,6 +57,15 @@ pub struct ServiceMetrics {
     /// because the structure-keyed [`crate::DecompCache`] supplied the
     /// variable order as a pass hint.
     pub decomp_hits: Arc<Counter>,
+    /// `ppr_op_rows_total{op=…}` — rows emitted per physical operator
+    /// kind, indexed by `OpKind as usize`. Only populated when operator
+    /// profiling runs ([`crate::EngineConfig::profile_ops`] or
+    /// `explain analyze`).
+    pub op_rows: [Arc<Counter>; OP_KINDS.len()],
+    /// `ppr_op_time_us{op=…}` — per-request self time per physical
+    /// operator kind, indexed by `OpKind as usize`. Same gating as
+    /// [`ServiceMetrics::op_rows`].
+    pub op_time_us: [Arc<Histogram>; OP_KINDS.len()],
 }
 
 impl ServiceMetrics {
@@ -68,6 +77,20 @@ impl ServiceMetrics {
                 "ppr_request_phase_us",
                 &format!("phase=\"{}\"", PHASES[i].name()),
                 "Per-phase request latency in microseconds",
+            )
+        });
+        let op_rows = std::array::from_fn(|i| {
+            registry.counter_with(
+                "ppr_op_rows_total",
+                &format!("op=\"{}\"", OP_KINDS[i].name()),
+                "Rows emitted per physical operator kind (profiled requests only)",
+            )
+        });
+        let op_time_us = std::array::from_fn(|i| {
+            registry.histogram_with(
+                "ppr_op_time_us",
+                &format!("op=\"{}\"", OP_KINDS[i].name()),
+                "Per-request operator self time in microseconds (profiled requests only)",
             )
         });
         Arc::new(ServiceMetrics {
@@ -110,6 +133,8 @@ impl ServiceMetrics {
                 "ppr_decomp_cache_hits_total",
                 "Bucket decompositions skipped via the structure-keyed order cache",
             ),
+            op_rows,
+            op_time_us,
             slowlog: Arc::new(SlowLog::new(if slowlog_capacity == 0 {
                 DEFAULT_SLOWLOG_CAPACITY
             } else {
@@ -124,14 +149,14 @@ impl ServiceMetrics {
 /// (slowest first) — the body of the metrics endpoint's `/slowlog` page.
 pub fn render_slowlog(entries: &[SlowEntry]) -> String {
     let mut out = String::with_capacity(128 * (entries.len() + 1));
-    out.push_str("# slow queries, worst first: total_us db@version fingerprint method outcome spans rows tuples scanned\n");
+    out.push_str("# slow queries, worst first: total_us db@version fingerprint method outcome spans rows tuples scanned peak stages threads passes decomp ops\n");
     for e in entries {
         let spans: Vec<String> = PHASES
             .iter()
             .map(|p| format!("{}={}", p.name(), e.spans.get(*p)))
             .collect();
         out.push_str(&format!(
-            "{} {}@{} {:032x} {} {} {} rows={} tuples={} scanned={} peak={} stages={} threads={}\n",
+            "{} {}@{} {:032x} {} {} {} rows={} tuples={} scanned={} peak={} stages={} threads={} passes={} decomp={} ops={}\n",
             e.total_us,
             e.db,
             e.version,
@@ -145,6 +170,13 @@ pub fn render_slowlog(entries: &[SlowEntry]) -> String {
             e.peak_materialized,
             e.join_stages,
             e.threads_used,
+            e.passes_run,
+            u8::from(e.decomp_hit),
+            if e.op_digest.is_empty() {
+                "-"
+            } else {
+                &e.op_digest
+            },
         ));
     }
     out
@@ -172,10 +204,13 @@ mod tests {
             "ppr_index_builds_total",
             "ppr_passes_run_total",
             "ppr_decomp_cache_hits_total",
+            "ppr_op_rows_total",
+            "ppr_op_time_us",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
         assert!(text.contains("phase=\"exec\""));
+        assert!(text.contains("op=\"ix_join\""));
         assert_eq!(m.slowlog.capacity(), DEFAULT_SLOWLOG_CAPACITY);
     }
 
@@ -198,6 +233,9 @@ mod tests {
             join_stages: 2,
             threads_used: 1,
             rows_scanned: 18,
+            passes_run: 3,
+            decomp_hit: true,
+            op_digest: "ix_join:edge:6:12".into(),
             seq: 0,
         });
         let text = render_slowlog(&m.slowlog.snapshot());
@@ -205,5 +243,8 @@ mod tests {
         assert!(text.contains("exec=400"));
         assert!(text.contains("rows=6"));
         assert!(text.contains("scanned=18"));
+        assert!(text.contains("passes=3"));
+        assert!(text.contains("decomp=1"));
+        assert!(text.contains("ops=ix_join:edge:6:12"));
     }
 }

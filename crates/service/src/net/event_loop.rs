@@ -43,7 +43,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::{EngineHandle, ReplyFn, Request};
-use crate::protocol::{self, LineFramer, TraceReport};
+use crate::protocol::{self, ExplainReport, LineFramer, TraceReport};
 use crate::server::{self, Dispatch, WINDOW};
 use crate::ServiceError;
 
@@ -51,6 +51,16 @@ use super::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLO
 use super::sys_errno::{EMFILE, ENFILE};
 use super::timer::TimerWheel;
 use super::{CloseReason, NetMetrics};
+
+/// How a serially-submitted request's reply line is encoded: the row
+/// result (`run`), a [`TraceReport`] (`trace`), or an [`ExplainReport`]
+/// (`explain`) — the latter two clocked end-to-end by the server.
+#[derive(Clone, Copy)]
+enum ReplyShape {
+    Rows,
+    Trace,
+    Explain,
+}
 
 /// Token for the listening socket.
 const LISTENER: u64 = u64::MAX;
@@ -583,10 +593,13 @@ impl Loop {
                             self.send_line(conn, &protocol::tag_reply(id, &reply))
                         }
                         Dispatch::Execute(request) => {
-                            self.submit_serial(conn, request, Some(id), false)
+                            self.submit_serial(conn, request, Some(id), ReplyShape::Rows)
                         }
                         Dispatch::Trace(request) => {
-                            self.submit_serial(conn, request, Some(id), true)
+                            self.submit_serial(conn, request, Some(id), ReplyShape::Trace)
+                        }
+                        Dispatch::Explain(request) => {
+                            self.submit_serial(conn, request, Some(id), ReplyShape::Explain)
                         }
                     }
                 }
@@ -628,30 +641,48 @@ impl Loop {
                 conn.window,
             ) {
                 Dispatch::Reply(reply) => self.send_line(conn, &reply),
-                Dispatch::Execute(request) => self.submit_serial(conn, request, None, false),
-                Dispatch::Trace(request) => self.submit_serial(conn, request, None, true),
+                Dispatch::Execute(request) => {
+                    self.submit_serial(conn, request, None, ReplyShape::Rows)
+                }
+                Dispatch::Trace(request) => {
+                    self.submit_serial(conn, request, None, ReplyShape::Trace)
+                }
+                Dispatch::Explain(request) => {
+                    self.submit_serial(conn, request, None, ReplyShape::Explain)
+                }
             },
             Err(e) => self.send_line(conn, &protocol::encode_result(&Err(e))),
         }
     }
 
+    /// One strictly serial engine submission, completed through the
+    /// event queue with the reply encoded per the requesting verb.
     fn submit_serial(
         &self,
         conn: &mut Conn,
         request: Request,
         tag: Option<u64>,
-        trace: bool,
+        shape: ReplyShape,
     ) -> Result<(), CloseReason> {
         conn.serial_hold = true;
         let queue = self.queue.clone();
         let token = conn.token;
         let started = Instant::now();
         self.engine.submit(request, move |result| {
-            let reply = if trace {
-                let total_us = started.elapsed().as_micros() as u64;
-                protocol::encode_trace_report(&result.map(|resp| TraceReport::of(&resp, total_us)))
-            } else {
-                protocol::encode_result(&result)
+            let reply = match shape {
+                ReplyShape::Rows => protocol::encode_result(&result),
+                ReplyShape::Trace => {
+                    let total_us = started.elapsed().as_micros() as u64;
+                    protocol::encode_trace_report(
+                        &result.map(|resp| TraceReport::of(&resp, total_us)),
+                    )
+                }
+                ReplyShape::Explain => {
+                    let total_us = started.elapsed().as_micros() as u64;
+                    protocol::encode_explain_report(
+                        &result.map(|resp| ExplainReport::of(&resp, total_us)),
+                    )
+                }
             };
             let line = match tag {
                 Some(id) => protocol::tag_reply(id, &reply),

@@ -9,13 +9,13 @@
 //! line while completing them out of order.
 
 use ppr_core::methods::Method;
-use ppr_obs::{Phase, Quantiles, SlowEntry, TraceSpans, PHASES};
+use ppr_obs::{OpKind, OpNode, PassSpan, Phase, Quantiles, SlowEntry, TraceSpans, PHASES};
 use ppr_relalg::budget::BudgetKind;
 use ppr_relalg::{ExecStats, RelalgError, Value};
 use std::time::Duration;
 
 use crate::catalog::{DbFingerprint, DbInfo, DbVersion};
-use crate::engine::{EngineStats, Request, Response};
+use crate::engine::{EngineStats, ExplainMode, Request, Response};
 use crate::ServiceError;
 
 /// Hard cap on accepted line length (1 MiB): a wire peer cannot make the
@@ -120,6 +120,11 @@ pub enum Command {
     /// Evaluate a query and return its per-phase span breakdown instead
     /// of the rows — same grammar as `run`, different reply shape.
     Trace(Request),
+    /// Explain a query: `run`'s grammar after a `plan`/`analyze` mode
+    /// word, replied to with the optimizer pass trace and operator tree.
+    /// The mode rides on [`Request::explain`] (never
+    /// [`ExplainMode::None`] for a decoded command).
+    Explain(Request),
     /// Report the slow-query log (worst-N by latency).
     SlowLog,
     /// List the catalog's databases with their versions, content
@@ -206,6 +211,18 @@ pub fn encode_trace(req: &Request) -> String {
     encode_request_line("trace", req)
 }
 
+/// Encodes a request as one `explain` line: the mode word
+/// (`plan`/`analyze`, from [`Request::explain`]) then `run`'s grammar.
+/// A request still at [`ExplainMode::None`] encodes as `plan` — the
+/// cheaper mode is the safer default for a caller that forgot to pick.
+pub fn encode_explain(req: &Request) -> String {
+    let mode = match req.explain {
+        ExplainMode::Analyze => "analyze",
+        _ => "plan",
+    };
+    encode_request_line(&format!("explain {mode}"), req)
+}
+
 fn encode_request_line(verb: &str, req: &Request) -> String {
     let mut line = String::from(verb);
     if let Some(db) = &req.db {
@@ -244,6 +261,7 @@ pub fn encode_command(cmd: &Command) -> String {
         }
         Command::Stats => "stats".to_string(),
         Command::Trace(req) => encode_trace(req),
+        Command::Explain(req) => encode_explain(req),
         Command::SlowLog => "slowlog".to_string(),
         Command::Dbs => "dbs".to_string(),
         Command::Ping => "ping".to_string(),
@@ -313,53 +331,78 @@ pub fn decode_command(line: &str) -> Result<Command, ServiceError> {
             }
         }
         "run" | "trace" => {
-            let Some(rule_at) = rest.find("rule=") else {
-                return perr(format!("{verb} line needs rule="));
-            };
-            let query = rest[rule_at + "rule=".len()..].trim().to_string();
-            if query.is_empty() {
-                return perr("empty rule");
-            }
-            let mut method = None;
-            let mut db = None;
-            let mut max_tuples = None;
-            let mut timeout_ms = None;
-            let mut seed = None;
-            for tok in rest[..rule_at].split_whitespace() {
-                let Some((k, v)) = tok.split_once('=') else {
-                    return perr(format!("bad token `{tok}`"));
-                };
-                match k {
-                    "method" => match Method::parse(v) {
-                        Some(m) => method = Some(m),
-                        None => return Err(ServiceError::UnknownMethod(v.to_string())),
-                    },
-                    "db" => {
-                        check_name("database", v)?;
-                        db = Some(v.to_string());
-                    }
-                    "max_tuples" => max_tuples = Some(parse_num(k, v)?),
-                    "timeout_ms" => timeout_ms = Some(parse_num(k, v)?),
-                    "seed" => seed = Some(parse_num(k, v)?),
-                    _ => return perr(format!("unknown key `{k}`")),
-                }
-            }
-            let Some(method) = method else {
-                return perr(format!("{verb} line needs method="));
-            };
-            let mut req = Request::new(query, method);
-            req.db = db;
-            req.max_tuples = max_tuples;
-            req.timeout_ms = timeout_ms;
-            req.seed = seed;
+            let req = parse_run_body(verb, rest)?;
             Ok(if verb == "run" {
                 Command::Run(req)
             } else {
                 Command::Trace(req)
             })
         }
+        "explain" => {
+            let (mode_word, body) = match rest.split_once(' ') {
+                Some((m, b)) => (m, b),
+                None => (rest, ""),
+            };
+            let mode = match mode_word {
+                "plan" => ExplainMode::Plan,
+                "analyze" => ExplainMode::Analyze,
+                other => {
+                    return perr(format!(
+                        "explain needs a mode word (plan|analyze), got `{other}`"
+                    ))
+                }
+            };
+            let req = parse_run_body("explain", body)?;
+            Ok(Command::Explain(req.explain(mode)))
+        }
         other => perr(format!("unknown verb `{other}`")),
     }
+}
+
+/// Parses `run`'s key-value grammar (`[db=] method= [max_tuples=]
+/// [timeout_ms=] [seed=] rule=<text>`) — shared by the `run`, `trace`,
+/// and `explain` verbs.
+fn parse_run_body(verb: &str, rest: &str) -> Result<Request, ServiceError> {
+    let Some(rule_at) = rest.find("rule=") else {
+        return perr(format!("{verb} line needs rule="));
+    };
+    let query = rest[rule_at + "rule=".len()..].trim().to_string();
+    if query.is_empty() {
+        return perr("empty rule");
+    }
+    let mut method = None;
+    let mut db = None;
+    let mut max_tuples = None;
+    let mut timeout_ms = None;
+    let mut seed = None;
+    for tok in rest[..rule_at].split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "method" => match Method::parse(v) {
+                Some(m) => method = Some(m),
+                None => return Err(ServiceError::UnknownMethod(v.to_string())),
+            },
+            "db" => {
+                check_name("database", v)?;
+                db = Some(v.to_string());
+            }
+            "max_tuples" => max_tuples = Some(parse_num(k, v)?),
+            "timeout_ms" => timeout_ms = Some(parse_num(k, v)?),
+            "seed" => seed = Some(parse_num(k, v)?),
+            _ => return perr(format!("unknown key `{k}`")),
+        }
+    }
+    let Some(method) = method else {
+        return perr(format!("{verb} line needs method="));
+    };
+    let mut req = Request::new(query, method);
+    req.db = db;
+    req.max_tuples = max_tuples;
+    req.timeout_ms = timeout_ms;
+    req.seed = seed;
+    Ok(req)
 }
 
 fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, ServiceError> {
@@ -982,6 +1025,171 @@ pub fn decode_trace_report(line: &str) -> Result<TraceReport, ServiceError> {
     Ok(r)
 }
 
+/// The `explain` verb's reply: the optimizer pass trace and the
+/// (planned or measured) physical operator tree for one query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExplainReport {
+    /// `true` for `explain analyze` (the tree carries measured
+    /// counters); `false` for `explain plan` (all counters zero).
+    pub analyze: bool,
+    /// Planning wall time (microseconds). Explain bypasses both caches,
+    /// so this is always a fresh planner run.
+    pub plan_us: u64,
+    /// Wall time the server observed around the engine call.
+    pub total_us: u64,
+    /// Result rows (`0` for `explain plan`, which never executes).
+    pub rows: u64,
+    /// Whether a cached plan was reused (always `false` today: explain
+    /// bypasses the plan cache; kept on the wire for forward
+    /// compatibility).
+    pub cache_hit: bool,
+    /// Whether the rows came from the result cache (always `false`:
+    /// explain bypasses it).
+    pub result_cache_hit: bool,
+    /// Per-pass wall time and plan-delta spans, in pipeline order.
+    pub passes: Vec<PassSpan>,
+    /// The operator tree in pre-order, depth-annotated — planned shape
+    /// for `plan`, measured profile for `analyze`.
+    pub ops: Vec<OpNode>,
+}
+
+impl ExplainReport {
+    /// Summarizes an explained response observed to take `total_us` of
+    /// wall time. A response without explain data (not produced by an
+    /// explain request) yields empty pass and operator lists.
+    pub fn of(resp: &Response, total_us: u64) -> ExplainReport {
+        let data = resp.explain.as_deref().cloned().unwrap_or_default();
+        ExplainReport {
+            analyze: data.analyze,
+            plan_us: resp.plan_micros,
+            total_us,
+            rows: resp.rows.len() as u64,
+            cache_hit: resp.cache_hit,
+            result_cache_hit: resp.result_cache_hit,
+            passes: data.passes,
+            ops: data.ops,
+        }
+    }
+}
+
+/// Encodes an `explain` outcome as one `ok`/`err` line. Pass records are
+/// `name:us:before:after`, `/`-separated; operator records are
+/// `depth:kind:target:rows_in:rows_out:probes:time_us`, `/`-separated,
+/// pre-order, with `-` for an empty target. Both are separator-safe:
+/// pass names are fixed kebab-case identifiers and targets pass
+/// `check_name` (no `:`, `/`, whitespace, or `=`).
+pub fn encode_explain_report(result: &Result<ExplainReport, ServiceError>) -> String {
+    let r = match result {
+        Ok(r) => r,
+        Err(e) => return encode_error(e),
+    };
+    let mut line = format!(
+        "ok mode={} plan_us={} total_us={} rows={} cache_hit={} result_hit={} passes=",
+        if r.analyze { "analyze" } else { "plan" },
+        r.plan_us,
+        r.total_us,
+        r.rows,
+        r.cache_hit as u8,
+        r.result_cache_hit as u8,
+    );
+    for (i, p) in r.passes.iter().enumerate() {
+        if i > 0 {
+            line.push('/');
+        }
+        line.push_str(&format!(
+            "{}:{}:{}:{}",
+            p.name, p.micros, p.nodes_before, p.nodes_after
+        ));
+    }
+    line.push_str(" ops=");
+    for (i, n) in r.ops.iter().enumerate() {
+        if i > 0 {
+            line.push('/');
+        }
+        line.push_str(&format!(
+            "{}:{}:{}:{}:{}:{}:{}",
+            n.depth,
+            n.op.name(),
+            if n.target.is_empty() { "-" } else { &n.target },
+            n.rows_in,
+            n.rows_out,
+            n.probes,
+            n.time_us,
+        ));
+    }
+    line
+}
+
+/// Decodes an `explain` reply line.
+pub fn decode_explain_report(line: &str) -> Result<ExplainReport, ServiceError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("err") {
+        return Err(decode_error(rest.trim_start()));
+    }
+    let Some(rest) = line.strip_prefix("ok ") else {
+        return perr(format!("expected explain line, got `{line}`"));
+    };
+    let mut r = ExplainReport::default();
+    for tok in rest.split_whitespace() {
+        let Some((k, v)) = tok.split_once('=') else {
+            return perr(format!("bad token `{tok}`"));
+        };
+        match k {
+            "mode" => match v {
+                "plan" => r.analyze = false,
+                "analyze" => r.analyze = true,
+                other => return perr(format!("bad explain mode `{other}`")),
+            },
+            "plan_us" => r.plan_us = parse_num(k, v)?,
+            "total_us" => r.total_us = parse_num(k, v)?,
+            "rows" => r.rows = parse_num(k, v)?,
+            "cache_hit" => r.cache_hit = v == "1",
+            "result_hit" => r.result_cache_hit = v == "1",
+            "passes" => {
+                for record in v.split('/').filter(|s| !s.is_empty()) {
+                    let parts: Vec<&str> = record.split(':').collect();
+                    let [name, us, before, after] = parts[..] else {
+                        return perr(format!("bad pass record `{record}`"));
+                    };
+                    r.passes.push(PassSpan {
+                        name: name.to_string(),
+                        micros: parse_num("pass micros", us)?,
+                        nodes_before: parse_num("pass nodes_before", before)?,
+                        nodes_after: parse_num("pass nodes_after", after)?,
+                    });
+                }
+            }
+            "ops" => {
+                for record in v.split('/').filter(|s| !s.is_empty()) {
+                    let parts: Vec<&str> = record.split(':').collect();
+                    let [depth, kind, target, rows_in, rows_out, probes, time_us] = parts[..]
+                    else {
+                        return perr(format!("bad op record `{record}`"));
+                    };
+                    let Some(op) = OpKind::from_name(kind) else {
+                        return perr(format!("unknown op kind `{kind}`"));
+                    };
+                    r.ops.push(OpNode {
+                        depth: parse_num("op depth", depth)?,
+                        op,
+                        target: if target == "-" {
+                            String::new()
+                        } else {
+                            target.to_string()
+                        },
+                        rows_in: parse_num("op rows_in", rows_in)?,
+                        rows_out: parse_num("op rows_out", rows_out)?,
+                        probes: parse_num("op probes", probes)?,
+                        time_us: parse_num("op time_us", time_us)?,
+                    });
+                }
+            }
+            other => return perr(format!("unknown key `{other}`")),
+        }
+    }
+    Ok(r)
+}
+
 /// Encodes the `slowlog` reply: `ok n=<count> entries=` then one
 /// `,`-separated record per entry, `;`-separated, slowest first. The
 /// `db`, `method`, and `outcome` columns are separator-safe by
@@ -1005,13 +1213,23 @@ pub fn encode_slowlog(result: &Result<Vec<SlowEntry>, ServiceError>) -> String {
             line.push_str(&format!(",{}", e.spans.get(p)));
         }
         line.push_str(&format!(
-            ",{},{},{},{},{},{},{}",
+            ",{},{},{},{},{},{},{},{},{},{}",
             e.rows,
             e.tuples_flowed,
             e.rows_scanned,
             e.peak_materialized,
             e.join_stages,
             e.threads_used,
+            e.passes_run,
+            u8::from(e.decomp_hit),
+            // The operator digest uses `:` and `/` separators only, so it
+            // is safe inside the `,`/`;` record syntax; `-` marks "no
+            // profile" so the column is never empty.
+            if e.op_digest.is_empty() {
+                "-"
+            } else {
+                &e.op_digest
+            },
             e.seq
         ));
     }
@@ -1045,8 +1263,8 @@ pub fn decode_slowlog(line: &str) -> Result<Vec<SlowEntry>, ServiceError> {
     if !data.is_empty() {
         for record in data.split(';') {
             let fields: Vec<&str> = record.split(',').collect();
-            // 6 identity/outcome columns + one per phase + 7 trailing.
-            if fields.len() != 13 + Phase::COUNT {
+            // 6 identity/outcome columns + one per phase + 10 trailing.
+            if fields.len() != 16 + Phase::COUNT {
                 return perr(format!("bad slowlog record `{record}`"));
             }
             let mut spans = TraceSpans::new();
@@ -1070,7 +1288,14 @@ pub fn decode_slowlog(line: &str) -> Result<Vec<SlowEntry>, ServiceError> {
                 peak_materialized: parse_num("peak", fields[tail + 3])?,
                 join_stages: parse_num("stages", fields[tail + 4])?,
                 threads_used: parse_num("threads", fields[tail + 5])?,
-                seq: parse_num("seq", fields[tail + 6])?,
+                passes_run: parse_num("passes", fields[tail + 6])?,
+                decomp_hit: fields[tail + 7] == "1",
+                op_digest: if fields[tail + 8] == "-" {
+                    String::new()
+                } else {
+                    fields[tail + 8].to_string()
+                },
+                seq: parse_num("seq", fields[tail + 9])?,
             });
         }
     }
@@ -1485,6 +1710,120 @@ mod tests {
     }
 
     #[test]
+    fn explain_command_round_trips_and_reuses_run_grammar() {
+        let mut req = sample_request();
+        req.timeout_ms = Some(250);
+        for mode in [ExplainMode::Plan, ExplainMode::Analyze] {
+            let cmd = Command::Explain(req.clone().explain(mode));
+            let line = encode_command(&cmd);
+            let word = if mode == ExplainMode::Analyze {
+                "analyze"
+            } else {
+                "plan"
+            };
+            assert!(line.starts_with(&format!("explain {word} ")), "{line}");
+            assert_eq!(decode_command(&line).unwrap(), cmd);
+            // Tagging splices after the verb, leaving the mode word in
+            // place for the de-tagged decoder.
+            let tagged = tag_request(5, &line);
+            let (id, rest) = split_request_tag(&tagged).unwrap();
+            assert_eq!(id, Some(5));
+            assert_eq!(rest, line);
+        }
+        // The mode word is mandatory and checked before the run grammar.
+        assert!(matches!(
+            decode_command("explain method=sf rule=q() :- e(x,y)"),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_command("explain plan rule=q() :- e(x,y)"),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_command("explain analyze method=warp rule=q() :- e(x,y)"),
+            Err(ServiceError::UnknownMethod(_))
+        ));
+    }
+
+    #[test]
+    fn explain_report_round_trips() {
+        let r = ExplainReport {
+            analyze: true,
+            plan_us: 321,
+            total_us: 1234,
+            rows: 6,
+            cache_hit: false,
+            result_cache_hit: false,
+            passes: vec![
+                PassSpan {
+                    name: "listing-order".into(),
+                    micros: 12,
+                    nodes_before: 0,
+                    nodes_after: 0,
+                },
+                PassSpan {
+                    name: "build-join-chain".into(),
+                    micros: 30,
+                    nodes_before: 0,
+                    nodes_after: 5,
+                },
+            ],
+            ops: vec![
+                OpNode {
+                    depth: 0,
+                    op: OpKind::Distinct,
+                    target: String::new(),
+                    rows_in: 8,
+                    rows_out: 6,
+                    probes: 0,
+                    time_us: 40,
+                },
+                OpNode {
+                    depth: 1,
+                    op: OpKind::IxJoin,
+                    target: "edge".into(),
+                    rows_in: 9,
+                    rows_out: 8,
+                    probes: 9,
+                    time_us: 120,
+                },
+                OpNode {
+                    depth: 2,
+                    op: OpKind::TableScan,
+                    target: "edge".into(),
+                    rows_in: 0,
+                    rows_out: 9,
+                    probes: 0,
+                    time_us: 15,
+                },
+            ],
+        };
+        let line = encode_explain_report(&Ok(r.clone()));
+        assert!(line.starts_with("ok mode=analyze "), "{line}");
+        assert!(line.contains("passes=listing-order:12:0:0/"), "{line}");
+        assert!(line.contains("ops=0:distinct:-:8:6:0:40/"), "{line}");
+        assert_eq!(decode_explain_report(&line).unwrap(), r);
+        // A plan report with no passes or ops (cached shapes, empty
+        // pipelines) still round-trips.
+        let empty = ExplainReport {
+            plan_us: 10,
+            ..ExplainReport::default()
+        };
+        let line = encode_explain_report(&Ok(empty.clone()));
+        assert!(line.contains("mode=plan"), "{line}");
+        assert_eq!(decode_explain_report(&line).unwrap(), empty);
+        // Errors pass through the shared err matrix; garbage is caught.
+        let err = ServiceError::UnknownDatabase("nope".into());
+        assert_eq!(
+            decode_explain_report(&encode_explain_report(&Err(err.clone()))).unwrap_err(),
+            err
+        );
+        assert!(decode_explain_report("ok mode=warp passes= ops=").is_err());
+        assert!(decode_explain_report("ok mode=plan passes=a:b ops=").is_err());
+        assert!(decode_explain_report("ok mode=plan passes= ops=0:warp:-:0:0:0:0").is_err());
+    }
+
+    #[test]
     fn slowlog_round_trips() {
         assert_eq!(decode_command("slowlog").unwrap(), Command::SlowLog);
         let mut spans = TraceSpans::new();
@@ -1504,6 +1843,9 @@ mod tests {
                 join_stages: 4,
                 threads_used: 2,
                 rows_scanned: 96,
+                passes_run: 4,
+                decomp_hit: true,
+                op_digest: "distinct:-:12:30/ix_join:edge:40:120".into(),
                 seq: 7,
             },
             SlowEntry {
@@ -1520,6 +1862,9 @@ mod tests {
                 join_stages: 0,
                 threads_used: 0,
                 rows_scanned: 0,
+                passes_run: 0,
+                decomp_hit: false,
+                op_digest: String::new(),
                 seq: 2,
             },
         ];

@@ -44,7 +44,7 @@ use ppr_query::Database;
 use crate::catalog::{Catalog, DEFAULT_DB};
 use crate::engine::{Engine, EngineConfig, EngineHandle, ReplyFn, Request};
 use crate::net::{CloseReason, NetMetrics};
-use crate::protocol::{self, Ack, Command, HelloAck, TraceReport};
+use crate::protocol::{self, Ack, Command, ExplainReport, HelloAck, TraceReport};
 use crate::ServiceError;
 
 /// How often blocked I/O re-checks the stop flag.
@@ -494,6 +494,9 @@ pub(crate) enum Dispatch {
     /// Execute on the engine; encode as a [`TraceReport`] clocked
     /// end-to-end by the server.
     Trace(Request),
+    /// Execute on the engine; encode as an [`ExplainReport`] clocked
+    /// end-to-end by the server.
+    Explain(Request),
 }
 
 /// The protocol state machine both backends share: everything except
@@ -536,6 +539,12 @@ pub(crate) fn dispatch_command(
                 request.db = session_db.clone();
             }
             Dispatch::Trace(request)
+        }
+        Command::Explain(mut request) => {
+            if request.db.is_none() {
+                request.db = session_db.clone();
+            }
+            Dispatch::Explain(request)
         }
         // Catalog verbs run on the connection's own thread (or the event
         // loop), not the worker queue: mutations are O(tiny database),
@@ -1070,6 +1079,12 @@ fn handle_command(cmd: Command, conn: &mut Conn) -> String {
             let result = conn.engine.execute(request);
             let total_us = started.elapsed().as_micros() as u64;
             protocol::encode_trace_report(&result.map(|resp| TraceReport::of(&resp, total_us)))
+        }
+        Dispatch::Explain(request) => {
+            let started = Instant::now();
+            let result = conn.engine.execute(request);
+            let total_us = started.elapsed().as_micros() as u64;
+            protocol::encode_explain_report(&result.map(|resp| ExplainReport::of(&resp, total_us)))
         }
     }
 }

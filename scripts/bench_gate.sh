@@ -1,0 +1,44 @@
+#!/bin/sh
+# Bench-regression gate: measure a fresh quick-mode serve-throughput
+# report and compare its cold throughput against the committed
+# results/BENCH_serve.json. Exits non-zero when any method regressed
+# beyond the host-aware tolerance (25% same host shape, 60% otherwise).
+#
+# Usage: scripts/bench_gate.sh
+#
+# The fresh measurement runs at the baseline's pipeline depth —
+# pipelined and serial throughput are different quantities, and the
+# gate only compares rows at matching depth.
+#
+# The serve-throughput target always writes results/BENCH_serve.json in
+# place, so the committed baseline is set aside first and restored
+# afterwards no matter how the measurement run ends.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=results/BENCH_serve.json
+SAVED=results/BENCH_serve.baseline.json
+FRESH=results/BENCH_serve.fresh.json
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_gate: no committed baseline at $BASELINE" >&2
+    exit 2
+fi
+
+PIPELINE=$(sed -n 's/.*"pipeline": \([0-9][0-9]*\).*/\1/p' "$BASELINE" | head -1)
+PIPELINE=${PIPELINE:-1}
+
+cp "$BASELINE" "$SAVED"
+restore() {
+    mv "$SAVED" "$BASELINE"
+}
+trap restore EXIT
+
+cargo run --release -p ppr-bench --bin experiments -- \
+    serve-throughput --quick --pipeline "$PIPELINE"
+
+mv "$BASELINE" "$FRESH"
+
+cargo run --release -p ppr-bench --bin experiments -- \
+    bench-gate --baseline "$SAVED" --fresh "$FRESH"

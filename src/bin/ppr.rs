@@ -14,11 +14,11 @@
 //!            [--result-cache-bytes N] [--exec-threads N] [--max-tuples N]
 //!            [--timeout-ms T] [--metrics-addr HOST:PORT] [--slowlog N]
 //!            [--data-dir DIR] [--no-fsync] [--max-connections N]
-//!            [--idle-timeout-ms T] [--threads]
+//!            [--idle-timeout-ms T] [--threads] [--profile-ops]
 //! ppr client [--connect HOST:PORT] --rule 'q(x) :- edge(x,y)' [--method M]
 //!            [--db NAME | --use NAME] [--max-tuples N] [--timeout-ms T]
-//!            [--seed S] [--pipeline N] [--stats] [--ping] [--dbs]
-//!            [--connections N [--requests N] [--window W]]
+//!            [--seed S] [--explain plan|analyze] [--pipeline N] [--stats]
+//!            [--ping] [--dbs] [--connections N [--requests N] [--window W]]
 //! ppr client [--connect HOST:PORT] (--create NAME | --drop NAME |
 //!            --load 'DB REL 1,2;2,3' | --add 'DB REL 1,2')
 //! ppr bench-pipe [--connect HOST:PORT] [--requests N] [--pipeline W]
@@ -381,6 +381,9 @@ fn cmd_serve(flags: &Flags) {
     cfg.max_budget = Budget::tuples(flags.num("max-tuples", u64::MAX))
         .with_timeout(Duration::from_millis(flags.num("timeout-ms", 60_000)));
     cfg.slowlog_capacity = flags.num("slowlog", cfg.slowlog_capacity);
+    // Profile every serial execution: per-operator rows/time feed the
+    // ppr_op_* metrics and slow-log digests (small constant overhead).
+    cfg.profile_ops = flags.has("profile-ops");
 
     // The builder owns the whole stack: with --data-dir the catalog is
     // durable (recovered on startup, mutations committed to a
@@ -429,7 +432,7 @@ fn cmd_serve(flags: &Flags) {
     eprintln!(
         "protocol: `run method=bucket rule=q(x) :- edge(x, y)` per line; also \
          `use`/`create`/`drop`/`load`/`add` for databases, `stats`, `trace`, \
-         `slowlog`, `ping`"
+         `explain plan|analyze`, `slowlog`, `ping`"
     );
     // Last line before serving: scripts (and the e2e test) wait for it,
     // then may close their end of the stderr pipe.
@@ -573,6 +576,52 @@ fn cmd_client(flags: &Flags) {
     request.max_tuples = flags.get("max-tuples").map(|_| flags.num("max-tuples", 0));
     request.timeout_ms = flags.get("timeout-ms").map(|_| flags.num("timeout-ms", 0));
     request.seed = flags.get("seed").map(|_| flags.num("seed", 0));
+    // --explain renders the optimizer pass trace and the operator tree
+    // instead of rows: `plan` without executing, `analyze` with measured
+    // per-operator counters.
+    if let Some(mode_word) = flags.get("explain") {
+        use projection_pushing::service::ExplainMode;
+        let mode = match mode_word {
+            "plan" => ExplainMode::Plan,
+            "analyze" => ExplainMode::Analyze,
+            other => die(&format!("--explain takes plan|analyze, got `{other}`")),
+        };
+        let report = client
+            .explain(&request, mode)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!(
+            "explain {}: {} rows in {} us (plan {} us)",
+            if report.analyze { "analyze" } else { "plan" },
+            report.rows,
+            report.total_us,
+            report.plan_us
+        );
+        println!("passes:");
+        for p in &report.passes {
+            println!(
+                "  {:<24} {:>8} us  nodes {} -> {}",
+                p.name, p.micros, p.nodes_before, p.nodes_after
+            );
+        }
+        println!("operators:");
+        for n in &report.ops {
+            let indent = 2 + 2 * n.depth as usize;
+            let label = if n.target.is_empty() {
+                n.op.name().to_string()
+            } else {
+                format!("{}({})", n.op.name(), n.target)
+            };
+            if report.analyze {
+                println!(
+                    "{:indent$}{label}  rows_in={} rows_out={} probes={} time={} us",
+                    "", n.rows_in, n.rows_out, n.probes, n.time_us
+                );
+            } else {
+                println!("{:indent$}{label}", "");
+            }
+        }
+        return;
+    }
     // --connections N holds N concurrent pipelined connections from one
     // epoll-driven thread and reports throughput + latency percentiles —
     // the C10K load mode.

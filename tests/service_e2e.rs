@@ -523,6 +523,16 @@ fn ppr_binary_serve_and_client_round_trip() {
         "--method",
         "bucket",
     ]);
+    // The explain smoke: the binary renders the measured operator tree,
+    // and the root operator's output equals the reported row count.
+    let explained = client(&[
+        "--rule",
+        "q(x, y) :- edge(x, y), edge(y, x)",
+        "--method",
+        "early",
+        "--explain",
+        "analyze",
+    ]);
     // Build a second database over the wire and query it by name.
     let created = client(&["--create", "g2"]);
     let loaded = client(&["--load", "g2 edge 0,1;1,0"]);
@@ -542,6 +552,29 @@ fn ppr_binary_serve_and_client_round_trip() {
     // Ordered pairs of distinct colors in K3.
     assert!(stdout.contains("rows: 6"), "unexpected output: {stdout}");
 
+    assert!(explained.status.success(), "explain failed: {explained:?}");
+    let explain_out = String::from_utf8_lossy(&explained.stdout);
+    assert!(
+        explain_out.contains("explain analyze: 6 rows"),
+        "unexpected explain output: {explain_out}"
+    );
+    assert!(
+        explain_out.contains("projection-pushdown"),
+        "pass table missing: {explain_out}"
+    );
+    // The first operator line (the root, depth 0) reports rows_out equal
+    // to the answer-set size the header announced: the operator counters
+    // sum consistently with the result.
+    let root_op = explain_out
+        .lines()
+        .skip_while(|l| l.trim() != "operators:")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no operator tree: {explain_out}"));
+    assert!(
+        root_op.contains("rows_out=6"),
+        "root operator disagrees with the row count: {root_op}"
+    );
+
     assert!(created.status.success(), "create failed: {created:?}");
     assert!(loaded.status.success(), "load failed: {loaded:?}");
     assert!(named.status.success(), "named run failed: {named:?}");
@@ -551,6 +584,126 @@ fn ppr_binary_serve_and_client_round_trip() {
         named_out.contains("rows: 2"),
         "unexpected output: {named_out}"
     );
+}
+
+/// The profiling tentpole's acceptance bar over real TCP: `explain
+/// analyze` returns the operator tree with **exact** per-operator row
+/// counters — byte-equal (modulo times) to what an embedded profiled
+/// execution of the same request records — and its root operator's
+/// output is the answer set itself. `explain plan` renders the same tree
+/// without executing. Both bypass the result and plan caches even when
+/// a prior plain run has warmed them.
+#[test]
+fn explain_over_the_wire_profiles_operators_exactly() {
+    use projection_pushing::service::protocol;
+    use service::ExplainMode;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let engine = Engine::start(color_catalog(), EngineConfig::default());
+    let mut server = service::Server::builder()
+        .addr("127.0.0.1:0")
+        .engine(engine.handle())
+        .start()
+        .expect("ephemeral bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let request = Request::query(PENTAGON).method(Method::EarlyProjection);
+
+    // A plain run first: it gives the ground-truth row count, warms both
+    // caches (which explain must bypass), and builds the snapshot's lazy
+    // secondary indexes so the profiled runs below see identical state.
+    let plain = client.run(&request).unwrap();
+    assert!(!plain.rows.is_empty());
+
+    let report = client
+        .explain(&request, ExplainMode::Analyze)
+        .expect("explain analyze");
+    assert!(report.analyze);
+    assert!(
+        !report.cache_hit && !report.result_cache_hit,
+        "explain must bypass both caches"
+    );
+    assert_eq!(report.rows as usize, plain.rows.len());
+    // Pass spans name the optimizer pipeline that planned the query.
+    let names: Vec<&str> = report.passes.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["listing-order", "build-join-chain", "projection-pushdown"]
+    );
+
+    // The root operator's output is the answer set itself…
+    assert!(!report.ops.is_empty());
+    assert_eq!(report.ops[0].depth, 0);
+    assert_eq!(report.ops[0].rows_out, report.rows);
+    // …and every counter agrees exactly with an embedded profiled
+    // execution of the same request on the same engine: the serial
+    // streaming executor is deterministic, so only times may differ.
+    let embedded = engine
+        .handle()
+        .execute(request.clone().explain(ExplainMode::Analyze))
+        .expect("embedded explain");
+    let counters = |ops: &[projection_pushing::obs::OpNode]| {
+        ops.iter()
+            .map(|o| {
+                (
+                    o.depth,
+                    o.op,
+                    o.target.clone(),
+                    o.rows_in,
+                    o.rows_out,
+                    o.probes,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let expected = embedded.explain.as_deref().expect("embedded payload");
+    assert_eq!(counters(&report.ops), counters(&expected.ops));
+
+    // `explain plan` renders the same tree shape with zero counters and
+    // no execution.
+    let planned = client
+        .explain(&request, ExplainMode::Plan)
+        .expect("explain plan");
+    assert!(!planned.analyze);
+    assert_eq!(planned.rows, 0);
+    let shape = |ops: &[projection_pushing::obs::OpNode]| {
+        ops.iter()
+            .map(|o| (o.depth, o.op, o.target.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(shape(&planned.ops), shape(&report.ops));
+    assert!(planned
+        .ops
+        .iter()
+        .all(|o| o.rows_in == 0 && o.rows_out == 0 && o.probes == 0 && o.time_us == 0));
+    assert_eq!(shape(&planned.ops), shape(&expected.ops));
+
+    // The tagged v2 shape works too: `explain id=N analyze …` draws a
+    // tagged ExplainReport with the same counters.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream).write_all(b"hello proto=2\n").expect("hello");
+    let mut ack = String::new();
+    assert!(reader.read_line(&mut ack).expect("read") > 0);
+    protocol::decode_hello_ok(&ack).expect("hello ack");
+    let line = protocol::tag_request(
+        3,
+        &protocol::encode_explain(&request.clone().explain(ExplainMode::Analyze)),
+    );
+    (&stream)
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write");
+    let mut reply = String::new();
+    assert!(reader.read_line(&mut reply).expect("read") > 0);
+    let (id, payload) = protocol::split_reply_tag(&reply).expect("tagged reply");
+    assert_eq!(id, Some(3));
+    let tagged = protocol::decode_explain_report(&payload).expect("tagged explain");
+    assert_eq!(counters(&tagged.ops), counters(&report.ops));
+    assert_eq!(tagged.rows, report.rows);
+
+    server.shutdown();
+    engine.shutdown();
 }
 
 /// One raw HTTP/1.1 scrape of the metrics endpoint, body only.
